@@ -1,0 +1,30 @@
+// Shared helpers for the bench binaries that regenerate the paper's tables
+// and figures. Each binary prints its table(s) on stdout, then runs a small
+// set of google-benchmark timings of the underlying computation.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+namespace cnpu::bench {
+
+inline void print_header(const std::string& what, const std::string& paper_ref) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", what.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  std::printf("================================================================\n");
+}
+
+// Prints tables first, then runs registered google-benchmark timings.
+inline int run(int argc, char** argv, void (*print_tables)()) {
+  print_tables();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace cnpu::bench

@@ -1,0 +1,79 @@
+// Figs. 5-8: the throughput-matched mapping of the four perception stages
+// onto the 6x6 MCM quadrants, with the per-stage E2E / pipe / energy / EDP
+// scores the paper annotates on each figure.
+#include "bench_common.h"
+#include "core/report.h"
+#include "core/throughput_matching.h"
+#include "util/strings.h"
+#include "util/table.h"
+#include "workloads/autopilot.h"
+
+namespace cnpu {
+namespace {
+
+MatchResult matched() {
+  static const PerceptionPipeline pipe = build_autopilot_pipeline();
+  static const PackageConfig pkg = make_simba_package();
+  return throughput_matching(pipe, pkg);
+}
+
+void print_tables() {
+  bench::print_header(
+      "Figs. 5-8 - stage mappings on the 6x6 MCM (throughput matching)",
+      "DATE'25 chiplet-NPU perception paper, Figs. 5, 6, 7, 8");
+  const MatchResult r = matched();
+
+  std::printf("%s\n", stage_summary_table(r.metrics,
+                                          "per-stage mapping scores").c_str());
+  std::printf("paper reference: FE 82.69/79.59 ms, S 129.1/78.72 ms, "
+              "T 200.5/82.16 ms, TR 91.27/82.16 ms (E2E/pipe)\n\n");
+
+  // Per-chiplet placement listing (the quadrant layout of Figs. 5-8).
+  Table t("chiplet assignments");
+  t.set_header({"Chiplet", "Mesh", "Busy(ms)", "Layers (shard fraction)"});
+  const Schedule& s = r.schedule;
+  for (const auto& u : r.metrics.chiplets) {
+    if (u.busy_s <= 0.0) continue;
+    std::vector<std::string> work;
+    for (int i = 0; i < s.num_items(); ++i) {
+      const Placement& p = s.placement(i);
+      for (const auto& sh : p.shards) {
+        if (sh.chiplet_id != u.chiplet_id) continue;
+        std::string tag = s.item(i).desc->name;
+        if (p.num_shards() > 1) {
+          tag += "(" + format_fixed(sh.fraction, 2) + ")";
+        }
+        // Compress FE chains to a single tag.
+        if (s.item(i).stage == 0 && s.item(i).layer > 0) tag.clear();
+        if (!tag.empty()) work.push_back(tag);
+      }
+    }
+    const auto& coord = s.package().chiplet(u.chiplet_id).coord;
+    std::string joined = join(work, " ");
+    if (joined.size() > 70) joined = joined.substr(0, 67) + "...";
+    t.add_row({std::to_string(u.chiplet_id),
+               "(" + std::to_string(coord.row) + "," + std::to_string(coord.col) + ")",
+               format_fixed(u.busy_s * 1e3, 1), joined});
+  }
+  std::printf("%s", t.to_string().c_str());
+  std::printf("\n%s", mesh_busy_map(r.metrics, s.package()).c_str());
+  std::printf("(stage tags: 0=FE_BFPN 1=S_FUSE 2=T_FUSE 3=TRUNKS)\n");
+  std::printf("algorithm steps: %zu, converged: %s, Latbase: %.2f ms\n\n",
+              r.trace.size(), r.converged ? "yes" : "no", r.latbase_s * 1e3);
+}
+
+void BM_ThroughputMatching(benchmark::State& state) {
+  const PerceptionPipeline pipe = build_autopilot_pipeline();
+  const PackageConfig pkg = make_simba_package();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(throughput_matching(pipe, pkg));
+  }
+}
+BENCHMARK(BM_ThroughputMatching)->Unit(benchmark::kMillisecond)->Iterations(5);
+
+}  // namespace
+}  // namespace cnpu
+
+int main(int argc, char** argv) {
+  return cnpu::bench::run(argc, argv, cnpu::print_tables);
+}

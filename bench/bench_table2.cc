@@ -1,0 +1,96 @@
+// Table II: chiplet arrangements at the same total PE budget (9,216):
+// 1x9216 / 2x4608 / 4x2304 monolithic baselines (stagewise + layerwise
+// pipelining) against the Simba-like 36x256 MCM with throughput matching.
+// Comparison scope: the first three (bottleneck) perception stages.
+#include "bench_common.h"
+#include "core/baselines.h"
+#include "core/report.h"
+#include "core/throughput_matching.h"
+#include "sim/event_sim.h"
+#include "util/strings.h"
+#include "util/table.h"
+#include "workloads/autopilot.h"
+
+namespace cnpu {
+namespace {
+
+void add_metric_rows(Table& t, const std::string& mode,
+                     const std::vector<std::pair<std::string, ScheduleMetrics>>& cols) {
+  auto row = [&](const std::string& metric, auto getter) {
+    std::vector<std::string> cells{mode, metric};
+    for (const auto& [label, m] : cols) {
+      (void)label;
+      cells.push_back(getter(m));
+    }
+    t.add_row(cells);
+  };
+  row("E2E Lat(s)", [](const ScheduleMetrics& m) { return format_fixed(m.e2e_s, 2); });
+  row("Pipe Lat(s)", [](const ScheduleMetrics& m) { return format_fixed(m.pipe_s, 2); });
+  row("Energy(J)", [](const ScheduleMetrics& m) { return format_fixed(m.energy_j(), 2); });
+  row("EDP(ms*J)", [](const ScheduleMetrics& m) { return format_fixed(m.edp_j_ms(), 0); });
+  row("Utilization(%)", [](const ScheduleMetrics& m) {
+    return format_fixed(m.utilization * 100.0, 2);
+  });
+}
+
+void print_tables() {
+  bench::print_header(
+      "Table II - chiplet arrangements at 9,216 PEs (stages 1-3)",
+      "DATE'25 chiplet-NPU perception paper, Table II");
+  const PerceptionPipeline front = build_autopilot_front();
+  const PackageConfig simba = make_simba_package();
+  const MatchResult mcm = throughput_matching(front, simba);
+
+  Table t;
+  t.set_header({"Pipeline", "Metric", "1x9216", "2x4608", "4x2304", "36x256"});
+  for (auto mode : {PipelineMode::kStagewise, PipelineMode::kLayerwise}) {
+    std::vector<std::pair<std::string, ScheduleMetrics>> cols;
+    for (int chips : {1, 2, 4}) {
+      const PackageConfig pkg = make_monolithic_package(chips);
+      cols.emplace_back(std::to_string(chips),
+                        run_baseline(front, pkg, mode, "x").metrics);
+    }
+    cols.emplace_back("36", mcm.metrics);
+    add_metric_rows(t, pipeline_mode_name(mode), cols);
+    if (mode == PipelineMode::kStagewise) t.add_separator();
+  }
+  std::printf("%s", t.to_string().c_str());
+  std::printf(
+      "paper (stagewise): E2E 1.8/1.8/1.8/0.5 s; pipe 1.8/0.7/0.67/0.09 s;\n"
+      "                   energy 0.64/0.69/0.65/0.71 J; EDP 274/283/273/69;\n"
+      "                   util 19.11/25.39/31.13/54.19 %%\n");
+
+  const ScheduleMetrics mono =
+      run_baseline(front, make_monolithic_package(1), PipelineMode::kStagewise,
+                   "x")
+          .metrics;
+  std::printf("\nheadline ratios (36x256 vs 1x9216):\n");
+  std::printf("  throughput increase : %.1fx   (paper: ~20x pipe-latency gap)\n",
+              mono.pipe_s / mcm.metrics.pipe_s);
+  std::printf("  utilization increase: %.1fx   (paper: 2.8x)\n",
+              mcm.metrics.utilization / mono.utilization);
+  std::printf("  energy overhead     : %s  (paper: +10.9%%)\n",
+              delta_percent(mcm.metrics.energy_j(), mono.energy_j()).c_str());
+
+  // Cross-validate the analytic pipe latency with the event simulator.
+  const SimResult sim = simulate_schedule(mcm.schedule, SimOptions{10, true});
+  std::printf("  event-sim steady interval: %.2f ms vs analytic pipe %.2f ms\n\n",
+              sim.steady_interval_s * 1e3, mcm.metrics.pipe_s * 1e3);
+}
+
+void BM_BaselineEvaluation(benchmark::State& state) {
+  const PerceptionPipeline front = build_autopilot_front();
+  const PackageConfig pkg = make_monolithic_package(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        run_baseline(front, pkg, PipelineMode::kLayerwise, "x"));
+  }
+}
+BENCHMARK(BM_BaselineEvaluation)->Unit(benchmark::kMillisecond)->Iterations(10);
+
+}  // namespace
+}  // namespace cnpu
+
+int main(int argc, char** argv) {
+  return cnpu::bench::run(argc, argv, cnpu::print_tables);
+}

@@ -1,0 +1,137 @@
+// npu_explorer: command-line front end for the whole library.
+//
+//   ./npu_explorer [options]
+//     --rows N --cols N      MCM mesh geometry        (default 6x6)
+//     --ws N                 WS chiplets (corner-first placement, default 0)
+//     --cameras N            camera count             (default 8)
+//     --queue N              temporal queue depth     (default 12)
+//     --tolerance F          Algorithm 1 tolerance    (default 0.10)
+//     --front                schedule stages 1-3 only
+//     --sim N                validate with an N-frame event simulation
+//     --json PATH            dump schedule+metrics JSON to PATH
+//
+// Example: ./npu_explorer --rows 4 --cols 4 --cameras 6 --sim 8
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/report.h"
+#include "core/schedule_io.h"
+#include "core/throughput_matching.h"
+#include "sim/event_sim.h"
+#include "util/strings.h"
+#include "workloads/autopilot.h"
+
+using namespace cnpu;
+
+namespace {
+
+struct Options {
+  int rows = 6;
+  int cols = 6;
+  int ws = 0;
+  int cameras = 8;
+  int queue = 12;
+  double tolerance = 0.10;
+  bool front_only = false;
+  int sim_frames = 0;
+  std::string json_path;
+};
+
+bool parse_args(int argc, char** argv, Options& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_int = [&](int& slot) {
+      if (i + 1 >= argc) return false;
+      slot = std::atoi(argv[++i]);
+      return slot > 0;
+    };
+    if (arg == "--rows") {
+      if (!next_int(opt.rows)) return false;
+    } else if (arg == "--cols") {
+      if (!next_int(opt.cols)) return false;
+    } else if (arg == "--ws") {
+      if (i + 1 >= argc) return false;
+      opt.ws = std::atoi(argv[++i]);
+    } else if (arg == "--cameras") {
+      if (!next_int(opt.cameras)) return false;
+    } else if (arg == "--queue") {
+      if (!next_int(opt.queue)) return false;
+    } else if (arg == "--tolerance") {
+      if (i + 1 >= argc) return false;
+      opt.tolerance = std::atof(argv[++i]);
+    } else if (arg == "--front") {
+      opt.front_only = true;
+    } else if (arg == "--sim") {
+      if (!next_int(opt.sim_frames)) return false;
+    } else if (arg == "--json") {
+      if (i + 1 >= argc) return false;
+      opt.json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse_args(argc, argv, opt)) {
+    std::fprintf(stderr,
+                 "usage: npu_explorer [--rows N] [--cols N] [--ws N] "
+                 "[--cameras N] [--queue N] [--tolerance F] [--front] "
+                 "[--sim N] [--json PATH]\n");
+    return 1;
+  }
+
+  AutopilotConfig cfg;
+  cfg.num_cameras = opt.cameras;
+  cfg.fusion.num_cameras = opt.cameras;
+  cfg.fusion.queue_frames = opt.queue;
+  cfg.include_trunks = !opt.front_only;
+  const PerceptionPipeline pipe = build_autopilot_pipeline(cfg);
+
+  PackageConfig pkg = make_simba_package(opt.rows, opt.cols);
+  const int max_ws = std::min(opt.ws, pkg.num_chiplets());
+  for (int i = 0; i < max_ws; ++i) {
+    // Corner-first placement, mirroring the trunk DSE convention.
+    pkg.set_chiplet_dataflow(pkg.chiplets()[static_cast<std::size_t>(
+                                                pkg.num_chiplets() - 1 - i)]
+                                 .id,
+                             DataflowKind::kWeightStationary);
+  }
+
+  std::printf("workload : %s (%d cameras, N=%d queue, %.0f GMACs)\n",
+              pipe.name.c_str(), opt.cameras, opt.queue, pipe.macs() / 1e9);
+  std::printf("hardware : %s\n", pkg.describe().c_str());
+
+  MatchOptions mopt;
+  mopt.tolerance = opt.tolerance;
+  const MatchResult r = throughput_matching(pipe, pkg, mopt);
+  std::printf("%s", stage_summary_table(r.metrics, "\nmatched schedule").c_str());
+  std::printf("sustained: %.1f FPS | fill %s | %s/frame | util %.1f%%\n",
+              1.0 / r.metrics.pipe_s, format_seconds(r.metrics.e2e_s).c_str(),
+              format_joules(r.metrics.energy_j()).c_str(),
+              r.metrics.utilization * 100.0);
+
+  if (opt.sim_frames > 0) {
+    const SimResult sim =
+        simulate_schedule(r.schedule, SimOptions{opt.sim_frames, true});
+    std::printf("event-sim: steady %s vs analytic %s over %d frames\n",
+                format_seconds(sim.steady_interval_s).c_str(),
+                format_seconds(r.metrics.pipe_s).c_str(), opt.sim_frames);
+  }
+  if (!opt.json_path.empty()) {
+    if (write_json_file(opt.json_path, schedule_to_json(r.schedule, r.metrics))) {
+      std::printf("schedule JSON written to %s\n", opt.json_path.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", opt.json_path.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

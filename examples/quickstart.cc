@@ -1,0 +1,58 @@
+// Quickstart: cost a small CNN on one chiplet, then schedule it on a 2x2 MCM.
+//
+//   $ ./quickstart
+//
+// Walks through the three core concepts:
+//   1. LayerDesc / Model       - describe a workload
+//   2. PeArrayConfig + analyze - per-layer latency/energy on a chiplet
+//   3. PackageConfig + matching - map the workload onto an MCM
+#include <cstdio>
+
+#include "core/report.h"
+#include "core/throughput_matching.h"
+#include "dataflow/cost_model.h"
+#include "util/strings.h"
+
+using namespace cnpu;
+
+int main() {
+  // 1. A small 3-layer CNN head over a 64x64 feature map.
+  Model cnn;
+  cnn.name = "TOY_CNN";
+  cnn.layers = {
+      conv2d("CONV1", /*in_c=*/32, /*out_k=*/64, /*out_y=*/64, /*out_x=*/64,
+             /*kernel=*/3),
+      conv2d("CONV2", 64, 64, 64, 64, 3),
+      pointwise("PROJ", 64, 128, 64, 64),
+      gemm("HEAD", /*tokens=*/4096, /*in_f=*/128, /*out_f=*/10),
+  };
+
+  // 2. Per-layer costs on one 256-PE output-stationary (Shidiannao-like)
+  //    chiplet at 2 GHz, and its weight-stationary (NVDLA-like) counterpart.
+  const PeArrayConfig os = make_pe_array(DataflowKind::kOutputStationary);
+  const PeArrayConfig ws = make_pe_array(DataflowKind::kWeightStationary);
+  std::printf("per-layer costs on %s:\n", os.describe().c_str());
+  for (const auto& layer : cnn.layers) {
+    const CostReport r_os = analyze_layer(layer, os);
+    const CostReport r_ws = analyze_layer(layer, ws);
+    std::printf("  %-6s  OS %9s / %9s   WS %9s / %9s\n", layer.name.c_str(),
+                format_seconds(r_os.latency_s).c_str(),
+                format_joules(r_os.energy_j()).c_str(),
+                format_seconds(r_ws.latency_s).c_str(),
+                format_joules(r_ws.energy_j()).c_str());
+  }
+
+  // 3. Schedule the CNN on a 2x2 MCM with the paper's throughput matching.
+  PerceptionPipeline pipe;
+  pipe.name = "toy";
+  pipe.stages.push_back(Stage{"CNN", {{cnn, false}}});
+  const PackageConfig mcm = make_simba_package(2, 2);
+  const MatchResult match = throughput_matching(pipe, mcm);
+
+  std::printf("\nschedule on %s:\n", mcm.describe().c_str());
+  std::printf("%s", stage_summary_table(match.metrics, "").c_str());
+  std::printf("pipe latency %s -> sustained %.0f inferences/s\n",
+              format_seconds(match.metrics.pipe_s).c_str(),
+              1.0 / match.metrics.pipe_s);
+  return 0;
+}

@@ -1,0 +1,25 @@
+#include "arch/chiplet.h"
+
+#include <cstdlib>
+
+namespace cnpu {
+
+int mesh_hops(const GridCoord& a, const GridCoord& b) {
+  return std::abs(a.row - b.row) + std::abs(a.col - b.col);
+}
+
+std::string ChipletSpec::describe() const {
+  return "chiplet#" + std::to_string(id) + "@(" + std::to_string(coord.row) +
+         "," + std::to_string(coord.col) + ") " + array.describe();
+}
+
+ChipletSpec make_chiplet(int id, int row, int col, DataflowKind kind,
+                         std::int64_t num_pes) {
+  ChipletSpec c;
+  c.id = id;
+  c.coord = GridCoord{row, col};
+  c.array = make_pe_array(kind, num_pes);
+  return c;
+}
+
+}  // namespace cnpu

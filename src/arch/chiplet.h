@@ -1,0 +1,40 @@
+// A chiplet: one accelerator die on the package, with a mesh coordinate.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "dataflow/dataflow.h"
+
+namespace cnpu {
+
+// Position in the package mesh. NoP hop counts are Manhattan distances
+// between coordinates (XY dimension-ordered routing).
+struct GridCoord {
+  int row = 0;
+  int col = 0;
+
+  bool operator==(const GridCoord&) const = default;
+};
+
+// Manhattan distance (number of mesh hops under XY routing).
+int mesh_hops(const GridCoord& a, const GridCoord& b);
+
+struct ChipletSpec {
+  int id = 0;
+  GridCoord coord;
+  // Which of the (possibly multiple) NPUs this chiplet belongs to; crossing
+  // NPUs costs extra substrate hops (see PackageConfig).
+  int npu = 0;
+  PeArrayConfig array;
+
+  DataflowKind dataflow() const { return array.dataflow; }
+  std::string describe() const;
+};
+
+// Convenience: a 256-PE chiplet of the given style at (row, col).
+ChipletSpec make_chiplet(int id, int row, int col,
+                         DataflowKind kind = DataflowKind::kOutputStationary,
+                         std::int64_t num_pes = cal::kPesPerChiplet);
+
+}  // namespace cnpu

@@ -1,0 +1,15 @@
+#include "arch/nop.h"
+
+namespace cnpu {
+
+NopCost nop_transfer(const NopParams& params, double bytes, int hops) {
+  NopCost cost;
+  if (hops <= 0 || bytes <= 0.0) return cost;
+  const double h = static_cast<double>(hops);
+  cost.latency_s =
+      h * (bytes / params.bandwidth_bytes_per_s) + h * params.hop_latency_s;
+  cost.energy_j = bytes * 8.0 * params.energy_per_bit_pj * 1e-12 * h;
+  return cost;
+}
+
+}  // namespace cnpu

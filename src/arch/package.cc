@@ -1,0 +1,139 @@
+#include "arch/package.h"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace cnpu {
+
+PackageConfig::PackageConfig(std::vector<ChipletSpec> chiplets, NopParams nop)
+    : chiplets_(std::move(chiplets)), nop_(nop) {}
+
+std::int64_t PackageConfig::total_pes() const {
+  std::int64_t total = 0;
+  for (const auto& c : chiplets_) total += c.array.num_pes;
+  return total;
+}
+
+const ChipletSpec& PackageConfig::chiplet(int id) const {
+  for (const auto& c : chiplets_) {
+    if (c.id == id) return c;
+  }
+  throw std::out_of_range("no chiplet with id " + std::to_string(id));
+}
+
+std::optional<int> PackageConfig::find_chiplet_at(const GridCoord& coord,
+                                                  int npu) const {
+  for (const auto& c : chiplets_) {
+    if (c.coord == coord && c.npu == npu) return c.id;
+  }
+  return std::nullopt;
+}
+
+int PackageConfig::hops_between(int chiplet_a, int chiplet_b) const {
+  if (chiplet_a == chiplet_b) return 0;
+  const ChipletSpec& a = chiplet(chiplet_a);
+  const ChipletSpec& b = chiplet(chiplet_b);
+  int hops = mesh_hops(a.coord, b.coord);
+  if (a.npu != b.npu) hops += inter_npu_hops_;
+  return hops;
+}
+
+int PackageConfig::hops_from_io(int chiplet_id) const {
+  // The I/O port (camera interface / DRAM controller) sits one hop west of
+  // the mesh's middle-left chiplet.
+  const ChipletSpec& c = chiplet(chiplet_id);
+  int max_row = 0;
+  for (const auto& spec : chiplets_) max_row = std::max(max_row, spec.coord.row);
+  const GridCoord io{max_row / 2, -1};
+  return mesh_hops(io, c.coord) + c.npu * inter_npu_hops_;
+}
+
+NopCost PackageConfig::transfer_cost(int from_chiplet, int to_chiplet,
+                                     double bytes) const {
+  const int hops = from_chiplet < 0 ? hops_from_io(to_chiplet)
+                                    : hops_between(from_chiplet, to_chiplet);
+  return nop_transfer(nop_, bytes, hops);
+}
+
+void PackageConfig::set_chiplet_dataflow(int id, DataflowKind kind) {
+  for (auto& c : chiplets_) {
+    if (c.id == id) {
+      c.array = make_pe_array(kind, c.array.num_pes);
+      return;
+    }
+  }
+  throw std::out_of_range("no chiplet with id " + std::to_string(id));
+}
+
+PackageConfig PackageConfig::without_chiplet(int id) const {
+  std::vector<ChipletSpec> remaining;
+  remaining.reserve(chiplets_.size());
+  bool found = false;
+  for (const auto& c : chiplets_) {
+    if (c.id == id) {
+      found = true;
+      continue;
+    }
+    remaining.push_back(c);
+  }
+  if (!found) throw std::out_of_range("no chiplet with id " + std::to_string(id));
+  PackageConfig out(std::move(remaining), nop_);
+  out.inter_npu_hops_ = inter_npu_hops_;
+  return out;
+}
+
+std::string PackageConfig::describe() const {
+  int os = 0;
+  int ws = 0;
+  for (const auto& c : chiplets_) {
+    (c.dataflow() == DataflowKind::kOutputStationary ? os : ws) += 1;
+  }
+  return std::to_string(chiplets_.size()) + " chiplets (" + std::to_string(os) +
+         " OS, " + std::to_string(ws) + " WS), " + format_si(static_cast<double>(total_pes()), 3) +
+         " PEs total";
+}
+
+PackageConfig make_simba_package(int rows, int cols, DataflowKind kind,
+                                 std::int64_t pes_per_chiplet) {
+  assert(rows > 0 && cols > 0);
+  std::vector<ChipletSpec> chiplets;
+  chiplets.reserve(static_cast<std::size_t>(rows) * cols);
+  int id = 0;
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      chiplets.push_back(make_chiplet(id++, r, c, kind, pes_per_chiplet));
+    }
+  }
+  return PackageConfig(std::move(chiplets), NopParams{});
+}
+
+PackageConfig make_multi_npu_package(int n_npus, int rows, int cols) {
+  assert(n_npus > 0);
+  std::vector<ChipletSpec> chiplets;
+  int id = 0;
+  for (int npu = 0; npu < n_npus; ++npu) {
+    for (int r = 0; r < rows; ++r) {
+      for (int c = 0; c < cols; ++c) {
+        ChipletSpec spec = make_chiplet(id++, r, c);
+        spec.npu = npu;
+        chiplets.push_back(spec);
+      }
+    }
+  }
+  return PackageConfig(std::move(chiplets), NopParams{});
+}
+
+PackageConfig make_monolithic_package(int n_chips, std::int64_t total_pes,
+                                      DataflowKind kind) {
+  assert(n_chips > 0);
+  std::vector<ChipletSpec> chiplets;
+  const std::int64_t pes = total_pes / n_chips;
+  for (int i = 0; i < n_chips; ++i) {
+    chiplets.push_back(make_chiplet(i, 0, i, kind, pes));
+  }
+  return PackageConfig(std::move(chiplets), NopParams{});
+}
+
+}  // namespace cnpu

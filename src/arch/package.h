@@ -1,0 +1,78 @@
+// MCM package: a mesh of accelerator chiplets plus the NoP parameters.
+//
+// The paper's reference design is a Simba-like 6x6 mesh of 256-PE OS
+// chiplets (9,216 PEs, matching the Tesla FSD NPU). Packages may be
+// heterogeneous (OS + WS chiplets, Sec. IV-C) and may span two NPUs
+// (Sec. V-B), in which case cross-NPU transfers pay extra substrate hops.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "arch/chiplet.h"
+#include "arch/nop.h"
+
+namespace cnpu {
+
+class PackageConfig {
+ public:
+  PackageConfig() = default;
+  PackageConfig(std::vector<ChipletSpec> chiplets, NopParams nop);
+
+  const std::vector<ChipletSpec>& chiplets() const { return chiplets_; }
+  const NopParams& nop() const { return nop_; }
+  void set_nop(const NopParams& nop) { nop_ = nop; }
+  int num_chiplets() const { return static_cast<int>(chiplets_.size()); }
+  std::int64_t total_pes() const;
+
+  const ChipletSpec& chiplet(int id) const;
+  // nullopt when no chiplet has that id.
+  std::optional<int> find_chiplet_at(const GridCoord& coord, int npu = 0) const;
+
+  // Mesh hops between two chiplets (XY routing); crossing NPU packages adds
+  // `inter_npu_hops` substrate hops.
+  int hops_between(int chiplet_a, int chiplet_b) const;
+  // Hops from the package I/O port (sensor/DRAM entry at the west edge) to a
+  // chiplet.
+  int hops_from_io(int chiplet_id) const;
+
+  // Cost of moving `bytes` between two chiplets (or from IO when
+  // `from_chiplet` is negative).
+  NopCost transfer_cost(int from_chiplet, int to_chiplet, double bytes) const;
+
+  int inter_npu_hops() const { return inter_npu_hops_; }
+  void set_inter_npu_hops(int hops) { inter_npu_hops_ = hops; }
+
+  // Replaces the dataflow style of one chiplet (heterogeneous integration).
+  void set_chiplet_dataflow(int id, DataflowKind kind);
+
+  // A copy of this package with one chiplet removed (fault isolation /
+  // yield-degraded parts - a key modularity argument for chiplets).
+  PackageConfig without_chiplet(int id) const;
+
+  std::string describe() const;
+
+ private:
+  std::vector<ChipletSpec> chiplets_;
+  NopParams nop_;
+  int inter_npu_hops_ = 4;
+};
+
+// Simba-like `rows x cols` mesh of uniform chiplets (default 6x6 OS 256-PE).
+PackageConfig make_simba_package(
+    int rows = 6, int cols = 6,
+    DataflowKind kind = DataflowKind::kOutputStationary,
+    std::int64_t pes_per_chiplet = cal::kPesPerChiplet);
+
+// `n_npus` Simba meshes pooled into one scheduling domain (Sec. V-B).
+PackageConfig make_multi_npu_package(int n_npus, int rows = 6, int cols = 6);
+
+// Baseline "package": `n_chips` monolithic accelerators that split the same
+// total PE budget (Table II: 1x9216, 2x4608, 4x2304).
+PackageConfig make_monolithic_package(
+    int n_chips, std::int64_t total_pes = 9216,
+    DataflowKind kind = DataflowKind::kOutputStationary);
+
+}  // namespace cnpu

@@ -1,0 +1,82 @@
+#include "core/baselines.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace cnpu {
+namespace {
+
+// Per-stage single-chip latency estimates for LPT stage placement.
+std::vector<double> stage_loads(const PerceptionPipeline& pipe,
+                                const PeArrayConfig& array) {
+  std::vector<double> loads;
+  loads.reserve(pipe.stages.size());
+  for (const auto& stage : pipe.stages) {
+    double total = 0.0;
+    for (const auto& sm : stage.models) {
+      total += analyze_layers(sm.model.layers, array).latency_s;
+    }
+    loads.push_back(total);
+  }
+  return loads;
+}
+
+}  // namespace
+
+const char* pipeline_mode_name(PipelineMode mode) {
+  return mode == PipelineMode::kStagewise ? "Stagewise" : "Layerwise";
+}
+
+Schedule build_baseline_schedule(const PerceptionPipeline& pipeline,
+                                 const PackageConfig& package,
+                                 PipelineMode mode) {
+  Schedule sched(pipeline, package);
+  const auto& chips = package.chiplets();
+  const int n = static_cast<int>(chips.size());
+
+  if (mode == PipelineMode::kStagewise) {
+    // LPT: stages sorted by load, each onto the least-loaded chip.
+    const std::vector<double> loads =
+        stage_loads(pipeline, chips.front().array);
+    std::vector<int> order(loads.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&](int a, int b) { return loads[static_cast<std::size_t>(a)] >
+                                         loads[static_cast<std::size_t>(b)]; });
+    std::vector<double> chip_load(static_cast<std::size_t>(n), 0.0);
+    for (int st : order) {
+      const int chip = static_cast<int>(
+          std::min_element(chip_load.begin(), chip_load.end()) -
+          chip_load.begin());
+      chip_load[static_cast<std::size_t>(chip)] +=
+          loads[static_cast<std::size_t>(st)];
+      for (int idx : sched.items_of_stage(st)) {
+        sched.assign(idx, chips[static_cast<std::size_t>(chip)].id);
+      }
+    }
+    return sched;
+  }
+
+  // Layerwise: greedy least-busy chip per layer, in pipeline order.
+  std::vector<double> chip_load(static_cast<std::size_t>(n), 0.0);
+  for (int i = 0; i < sched.num_items(); ++i) {
+    const int chip = static_cast<int>(
+        std::min_element(chip_load.begin(), chip_load.end()) -
+        chip_load.begin());
+    const int id = chips[static_cast<std::size_t>(chip)].id;
+    sched.assign(i, id);
+    chip_load[static_cast<std::size_t>(chip)] +=
+        analyze_layer(*sched.item(i).desc, chips[static_cast<std::size_t>(chip)].array)
+            .latency_s;
+  }
+  return sched;
+}
+
+BaselineRow run_baseline(const PerceptionPipeline& pipeline,
+                         const PackageConfig& package, PipelineMode mode,
+                         const std::string& label) {
+  const Schedule sched = build_baseline_schedule(pipeline, package, mode);
+  return BaselineRow{label, evaluate_schedule(sched)};
+}
+
+}  // namespace cnpu

@@ -1,0 +1,35 @@
+// Baseline NPU schedules (paper Sec. V, Table II).
+//
+// The baselines hold the total PE budget fixed (9,216) and vary the chip
+// count: one monolithic 9216-PE die, two 4608-PE dies, four 2304-PE dies.
+// Two pipelining schemes:
+//  * stagewise - whole stages are placed on chips (LPT over stage load)
+//  * layerwise - individual layers are placed on the least-loaded chip
+#pragma once
+
+#include "core/evaluator.h"
+#include "core/schedule.h"
+
+namespace cnpu {
+
+enum class PipelineMode { kStagewise, kLayerwise };
+
+const char* pipeline_mode_name(PipelineMode mode);
+
+// Assigns `pipeline` onto the chips of `package` (typically from
+// make_monolithic_package) under the given pipelining scheme.
+Schedule build_baseline_schedule(const PerceptionPipeline& pipeline,
+                                 const PackageConfig& package,
+                                 PipelineMode mode);
+
+struct BaselineRow {
+  std::string label;
+  ScheduleMetrics metrics;
+};
+
+// Convenience: evaluate one baseline package end-to-end.
+BaselineRow run_baseline(const PerceptionPipeline& pipeline,
+                         const PackageConfig& package, PipelineMode mode,
+                         const std::string& label);
+
+}  // namespace cnpu

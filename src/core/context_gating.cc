@@ -1,0 +1,33 @@
+#include "core/context_gating.h"
+
+#include <algorithm>
+
+namespace cnpu {
+
+std::vector<ContextSweepPoint> lane_context_sweep(
+    const TrunkConfig& cfg, const PeArrayConfig& array,
+    const std::vector<double>& fractions, double threshold_s) {
+  std::vector<ContextSweepPoint> out;
+  out.reserve(fractions.size());
+  for (double f : fractions) {
+    const Model lane = build_lane_trunk(cfg, f);
+    const CostReport r = analyze_layers(lane.layers, array);
+    ContextSweepPoint p;
+    p.context = f;
+    p.latency_s = r.latency_s;
+    p.energy_j = r.energy_j();
+    p.meets_threshold = r.latency_s <= threshold_s;
+    out.push_back(p);
+  }
+  return out;
+}
+
+double max_feasible_context(const std::vector<ContextSweepPoint>& sweep) {
+  double best = 0.0;
+  for (const auto& p : sweep) {
+    if (p.meets_threshold) best = std::max(best, p.context);
+  }
+  return best;
+}
+
+}  // namespace cnpu

@@ -1,0 +1,31 @@
+// Lane-trunk context-aware computing sweep (paper Sec. V-C, Fig. 11).
+//
+// Tesla's lane network only processes grid regions flagged as relevant; the
+// sweep rebuilds the lane trunk at decreasing context fractions and reports
+// latency/energy on one OS chiplet against the pipelining threshold.
+#pragma once
+
+#include <vector>
+
+#include "dataflow/cost_model.h"
+#include "workloads/trunks.h"
+
+namespace cnpu {
+
+struct ContextSweepPoint {
+  double context = 1.0;        // fraction of grid regions processed
+  double latency_s = 0.0;
+  double energy_j = 0.0;
+  bool meets_threshold = false;
+};
+
+// Analyzes the lane trunk at each fraction on `array`. `threshold_s` is the
+// pipelining budget (the paper's dashed 82 ms line).
+std::vector<ContextSweepPoint> lane_context_sweep(
+    const TrunkConfig& cfg, const PeArrayConfig& array,
+    const std::vector<double>& fractions, double threshold_s);
+
+// Largest swept fraction that still meets the threshold (0 when none).
+double max_feasible_context(const std::vector<ContextSweepPoint>& sweep);
+
+}  // namespace cnpu

@@ -1,0 +1,212 @@
+#include "core/evaluator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cnpu {
+namespace {
+
+// Hops for a tensor produced by `from` (possibly sharded) and consumed by
+// the primary chiplet of `to`: fraction-weighted mean over producer shards.
+double gather_hops(const PackageConfig& pkg, const Placement& from,
+                   const Placement& to) {
+  const int dst = to.primary_chiplet();
+  double hops = 0.0;
+  for (const auto& s : from.shards) {
+    hops += s.fraction * pkg.hops_between(s.chiplet_id, dst);
+  }
+  return hops;
+}
+
+NopCost edge_cost(const PackageConfig& pkg, double bytes, double hops) {
+  return nop_transfer(pkg.nop(), bytes, static_cast<int>(std::lround(hops)));
+}
+
+struct ItemCost {
+  double latency_s = 0.0;
+};
+
+}  // namespace
+
+double item_latency_s(const Schedule& s, int item_idx) {
+  const Schedule::Item& it = s.item(item_idx);
+  const Placement& p = s.placement(item_idx);
+  if (!p.assigned()) {
+    throw std::logic_error("unassigned layer: " + it.desc->name);
+  }
+  double latency = 0.0;
+  for (const auto& shard : p.shards) {
+    const LayerDesc piece = shard_fraction(*it.desc, shard.fraction);
+    const CostReport r =
+        analyze_layer(piece, s.package().chiplet(shard.chiplet_id).array);
+    latency = std::max(latency, r.latency_s);
+  }
+  return latency;
+}
+
+ScheduleMetrics evaluate_schedule(const Schedule& s) {
+  const PerceptionPipeline& pipe = s.pipeline();
+  const PackageConfig& pkg = s.package();
+  const int num_stages = pipe.num_stages();
+
+  ScheduleMetrics m;
+  m.stages.resize(static_cast<std::size_t>(num_stages));
+  m.chiplets.resize(static_cast<std::size_t>(pkg.num_chiplets()));
+  for (int c = 0; c < pkg.num_chiplets(); ++c) {
+    m.chiplets[static_cast<std::size_t>(c)].chiplet_id = pkg.chiplets()[static_cast<std::size_t>(c)].id;
+    m.chiplets[static_cast<std::size_t>(c)].stage_busy_s.assign(
+        static_cast<std::size_t>(num_stages), 0.0);
+  }
+  auto usage_of = [&](int chiplet_id) -> ChipletUsage& {
+    for (auto& u : m.chiplets) {
+      if (u.chiplet_id == chiplet_id) return u;
+    }
+    throw std::out_of_range("chiplet id not in package");
+  };
+
+  // Pass 1: per-item shard costs -> chiplet usage + compute energy.
+  std::vector<double> item_lat(static_cast<std::size_t>(s.num_items()), 0.0);
+  for (int i = 0; i < s.num_items(); ++i) {
+    const Schedule::Item& it = s.item(i);
+    const Placement& p = s.placement(i);
+    if (!p.assigned()) {
+      throw std::logic_error("unassigned layer: " + it.desc->name);
+    }
+    double lat = 0.0;
+    for (const auto& shard : p.shards) {
+      const LayerDesc piece = shard_fraction(*it.desc, shard.fraction);
+      const CostReport r = analyze_layer(piece, pkg.chiplet(shard.chiplet_id).array);
+      lat = std::max(lat, r.latency_s);
+      ChipletUsage& u = usage_of(shard.chiplet_id);
+      u.busy_s += r.latency_s;
+      u.stage_busy_s[static_cast<std::size_t>(it.stage)] += r.latency_s;
+      u.macs += r.macs;
+      u.energy_j += r.energy_j();
+      m.total_macs += r.macs;
+      m.compute_energy_j += r.energy_j();
+      m.stages[static_cast<std::size_t>(it.stage)].compute_energy_j += r.energy_j();
+    }
+    item_lat[static_cast<std::size_t>(i)] = lat;
+  }
+
+  // Pass 2: chain E2Es + NoP edges.
+  const double input_bytes_per_camera = 3.0 * 720.0 * 1280.0;
+  double pipeline_e2e = 0.0;
+  for (int st = 0; st < num_stages; ++st) {
+    const Stage& stage = pipe.stages[static_cast<std::size_t>(st)];
+    StageMetrics& sm = m.stages[static_cast<std::size_t>(st)];
+    sm.name = stage.name;
+
+    double prefix_chain = 0.0;
+    double max_parallel_chain = 0.0;
+    double max_input_edge = 0.0;
+
+    for (int mod = 0; mod < stage.num_models(); ++mod) {
+      const StageModel& model = stage.models[static_cast<std::size_t>(mod)];
+      const std::vector<int>& items = s.items_of_model(st, mod);
+      if (items.empty()) continue;
+
+      // Input edge(s) into this model's first layer.
+      const Placement& first = s.placement(items.front());
+      if (st == 0) {
+        const NopCost in = edge_cost(
+            pkg, input_bytes_per_camera,
+            pkg.hops_from_io(first.primary_chiplet()));
+        sm.nop += in;
+        max_input_edge = std::max(max_input_edge, in.latency_s);
+      } else if (!model.prefix) {
+        // From the previous stage's parallel model outputs (or, inside a
+        // staged trunk, from the prefix model handled below).
+        const Stage& prev = pipe.stages[static_cast<std::size_t>(st - 1)];
+        for (int pm = 0; pm < prev.num_models(); ++pm) {
+          if (prev.models[static_cast<std::size_t>(pm)].prefix) continue;
+          const std::vector<int>& prev_items = s.items_of_model(st - 1, pm);
+          if (prev_items.empty()) continue;
+          const Placement& src = s.placement(prev_items.back());
+          const double bytes =
+              prev.models[static_cast<std::size_t>(pm)].model.output_bytes();
+          const NopCost in = edge_cost(pkg, bytes, gather_hops(pkg, src, first));
+          sm.nop += in;
+          max_input_edge = std::max(max_input_edge, in.latency_s);
+        }
+      }
+      // Prefix handoff within the stage.
+      if (st > 0 && !model.prefix) {
+        for (int pm = 0; pm < stage.num_models(); ++pm) {
+          if (!stage.models[static_cast<std::size_t>(pm)].prefix) continue;
+          const std::vector<int>& pre_items = s.items_of_model(st, pm);
+          if (pre_items.empty()) continue;
+          const Placement& src = s.placement(pre_items.back());
+          const double bytes =
+              stage.models[static_cast<std::size_t>(pm)].model.output_bytes();
+          sm.nop += edge_cost(pkg, bytes, gather_hops(pkg, src, first));
+        }
+      }
+
+      // Chain latency: items + intra-model transfer edges.
+      double chain = 0.0;
+      for (std::size_t li = 0; li < items.size(); ++li) {
+        const int idx = items[li];
+        chain += item_lat[static_cast<std::size_t>(idx)];
+        if (li + 1 < items.size()) {
+          const Placement& cur = s.placement(idx);
+          const Placement& nxt = s.placement(items[li + 1]);
+          const double hops = gather_hops(pkg, cur, nxt);
+          if (hops > 0.0) {
+            const double bytes = s.item(idx).desc->output_elems();
+            const NopCost hop = edge_cost(pkg, bytes, hops);
+            sm.nop += hop;
+            chain += hop.latency_s;
+          }
+        }
+      }
+      if (model.prefix) {
+        prefix_chain += chain;
+      } else {
+        max_parallel_chain = std::max(max_parallel_chain, chain);
+      }
+    }
+
+    // Resource contention floor: models sharing a chiplet serialize.
+    double max_stage_busy = 0.0;
+    int used = 0;
+    for (const auto& u : m.chiplets) {
+      const double busy = u.stage_busy_s[static_cast<std::size_t>(st)];
+      max_stage_busy = std::max(max_stage_busy, busy);
+      if (busy > 0.0) ++used;
+    }
+    sm.chiplets_used = used;
+    sm.pipe_s = max_stage_busy;
+    sm.e2e_s = std::max(prefix_chain + max_parallel_chain, max_stage_busy) +
+               max_input_edge;
+    pipeline_e2e += sm.e2e_s;
+    m.nop += sm.nop;
+  }
+  m.e2e_s = pipeline_e2e;
+
+  // Steady-state initiation interval: the busiest chiplet per frame.
+  double pe_seconds = 0.0;
+  for (const auto& u : m.chiplets) {
+    m.pipe_s = std::max(m.pipe_s, u.busy_s);
+    if (u.busy_s > 0.0) {
+      pe_seconds += u.busy_s *
+                    static_cast<double>(pkg.chiplet(u.chiplet_id).array.num_pes);
+    }
+  }
+  const double freq = pkg.chiplets().empty()
+                          ? cal::kFrequencyHz
+                          : pkg.chiplets().front().array.frequency_hz;
+  m.utilization = pe_seconds > 0.0 ? m.total_macs / (pe_seconds * freq) : 0.0;
+  return m;
+}
+
+int ScheduleMetrics::chiplets_used() const {
+  int used = 0;
+  for (const auto& u : chiplets) {
+    if (u.busy_s > 0.0) ++used;
+  }
+  return used;
+}
+
+}  // namespace cnpu

@@ -1,0 +1,68 @@
+// Schedule evaluator: turns a Schedule into the paper's metrics.
+//
+// Semantics (matching the paper's Figs. 5-8 / Table II accounting):
+//  * item latency    - max over its shards of analyze_layer on that chiplet
+//  * chiplet busy    - sum of its shard latencies (per frame)
+//  * pipe latency    - max chiplet busy: the steady-state initiation
+//                      interval of the software-pipelined stream
+//  * stage E2E       - prefix chains + max parallel model chain (respecting
+//                      chiplet contention) + NoP transfer edges
+//  * pipeline E2E    - sum of stage E2Es + inter-stage NoP edges
+//  * energy          - compute energy of all shards (weight replication
+//                      included naturally) + NoP transfer energy
+//  * EDP             - energy x pipe latency (J*ms)
+//  * utilization     - total MACs / (PE-seconds of busy chiplets * freq)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arch/nop.h"
+#include "core/schedule.h"
+#include "dataflow/cost_model.h"
+
+namespace cnpu {
+
+struct ChipletUsage {
+  int chiplet_id = -1;
+  double busy_s = 0.0;
+  double macs = 0.0;
+  double energy_j = 0.0;
+  // busy seconds broken down per stage index
+  std::vector<double> stage_busy_s;
+};
+
+struct StageMetrics {
+  std::string name;
+  double e2e_s = 0.0;
+  double pipe_s = 0.0;
+  double compute_energy_j = 0.0;
+  NopCost nop;
+  int chiplets_used = 0;
+
+  double energy_j() const { return compute_energy_j + nop.energy_j; }
+  double edp_j_ms() const { return energy_j() * pipe_s * 1e3; }
+};
+
+struct ScheduleMetrics {
+  std::vector<StageMetrics> stages;
+  std::vector<ChipletUsage> chiplets;  // one per package chiplet
+  double e2e_s = 0.0;
+  double pipe_s = 0.0;
+  double compute_energy_j = 0.0;
+  NopCost nop;
+  double total_macs = 0.0;
+
+  double energy_j() const { return compute_energy_j + nop.energy_j; }
+  double edp_j_ms() const { return energy_j() * pipe_s * 1e3; }
+  // MACs / (PE-seconds across busy chiplets * frequency).
+  double utilization = 0.0;
+  int chiplets_used() const;
+};
+
+// Latency of one item under its placement (max across shards), seconds.
+double item_latency_s(const Schedule& s, int item_idx);
+
+ScheduleMetrics evaluate_schedule(const Schedule& s);
+
+}  // namespace cnpu

@@ -1,0 +1,53 @@
+#include "core/package_dse.h"
+
+namespace cnpu {
+
+std::string GeometryPoint::label() const {
+  return std::to_string(rows) + "x" + std::to_string(cols) + " x " +
+         std::to_string(pes_per_chiplet) + "PE";
+}
+
+PackageDseResult run_package_dse(const PerceptionPipeline& pipeline,
+                                 const PackageDseOptions& options) {
+  PackageDseResult result;
+  for (int n : options.mesh_sizes) {
+    const std::int64_t chips = static_cast<std::int64_t>(n) * n;
+    if (chips <= 0 || options.total_pes % chips != 0) continue;
+    const std::int64_t pes = options.total_pes / chips;
+    if (pes < 16) continue;  // below any sensible PE array
+
+    const PackageConfig pkg = make_simba_package(n, n,
+                                                 DataflowKind::kOutputStationary,
+                                                 pes);
+    const MatchResult match =
+        throughput_matching(pipeline, pkg, options.match);
+
+    GeometryPoint p;
+    p.rows = n;
+    p.cols = n;
+    p.pes_per_chiplet = pes;
+    p.metrics = match.metrics;
+    p.converged = match.converged;
+    result.points.push_back(std::move(p));
+  }
+
+  for (int i = 0; i < static_cast<int>(result.points.size()); ++i) {
+    const GeometryPoint& p = result.points[static_cast<std::size_t>(i)];
+    if (!p.converged) continue;
+    if (result.best_edp < 0 ||
+        p.metrics.edp_j_ms() <
+            result.points[static_cast<std::size_t>(result.best_edp)]
+                .metrics.edp_j_ms()) {
+      result.best_edp = i;
+    }
+    if (result.best_pipe < 0 ||
+        p.metrics.pipe_s <
+            result.points[static_cast<std::size_t>(result.best_pipe)]
+                .metrics.pipe_s) {
+      result.best_pipe = i;
+    }
+  }
+  return result;
+}
+
+}  // namespace cnpu

@@ -1,0 +1,49 @@
+// Package-geometry design-space exploration: at a fixed total PE budget,
+// which chiplet granularity should an automaker build?
+//
+// Extends Table II from four hand-picked points into a search: square meshes
+// from one monolithic die down to fine-grained chiplets, each scheduled with
+// Algorithm 1 and scored on pipe latency / energy / EDP. Captures the
+// paper's central trade-off: finer chiplets raise mapping utilization and
+// pipelining depth but pay NoP energy and lose per-chiplet tile size once
+// chiplets shrink below the dataflow's native 16x16 tile.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/throughput_matching.h"
+#include "workloads/model.h"
+
+namespace cnpu {
+
+struct GeometryPoint {
+  int rows = 0;
+  int cols = 0;
+  std::int64_t pes_per_chiplet = 0;
+  ScheduleMetrics metrics;
+  bool converged = false;
+
+  std::string label() const;
+};
+
+struct PackageDseOptions {
+  std::int64_t total_pes = 9216;
+  // Square mesh sizes to evaluate (chiplet PEs = total / (n*n)).
+  std::vector<int> mesh_sizes{1, 2, 3, 4, 6, 8, 12};
+  MatchOptions match;
+};
+
+struct PackageDseResult {
+  std::vector<GeometryPoint> points;
+  // Index of the EDP-optimal converged point (-1 when none converged).
+  int best_edp = -1;
+  // Index of the pipe-latency-optimal converged point.
+  int best_pipe = -1;
+};
+
+PackageDseResult run_package_dse(const PerceptionPipeline& pipeline,
+                                 const PackageDseOptions& options = {});
+
+}  // namespace cnpu

@@ -1,0 +1,52 @@
+#include "core/partition.h"
+
+#include <algorithm>
+
+namespace cnpu {
+
+std::vector<std::vector<int>> partition_quadrants(const PackageConfig& pkg) {
+  int max_row = 0;
+  int max_col = 0;
+  for (const auto& c : pkg.chiplets()) {
+    if (c.npu != 0) continue;
+    max_row = std::max(max_row, c.coord.row);
+    max_col = std::max(max_col, c.coord.col);
+  }
+  const int row_split = (max_row + 1) / 2;
+  const int col_split = (max_col + 1) / 2;
+
+  std::vector<std::vector<int>> pools(4);
+  bool extra = false;
+  for (const auto& c : pkg.chiplets()) {
+    if (c.npu != 0) {
+      extra = true;
+      continue;
+    }
+    const int q = (c.coord.row >= row_split ? 2 : 0) +
+                  (c.coord.col >= col_split ? 1 : 0);
+    pools[static_cast<std::size_t>(q)].push_back(c.id);
+  }
+  if (extra) {
+    pools.emplace_back();
+    for (const auto& c : pkg.chiplets()) {
+      if (c.npu != 0) pools.back().push_back(c.id);
+    }
+  }
+  // Tiny meshes can leave quadrants empty (a 1x1 mesh lands entirely in one
+  // block); drop empty pools so callers can index any pool safely.
+  std::erase_if(pools, [](const std::vector<int>& p) { return p.empty(); });
+  return pools;
+}
+
+std::vector<std::vector<int>> partition_round_robin(const PackageConfig& pkg,
+                                                    int n) {
+  std::vector<std::vector<int>> pools(static_cast<std::size_t>(std::max(n, 1)));
+  int i = 0;
+  for (const auto& c : pkg.chiplets()) {
+    pools[static_cast<std::size_t>(i % std::max(n, 1))].push_back(c.id);
+    ++i;
+  }
+  return pools;
+}
+
+}  // namespace cnpu

@@ -1,0 +1,22 @@
+// Spatial partitioning of a package into per-stage chiplet pools.
+//
+// The paper initially assigns each of the four perception stages its own
+// quadrant of the 6x6 mesh (Sec. IV): contiguous blocks keep intra-stage NoP
+// hops short.
+#pragma once
+
+#include <vector>
+
+#include "arch/package.h"
+
+namespace cnpu {
+
+// Splits NPU 0's chiplets into 4 contiguous quadrants (row-major blocks).
+// Chiplets of other NPUs are returned in the optional 5th pool.
+std::vector<std::vector<int>> partition_quadrants(const PackageConfig& pkg);
+
+// Round-robin partition into n pools (used for non-mesh baselines).
+std::vector<std::vector<int>> partition_round_robin(const PackageConfig& pkg,
+                                                    int n);
+
+}  // namespace cnpu

@@ -1,0 +1,46 @@
+#include "core/scaling.h"
+
+#include "core/partition.h"
+
+namespace cnpu {
+
+PerceptionPipeline build_two_npu_pipeline(const AutopilotConfig& cfg) {
+  PerceptionPipeline pipe = build_autopilot_pipeline(cfg);
+  // Double the trunk set: the second NPU hosts its own copy.
+  Stage& trunks = pipe.stages.back();
+  const std::size_t original = trunks.models.size();
+  for (std::size_t i = 0; i < original; ++i) {
+    StageModel copy = trunks.models[i];
+    copy.model.name += "#2";
+    for (auto& layer : copy.model.layers) layer.name += "#2";
+    trunks.models.push_back(std::move(copy));
+  }
+  pipe.name += "_2npu";
+  return pipe;
+}
+
+ScaleOutResult scale_out_two_npus(const AutopilotConfig& cfg,
+                                  MatchOptions options) {
+  auto pipeline =
+      std::make_unique<PerceptionPipeline>(build_two_npu_pipeline(cfg));
+  auto package = std::make_unique<PackageConfig>(make_multi_npu_package(2));
+
+  // NPU0 quadrants for the four stages; 9 chiplets of NPU1 extend the trunk
+  // pool (doubled trunks); the rest of NPU1 is the free reserve.
+  std::vector<std::vector<int>> pools = partition_quadrants(*package);
+  std::vector<int>& npu1 = pools.back();
+  std::vector<int>& trunk_pool = pools[3];
+  const std::size_t extra = 9;
+  trunk_pool.insert(trunk_pool.end(), npu1.begin(),
+                    npu1.begin() + static_cast<std::ptrdiff_t>(extra));
+  npu1.erase(npu1.begin(), npu1.begin() + static_cast<std::ptrdiff_t>(extra));
+
+  options.allow_base_split = true;
+  options.frozen_stages.push_back(3);  // trunks: fixed overhead (Sec. V-B)
+  MatchResult match =
+      throughput_matching_with_pools(*pipeline, *package, pools, options);
+  return ScaleOutResult{std::move(pipeline), std::move(package),
+                        std::move(match)};
+}
+
+}  // namespace cnpu

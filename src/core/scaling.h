@@ -1,0 +1,30 @@
+// Scaling to two multi-chiplet NPUs (paper Sec. V-B, Fig. 10).
+//
+// Both FSD NPUs (2 x 6x6 Simba meshes, 72 chiplets) process the same
+// workload stream. Trunks are doubled (2 x 9 chiplets, frozen as a fixed
+// overhead per the paper) and Algorithm 1 continues past the single-NPU
+// convergence point: FE chains split into two pipeline sub-stages, halving
+// the base latency, and the fusion stages re-shard onto the freed chiplets.
+#pragma once
+
+#include <memory>
+
+#include "core/throughput_matching.h"
+#include "workloads/autopilot.h"
+
+namespace cnpu {
+
+struct ScaleOutResult {
+  // Owned so the MatchResult's Schedule keeps valid references.
+  std::unique_ptr<PerceptionPipeline> pipeline;
+  std::unique_ptr<PackageConfig> package;
+  MatchResult match;
+};
+
+ScaleOutResult scale_out_two_npus(const AutopilotConfig& cfg = {},
+                                  MatchOptions options = {});
+
+// The doubled-trunk pipeline used in the study.
+PerceptionPipeline build_two_npu_pipeline(const AutopilotConfig& cfg = {});
+
+}  // namespace cnpu

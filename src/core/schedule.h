@@ -1,0 +1,87 @@
+// Schedule IR: which chiplet(s) run each layer of the perception pipeline.
+//
+// A layer may be data-parallel sharded across several chiplets with
+// per-chiplet work fractions (weights replicated on every shard). Chain
+// models may additionally be pipeline-split by assigning consecutive layer
+// ranges to different chiplets — that is just per-layer assignment here.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arch/package.h"
+#include "workloads/model.h"
+
+namespace cnpu {
+
+// One shard of one layer on one chiplet; `fraction` of the layer's token /
+// output-row dim (fractions of a placement sum to 1).
+struct ShardAssignment {
+  int chiplet_id = -1;
+  double fraction = 1.0;
+};
+
+struct Placement {
+  std::vector<ShardAssignment> shards;
+
+  bool assigned() const { return !shards.empty(); }
+  int num_shards() const { return static_cast<int>(shards.size()); }
+  // The shard carrying the largest fraction (used for NoP hop estimates).
+  int primary_chiplet() const;
+  bool uses_chiplet(int chiplet_id) const;
+};
+
+class Schedule {
+ public:
+  // One schedulable unit: a (stage, model, layer) coordinate.
+  struct Item {
+    int stage = 0;
+    int model = 0;
+    int layer = 0;
+    const LayerDesc* desc = nullptr;
+    bool prefix = false;  // belongs to a stage prefix model
+  };
+
+  // `pipeline` and `package` must outlive the schedule.
+  Schedule(const PerceptionPipeline& pipeline, const PackageConfig& package);
+
+  const PerceptionPipeline& pipeline() const { return *pipeline_; }
+  const PackageConfig& package() const { return *package_; }
+
+  int num_items() const { return static_cast<int>(items_.size()); }
+  const Item& item(int idx) const { return items_[static_cast<std::size_t>(idx)]; }
+  const Placement& placement(int idx) const {
+    return placements_[static_cast<std::size_t>(idx)];
+  }
+
+  // Whole layer on one chiplet.
+  void assign(int idx, int chiplet_id);
+  // Even data-parallel shard across `chiplets`.
+  void assign_sharded(int idx, const std::vector<int>& chiplets);
+  // Arbitrary weighted shards (fractions are normalized to sum to 1).
+  void assign_weighted(int idx, std::vector<ShardAssignment> shards);
+  void clear_assignment(int idx);
+
+  // Item indices of one stage / one model, in execution order.
+  const std::vector<int>& items_of_model(int stage, int model) const;
+  std::vector<int> items_of_stage(int stage) const;
+
+  // Chiplet ids with no assigned work anywhere in the schedule.
+  std::vector<int> free_chiplets() const;
+  bool fully_assigned() const;
+
+  std::string describe() const;
+
+ private:
+  const PerceptionPipeline* pipeline_;
+  const PackageConfig* package_;
+  std::vector<Item> items_;
+  std::vector<Placement> placements_;
+  // index_[stage][model] -> item indices
+  std::vector<std::vector<std::vector<int>>> index_;
+};
+
+// LayerDesc for one weighted shard of `layer` (`fraction` of its rows).
+LayerDesc shard_fraction(const LayerDesc& layer, double fraction);
+
+}  // namespace cnpu

@@ -1,0 +1,102 @@
+#include "core/schedule_io.h"
+
+#include <fstream>
+
+#include "util/json.h"
+
+namespace cnpu {
+namespace {
+
+void emit_metrics(JsonWriter& w, const ScheduleMetrics& m) {
+  w.begin_object();
+  w.key("e2e_ms").value(m.e2e_s * 1e3);
+  w.key("pipe_ms").value(m.pipe_s * 1e3);
+  w.key("energy_j").value(m.energy_j());
+  w.key("edp_j_ms").value(m.edp_j_ms());
+  w.key("utilization").value(m.utilization);
+  w.key("total_gmacs").value(m.total_macs / 1e9);
+  w.key("chiplets_used").value(m.chiplets_used());
+  w.key("nop").begin_object();
+  w.key("latency_ms").value(m.nop.latency_s * 1e3);
+  w.key("energy_mj").value(m.nop.energy_j * 1e3);
+  w.end_object();
+  w.key("stages").begin_array();
+  for (const auto& s : m.stages) {
+    w.begin_object();
+    w.key("name").value(s.name);
+    w.key("e2e_ms").value(s.e2e_s * 1e3);
+    w.key("pipe_ms").value(s.pipe_s * 1e3);
+    w.key("energy_j").value(s.energy_j());
+    w.key("chiplets").value(s.chiplets_used);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+}  // namespace
+
+std::string metrics_to_json(const ScheduleMetrics& metrics) {
+  JsonWriter w;
+  emit_metrics(w, metrics);
+  return w.str();
+}
+
+std::string schedule_to_json(const Schedule& schedule,
+                             const ScheduleMetrics& metrics) {
+  const PackageConfig& pkg = schedule.package();
+  JsonWriter w;
+  w.begin_object();
+  w.key("pipeline").value(schedule.pipeline().name);
+
+  w.key("package").begin_object();
+  w.key("chiplets").begin_array();
+  for (const auto& c : pkg.chiplets()) {
+    w.begin_object();
+    w.key("id").value(c.id);
+    w.key("npu").value(c.npu);
+    w.key("row").value(c.coord.row);
+    w.key("col").value(c.coord.col);
+    w.key("dataflow").value(dataflow_name(c.dataflow()));
+    w.key("pes").value(static_cast<int>(c.array.num_pes));
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+
+  w.key("placements").begin_array();
+  for (int i = 0; i < schedule.num_items(); ++i) {
+    const Schedule::Item& it = schedule.item(i);
+    const Placement& p = schedule.placement(i);
+    w.begin_object();
+    w.key("stage").value(it.stage);
+    w.key("model").value(it.model);
+    w.key("layer").value(it.desc->name);
+    w.key("op").value(op_kind_name(it.desc->kind));
+    w.key("gmacs").value(it.desc->macs() / 1e9);
+    w.key("shards").begin_array();
+    for (const auto& sh : p.shards) {
+      w.begin_object();
+      w.key("chiplet").value(sh.chiplet_id);
+      w.key("fraction").value(sh.fraction);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("metrics");
+  emit_metrics(w, metrics);
+  w.end_object();
+  return w.str();
+}
+
+bool write_json_file(const std::string& path, const std::string& json) {
+  std::ofstream file(path);
+  if (!file) return false;
+  file << json << "\n";
+  return static_cast<bool>(file);
+}
+
+}  // namespace cnpu

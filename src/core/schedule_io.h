@@ -1,0 +1,23 @@
+// Schedule/metrics export: serializes a Schedule and its evaluation to JSON
+// so deployments, visualizers, and regression baselines can consume them.
+#pragma once
+
+#include <string>
+
+#include "core/evaluator.h"
+#include "core/schedule.h"
+
+namespace cnpu {
+
+// Full dump: package geometry, per-layer placements (with shard fractions),
+// and the evaluated metrics.
+std::string schedule_to_json(const Schedule& schedule,
+                             const ScheduleMetrics& metrics);
+
+// Metrics only (stage table + package totals).
+std::string metrics_to_json(const ScheduleMetrics& metrics);
+
+// Writes `json` to `path`; returns false on I/O failure.
+bool write_json_file(const std::string& path, const std::string& json);
+
+}  // namespace cnpu

@@ -1,0 +1,339 @@
+#include "core/throughput_matching.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "core/partition.h"
+#include "util/logging.h"
+
+namespace cnpu {
+namespace {
+
+bool rides_with_predecessor(const LayerDesc& l) {
+  return l.kind == OpKind::kElementwise || l.kind == OpKind::kPool;
+}
+
+// Rate-proportional shard fractions (equal on a homogeneous pool, WS-aware
+// on heterogeneous ones).
+void rebalance(Schedule& s, int item_idx, const std::vector<int>& chiplets) {
+  const LayerDesc& full = *s.item(item_idx).desc;
+  std::vector<ShardAssignment> shards;
+  shards.reserve(chiplets.size());
+  for (int c : chiplets) {
+    const CostReport r = analyze_layer(full, s.package().chiplet(c).array);
+    shards.push_back(ShardAssignment{c, std::max(r.rate, 1.0)});
+  }
+  s.assign_weighted(item_idx, std::move(shards));
+}
+
+std::vector<int> placement_chiplets(const Placement& p) {
+  std::vector<int> ids;
+  ids.reserve(p.shards.size());
+  for (const auto& sh : p.shards) ids.push_back(sh.chiplet_id);
+  return ids;
+}
+
+}  // namespace
+
+void initial_quadrant_assignment(Schedule& schedule,
+                                 const std::vector<std::vector<int>>& pools) {
+  const PerceptionPipeline& pipe = schedule.pipeline();
+  for (int st = 0; st < pipe.num_stages(); ++st) {
+    const Stage& stage = pipe.stages[static_cast<std::size_t>(st)];
+    const std::vector<int>& pool =
+        pools[static_cast<std::size_t>(std::min<std::size_t>(
+            static_cast<std::size_t>(st), pools.size() - 1))];
+    if (stage.num_models() > 1) {
+      // Parallel-model stage: one chiplet per model, round-robin.
+      for (int mod = 0; mod < stage.num_models(); ++mod) {
+        const int chiplet =
+            pool[static_cast<std::size_t>(mod) % pool.size()];
+        for (int idx : schedule.items_of_model(st, mod)) {
+          schedule.assign(idx, chiplet);
+        }
+      }
+    } else {
+      // Single-chain fusion stage: one chiplet per heavy layer.
+      std::size_t next = 0;
+      int current = pool.front();
+      bool first = true;
+      for (int idx : schedule.items_of_model(st, 0)) {
+        const LayerDesc& l = *schedule.item(idx).desc;
+        if (first || !rides_with_predecessor(l)) {
+          current = pool[next % pool.size()];
+          ++next;
+          first = false;
+        }
+        schedule.assign(idx, current);
+      }
+    }
+  }
+}
+
+int split_model_chain(Schedule& schedule, int stage, int model,
+                      int new_chiplet) {
+  const std::vector<int>& items = schedule.items_of_model(stage, model);
+  std::vector<double> lat(items.size(), 0.0);
+  double total = 0.0;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    lat[i] = item_latency_s(schedule, items[i]);
+    total += lat[i];
+  }
+  // Balanced cut: prefix closest to half the chain.
+  double prefix = 0.0;
+  std::size_t cut = items.size() / 2;
+  double best_diff = total;
+  double acc = 0.0;
+  for (std::size_t i = 0; i + 1 < items.size(); ++i) {
+    acc += lat[i];
+    const double diff = std::fabs(acc - (total - acc));
+    if (diff < best_diff) {
+      best_diff = diff;
+      cut = i + 1;
+      prefix = acc;
+    }
+  }
+  (void)prefix;
+  for (std::size_t i = cut; i < items.size(); ++i) {
+    schedule.assign(items[i], new_chiplet);
+  }
+  return static_cast<int>(cut);
+}
+
+MatchResult throughput_matching(const PerceptionPipeline& pipeline,
+                                const PackageConfig& package,
+                                const MatchOptions& options) {
+  return throughput_matching_with_pools(pipeline, package,
+                                        partition_quadrants(package), options);
+}
+
+MatchResult throughput_matching_with_pools(
+    const PerceptionPipeline& pipeline, const PackageConfig& package,
+    const std::vector<std::vector<int>>& pools, const MatchOptions& options) {
+  MatchResult result{Schedule(pipeline, package), {}, {}, 0.0, false};
+  Schedule& sched = result.schedule;
+
+  initial_quadrant_assignment(sched, pools);
+
+  // Stage pools are mutable: surplus chiplets flow to bottleneck stages.
+  const int num_stages = pipeline.num_stages();
+  std::vector<std::set<int>> stage_pool(static_cast<std::size_t>(num_stages));
+  for (int st = 0; st < num_stages; ++st) {
+    const auto& pool = pools[static_cast<std::size_t>(
+        std::min<std::size_t>(static_cast<std::size_t>(st), pools.size() - 1))];
+    stage_pool[static_cast<std::size_t>(st)].insert(pool.begin(), pool.end());
+  }
+
+  auto free_list = [&]() { return sched.free_chiplets(); };
+  auto frozen = [&](int st) {
+    return std::find(options.frozen_stages.begin(), options.frozen_stages.end(),
+                     st) != options.frozen_stages.end();
+  };
+  // Trace pipe over the stages the algorithm is responsible for (the paper's
+  // Fig. 10 excludes the frozen trunk stage).
+  auto traced_pipe = [&](const ScheduleMetrics& m) {
+    double pipe = 0.0;
+    for (std::size_t st = 0; st < m.stages.size(); ++st) {
+      if (frozen(static_cast<int>(st))) continue;
+      pipe = std::max(pipe, m.stages[st].pipe_s);
+    }
+    return pipe;
+  };
+  auto record = [&](const std::string& action, const ScheduleMetrics& m,
+                    double latbase) {
+    result.trace.push_back(TraceStep{action, traced_pipe(m) * 1e3,
+                                     latbase * 1e3,
+                                     static_cast<int>(free_list().size())});
+    if (options.verbose) {
+      log_info() << action << " -> pipe " << traced_pipe(m) * 1e3
+                 << " ms, free " << free_list().size();
+    }
+  };
+
+  ScheduleMetrics metrics = evaluate_schedule(sched);
+  double latbase = metrics.stages.front().pipe_s;
+  result.latbase_s = latbase;
+  record("initial quadrant assignment", metrics, latbase);
+
+  bool base_split_done = false;
+
+  // Surplus absorption (paper Sec. IV-B: leftover quadrant chiplets take an
+  // additional sharding step, lowering stage E2E below the matched pipe).
+  // Runs once per call after the stages are matched; pulls from the stage's
+  // own pool, or from the global free list once base-splitting is settled.
+  auto absorb_surplus = [&]() -> bool {
+    const std::vector<int> frees = free_list();
+    const std::set<int> free_set(frees.begin(), frees.end());
+    const bool allow_global = !options.allow_base_split || base_split_done;
+    // Stages with the worst end-to-end latency absorb first. The base stage
+    // only absorbs when it is the whole pipeline (single-stage workloads).
+    std::vector<int> order;
+    for (int st = num_stages == 1 ? 0 : 1; st < num_stages; ++st) {
+      order.push_back(st);
+    }
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      return metrics.stages[static_cast<std::size_t>(a)].e2e_s >
+             metrics.stages[static_cast<std::size_t>(b)].e2e_s;
+    });
+    for (int st : order) {
+      if (frozen(st)) continue;
+      int target = -1;
+      for (int id : stage_pool[static_cast<std::size_t>(st)]) {
+        if (free_set.count(id)) {
+          target = id;
+          break;
+        }
+      }
+      if (target < 0 && allow_global && !frees.empty()) target = frees.front();
+      if (target < 0) continue;
+      int worst_item = -1;
+      // Layers far below the base latency are not worth a chiplet.
+      double worst_lat = std::min(2e-3, latbase * 0.25);
+      for (int idx : sched.items_of_stage(st)) {
+        if (sched.placement(idx).num_shards() >= 12) continue;
+        const LayerDesc& l = *sched.item(idx).desc;
+        if (rides_with_predecessor(l)) continue;
+        const double lat = item_latency_s(sched, idx);
+        if (lat > worst_lat) {
+          worst_lat = lat;
+          worst_item = idx;
+        }
+      }
+      if (worst_item < 0) continue;
+      stage_pool[static_cast<std::size_t>(st)].insert(target);
+      std::vector<int> chiplets =
+          placement_chiplets(sched.placement(worst_item));
+      chiplets.push_back(target);
+      rebalance(sched, worst_item, chiplets);
+      metrics = evaluate_schedule(sched);
+      latbase = metrics.stages.front().pipe_s;
+      record("absorb-surplus " + sched.item(worst_item).desc->name + " x" +
+                 std::to_string(chiplets.size()),
+             metrics, latbase);
+      return true;
+    }
+    return false;
+  };
+  std::set<int> saturated;
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    // Bottleneck stage: worst pipe among stages exceeding tolerance.
+    int bottleneck = -1;
+    double worst = latbase * (1.0 + options.tolerance);
+    for (int st = 1; st < num_stages; ++st) {
+      if (saturated.count(st)) continue;
+      if (std::find(options.frozen_stages.begin(), options.frozen_stages.end(),
+                    st) != options.frozen_stages.end()) {
+        continue;
+      }
+      const double pipe = metrics.stages[static_cast<std::size_t>(st)].pipe_s;
+      if (pipe > worst) {
+        worst = pipe;
+        bottleneck = st;
+      }
+    }
+
+    if (bottleneck < 0) {
+      // All stages matched at the current base: split the base stage if the
+      // scale-out mode allows it, otherwise absorb leftover quadrant
+      // chiplets, then finish.
+      if (options.allow_base_split && !base_split_done) {
+        const Stage& fe = pipeline.stages.front();
+        std::vector<int> frees = free_list();
+        if (static_cast<int>(frees.size()) >= fe.num_models()) {
+          for (int mod = 0; mod < fe.num_models(); ++mod) {
+            const int fresh = frees[static_cast<std::size_t>(mod)];
+            split_model_chain(sched, 0, mod, fresh);
+            stage_pool[0].insert(fresh);
+          }
+          base_split_done = true;
+          saturated.clear();
+          metrics = evaluate_schedule(sched);
+          latbase = metrics.stages.front().pipe_s;
+          record("split FE chains into 2 pipeline sub-stages", metrics, latbase);
+          continue;
+        }
+        base_split_done = true;  // not enough chiplets: settle at this base
+      }
+      if (absorb_surplus()) continue;
+      result.converged = true;
+      break;
+    }
+
+    // Bottleneck layer within the stage.
+    int worst_item = -1;
+    double worst_lat = 0.0;
+    for (int idx : sched.items_of_stage(bottleneck)) {
+      const double lat = item_latency_s(sched, idx);
+      if (lat > worst_lat) {
+        worst_lat = lat;
+        worst_item = idx;
+      }
+    }
+    if (worst_item < 0) {
+      saturated.insert(bottleneck);
+      continue;
+    }
+
+    // Target chiplet: least busy in the stage pool not already hosting a
+    // shard of this layer; otherwise reallocate a free chiplet.
+    const Placement& cur = sched.placement(worst_item);
+    auto busy_of = [&](int id) {
+      for (const auto& u : metrics.chiplets) {
+        if (u.chiplet_id == id) return u.busy_s;
+      }
+      return 0.0;
+    };
+    int target = -1;
+    double target_busy = 0.0;
+    for (int id : stage_pool[static_cast<std::size_t>(bottleneck)]) {
+      if (cur.uses_chiplet(id)) continue;
+      const double estimated = worst_lat / static_cast<double>(cur.num_shards() + 1);
+      if (busy_of(id) + estimated > latbase * (1.0 + options.tolerance)) continue;
+      if (target < 0 || busy_of(id) < target_busy) {
+        target = id;
+        target_busy = busy_of(id);
+      }
+    }
+    std::string how = "shard";
+    if (target < 0) {
+      std::vector<int> frees = free_list();
+      if (!frees.empty()) {
+        target = frees.front();
+        stage_pool[static_cast<std::size_t>(bottleneck)].insert(target);
+        how = "reallocate+shard";
+      }
+    }
+    if (target < 0) {
+      saturated.insert(bottleneck);
+      continue;
+    }
+
+    std::vector<int> chiplets = placement_chiplets(cur);
+    chiplets.push_back(target);
+    rebalance(sched, worst_item, chiplets);
+    metrics = evaluate_schedule(sched);
+    latbase = metrics.stages.front().pipe_s;
+    record(how + " " + sched.item(worst_item).desc->name + " x" +
+               std::to_string(chiplets.size()),
+           metrics, latbase);
+  }
+
+  result.metrics = evaluate_schedule(sched);
+  result.latbase_s = result.metrics.stages.front().pipe_s;
+  if (result.trace.empty() || !result.converged) {
+    result.converged =
+        [&] {
+          for (std::size_t st = 1; st < result.metrics.stages.size(); ++st) {
+            if (result.metrics.stages[st].pipe_s >
+                result.latbase_s * (1.0 + options.tolerance) + 1e-9) {
+              return false;
+            }
+          }
+          return true;
+        }();
+  }
+  return result;
+}
+
+}  // namespace cnpu

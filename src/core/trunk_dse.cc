@@ -1,0 +1,244 @@
+#include "core/trunk_dse.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace cnpu {
+namespace {
+
+// Min-max contiguous partition of a chain's item indices into k segments
+// (DP over prefix sums; chains are short, so O(n^2 k) is trivially cheap).
+std::vector<std::vector<int>> chain_partition(const Schedule& s,
+                                              const std::vector<int>& items,
+                                              int k) {
+  const std::size_t n = items.size();
+  k = std::max(1, std::min<int>(k, static_cast<int>(n)));
+  std::vector<double> prefix(n + 1, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    prefix[i + 1] = prefix[i] +
+                    analyze_layer(*s.item(items[i]).desc,
+                                  s.package().chiplets().front().array)
+                        .latency_s;
+  }
+  const double inf = std::numeric_limits<double>::infinity();
+  // best[j][i]: min over partitions of items[0..i) into j segments of the
+  // max segment weight; cut[j][i]: last cut position achieving it.
+  std::vector<std::vector<double>> best(static_cast<std::size_t>(k) + 1,
+                                        std::vector<double>(n + 1, inf));
+  std::vector<std::vector<std::size_t>> cut(
+      static_cast<std::size_t>(k) + 1, std::vector<std::size_t>(n + 1, 0));
+  best[0][0] = 0.0;
+  for (std::size_t j = 1; j <= static_cast<std::size_t>(k); ++j) {
+    for (std::size_t i = j; i <= n; ++i) {
+      for (std::size_t c = j - 1; c < i; ++c) {
+        const double w = std::max(best[j - 1][c], prefix[i] - prefix[c]);
+        if (w < best[j][i]) {
+          best[j][i] = w;
+          cut[j][i] = c;
+        }
+      }
+    }
+  }
+  std::vector<std::vector<int>> segments(static_cast<std::size_t>(k));
+  std::size_t end = n;
+  for (std::size_t j = static_cast<std::size_t>(k); j >= 1; --j) {
+    const std::size_t start = cut[j][end];
+    for (std::size_t i = start; i < end; ++i) {
+      segments[j - 1].push_back(items[i]);
+    }
+    end = start;
+  }
+  return segments;
+}
+
+struct Candidate {
+  double score = -std::numeric_limits<double>::infinity();
+  bool feasible = false;
+  ScheduleMetrics metrics;
+  std::string desc;
+  std::unique_ptr<Schedule> schedule;
+};
+
+double max_chiplet_busy(const ScheduleMetrics& m) {
+  double worst = 0.0;
+  for (const auto& u : m.chiplets) worst = std::max(worst, u.busy_s);
+  return worst;
+}
+
+}  // namespace
+
+PerceptionPipeline build_trunk_pipeline(const TrunkConfig& cfg,
+                                        double lane_context) {
+  PerceptionPipeline p;
+  p.name = "trunks_only";
+  Stage s;
+  s.name = "TRUNKS";
+  s.models.push_back({build_trunk_preamble(cfg), true});
+  s.models.push_back({build_occupancy_trunk(cfg), false});
+  s.models.push_back({build_lane_trunk(cfg, lane_context), false});
+  for (auto& det : build_detection_heads(cfg)) {
+    s.models.push_back({std::move(det), false});
+  }
+  p.stages.push_back(std::move(s));
+  return p;
+}
+
+TrunkDseResult run_trunk_dse(const TrunkDseOptions& options) {
+  TrunkDseResult result;
+  result.pipeline = std::make_unique<PerceptionPipeline>(
+      build_trunk_pipeline(options.trunks, options.lane_context));
+
+  // 3x3 quadrant; WS chiplets at the corner positions the paper marks.
+  auto pkg = std::make_unique<PackageConfig>(make_simba_package(3, 3));
+  static const int kWsOrder[] = {2, 6, 0, 8, 4, 1, 3, 5, 7};
+  const int n_ws = std::clamp(options.ws_chiplets, 0, 9);
+  for (int i = 0; i < n_ws; ++i) {
+    pkg->set_chiplet_dataflow(kWsOrder[i], DataflowKind::kWeightStationary);
+  }
+  result.package = std::move(pkg);
+
+  std::vector<int> os_ids;
+  std::vector<int> ws_ids;
+  for (const auto& c : result.package->chiplets()) {
+    (c.dataflow() == DataflowKind::kOutputStationary ? os_ids : ws_ids)
+        .push_back(c.id);
+  }
+  // Pure-WS search degenerates to placing on WS chiplets.
+  const std::vector<int>& base_ids = os_ids.empty() ? ws_ids : os_ids;
+
+  // Model indices in the trunk pipeline.
+  constexpr int kPre = 0;
+  constexpr int kOcc = 1;
+  constexpr int kLane = 2;
+  constexpr int kDet0 = 3;
+  constexpr int kNumDet = 3;
+
+  Candidate best;
+  Candidate best_any;  // ignores the constraint (pure-WS reference row)
+  int evaluated = 0;
+
+  const int max_ws_assist = static_cast<int>(ws_ids.size());
+  // Encode WS assistance as base-4 digits: chiplet w assists head (code-1),
+  // or is idle (code 0). Pure-WS configs skip assistance entirely.
+  const int assist_space =
+      os_ids.empty() ? 1
+                     : static_cast<int>(std::pow(4.0, max_ws_assist) + 0.5);
+
+  for (int occ_split = 1; occ_split <= 3; ++occ_split) {
+    for (int lane_split = 1; lane_split <= 3; ++lane_split) {
+     for (int det_split = 1; det_split <= 3; ++det_split) {
+      // det_split == 2: BOX nets move onto WS chiplets (round-robin); heads
+      // beyond the WS supply keep their BOX net at home.
+      // det_split == 3: additionally, all CLS nets share one OS chiplet,
+      // freeing OS chiplets for occupancy/lane splits.
+      if (det_split >= 2 && ws_ids.empty()) continue;
+      const int det_homes = det_split == 3 ? 1 : kNumDet;
+      const int needed = occ_split + lane_split + det_homes;
+      if (needed > static_cast<int>(base_ids.size())) continue;
+      for (int assist = 0; assist < assist_space; ++assist) {
+        if (det_split >= 2 && assist != 0) continue;  // moves are exclusive
+        auto sched =
+            std::make_unique<Schedule>(*result.pipeline, *result.package);
+        // Allocate base chiplets in order: occ segments, lane segments, dets.
+        int cursor = 0;
+        auto take = [&]() { return base_ids[static_cast<std::size_t>(cursor++)]; };
+
+        // Occupancy chain (+ preamble riding on the first occ chiplet).
+        std::vector<int> occ_chiplets;
+        for (int i = 0; i < occ_split; ++i) occ_chiplets.push_back(take());
+        for (int idx : sched->items_of_model(0, kPre)) {
+          sched->assign(idx, occ_chiplets.front());
+        }
+        const auto occ_segments =
+            chain_partition(*sched, sched->items_of_model(0, kOcc), occ_split);
+        for (int seg = 0; seg < occ_split; ++seg) {
+          for (int idx : occ_segments[static_cast<std::size_t>(seg)]) {
+            sched->assign(idx, occ_chiplets[static_cast<std::size_t>(seg)]);
+          }
+        }
+
+        // Lane chain.
+        std::vector<int> lane_chiplets;
+        for (int i = 0; i < lane_split; ++i) lane_chiplets.push_back(take());
+        const auto lane_segments =
+            chain_partition(*sched, sched->items_of_model(0, kLane), lane_split);
+        for (int seg = 0; seg < lane_split; ++seg) {
+          for (int idx : lane_segments[static_cast<std::size_t>(seg)]) {
+            sched->assign(idx, lane_chiplets[static_cast<std::size_t>(seg)]);
+          }
+        }
+
+        // Detector heads, with optional WS co-sharding of their convs.
+        int code = assist;
+        std::vector<std::vector<int>> helpers(kNumDet);
+        for (int w = 0; w < max_ws_assist; ++w) {
+          const int digit = code % 4;
+          code /= 4;
+          if (digit > 0) {
+            helpers[static_cast<std::size_t>(digit - 1)].push_back(
+                ws_ids[static_cast<std::size_t>(w)]);
+          }
+        }
+        const int shared_home = det_split == 3 ? take() : -1;
+        for (int d = 0; d < kNumDet; ++d) {
+          const int home = det_split == 3 ? shared_home : take();
+          const int box_host =
+              det_split >= 2 && d < static_cast<int>(ws_ids.size())
+                  ? ws_ids[static_cast<std::size_t>(d)]
+                  : home;
+          for (int idx : sched->items_of_model(0, kDet0 + d)) {
+            const LayerDesc& l = *sched->item(idx).desc;
+            const bool box_net = l.name.find("_BOX_") != std::string::npos;
+            const int host = box_net ? box_host : home;
+            const auto& assist_ids = helpers[static_cast<std::size_t>(d)];
+            if (l.kind == OpKind::kConv2D && !assist_ids.empty()) {
+              std::vector<ShardAssignment> shards;
+              shards.push_back(
+                  {host, analyze_layer(l, result.package->chiplet(host).array).rate});
+              for (int ws : assist_ids) {
+                shards.push_back(
+                    {ws, analyze_layer(l, result.package->chiplet(ws).array).rate});
+              }
+              sched->assign_weighted(idx, std::move(shards));
+            } else {
+              sched->assign(idx, host);
+            }
+          }
+        }
+
+        const ScheduleMetrics m = evaluate_schedule(*sched);
+        ++evaluated;
+        const bool feasible = max_chiplet_busy(m) <= options.lcstr_s;
+        const double score = -m.edp_j_ms();
+        const std::string desc =
+            "occ/" + std::to_string(occ_split) + " lane/" +
+            std::to_string(lane_split) + " det/" + std::to_string(det_split) +
+            " ws-assist=" + std::to_string(assist);
+        auto consider = [&](Candidate& slot, bool require_feasible) {
+          if (require_feasible && !feasible) return;
+          if (score > slot.score) {
+            slot.score = score;
+            slot.feasible = feasible;
+            slot.metrics = m;
+            slot.desc = desc;
+            slot.schedule = std::make_unique<Schedule>(*sched);
+          }
+        };
+        consider(best, true);
+        consider(best_any, false);
+      }
+     }
+    }
+  }
+
+  Candidate& chosen = best.schedule ? best : best_any;
+  result.schedule = std::move(chosen.schedule);
+  result.metrics = chosen.metrics;
+  result.feasible = chosen.feasible;
+  result.config_desc = chosen.desc;
+  result.evaluated = evaluated;
+  return result;
+}
+
+}  // namespace cnpu

@@ -1,0 +1,48 @@
+// Design-space exploration for the Trunks stage (paper Sec. IV-C, Table I).
+//
+// The trunk quadrant is a 3x3 chiplet sub-mesh. Candidates vary:
+//  * heterogeneous integration: 0/2/4 WS chiplets among the 9 (Het(0/2/4)),
+//    or all 9 WS for the pure-WS reference row;
+//  * occupancy / lane chain splits over 1..3 OS chiplets;
+//  * WS chiplets co-sharding detector-head convolutions (rate-proportional
+//    fractions), exploiting the WS energy advantage on DET_TR.
+//
+// Score(config) = -EDP, -inf when any chiplet exceeds the pipelining
+// constraint Lcstr (the paper uses 85 ms). The space is small enough for
+// exhaustive search.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/evaluator.h"
+#include "core/schedule.h"
+#include "workloads/trunks.h"
+
+namespace cnpu {
+
+struct TrunkDseOptions {
+  double lcstr_s = 0.085;    // pipelining latency constraint
+  int ws_chiplets = 0;       // 0 = OS only, 2 = Het(2), 4 = Het(4), 9 = WS only
+  double lane_context = 0.6; // lane gating operating point
+  TrunkConfig trunks;
+};
+
+struct TrunkDseResult {
+  // Owned so the Schedule's internal pointers stay valid across moves.
+  std::unique_ptr<PerceptionPipeline> pipeline;
+  std::unique_ptr<PackageConfig> package;
+  std::unique_ptr<Schedule> schedule;
+  ScheduleMetrics metrics;
+  int evaluated = 0;       // candidates scored
+  bool feasible = false;   // best candidate satisfies Lcstr
+  std::string config_desc;
+};
+
+TrunkDseResult run_trunk_dse(const TrunkDseOptions& options = {});
+
+// The trunk-only pipeline the DSE schedules (also used by tests/benches).
+PerceptionPipeline build_trunk_pipeline(const TrunkConfig& cfg,
+                                        double lane_context);
+
+}  // namespace cnpu

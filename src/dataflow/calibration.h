@@ -1,0 +1,66 @@
+// Calibration constants for the analytical cost model.
+//
+// Every constant in the model lives here, with the paper observation it is
+// anchored to (see DESIGN.md Sec. 4). Changing a constant re-scales the whole
+// reproduction consistently; tests in tests/test_calibration.cc pin the
+// resulting per-layer latencies against the paper's Sec. IV values.
+#pragma once
+
+#include <cstdint>
+
+namespace cnpu::cal {
+
+// --- Clock / geometry (Tesla FSD NPU [27], Simba [10]) ---
+inline constexpr double kFrequencyHz = 2.0e9;
+inline constexpr std::int64_t kPesPerChiplet = 256;
+// Native spatial fan-out of one dataflow mapping instance (16x16). Arrays
+// larger than the native tile do not speed up a single mapping instance;
+// this is what makes the paper's monolithic 9216-PE baseline match
+// single-chiplet per-layer latency (Table II: 1x9216 E2E == sum of
+// single-chiplet layer latencies).
+inline constexpr std::int64_t kNativeTileH = 16;
+inline constexpr std::int64_t kNativeTileW = 16;
+
+// --- Global-buffer-to-array port bandwidth, elements/cycle, per mapping
+// instance. The port is wired to the dataflow's native tile and does not
+// widen with die area (the architectural reason Simba scales out instead of
+// up). B_os anchors FE+BFPN ~= 82.7 ms on one OS chiplet (Fig. 5); B_ws
+// anchors the ~6.85x OS latency advantage (Fig. 3).
+inline constexpr double kBwOsElemsPerCycle = 20.0;
+inline constexpr double kBwWsElemsPerCycle = 7.0;
+
+// --- OS (Shidiannao-like) mapping templates ---
+// Spatial convs use the pixel-stationary template: output pixels pinned on
+// the 16x16 tile, stencil inputs re-served over neighbor links (reuse = R*S
+// effective taps). Token GEMMs use the tile-GEMM template: M folded over the
+// whole tile with K-register-blocked input reuse below.
+inline constexpr std::int64_t kOsGemmKBlock = 6;
+
+// --- WS (NVDLA-like) structure ---
+// Weights pinned (K spatial), inputs streamed (refetched once per Kt output
+// channels), partial sums recirculate through the accumulator every Ct
+// reduction elements over a bus of kWsAccumBw elems/cycle. Output tensors
+// larger than kPsumSpillElems overflow the accumulator into the GB, paying
+// GB energy and GB port bandwidth instead.
+inline constexpr std::int64_t kWsCt = 4;
+inline constexpr std::int64_t kWsKt = 16;
+inline constexpr double kWsAccumBwElemsPerCycle = 16.0;
+inline constexpr double kPsumSpillElems = 4.0e6;
+// Weight-tile switches stall the WS array (no double buffering).
+inline constexpr double kWsTileSwitchCycles = 32.0;
+
+// --- Array pipeline fill cost per layer launch ---
+inline constexpr double kFillCycles = 32.0;
+
+// --- Per-access energies, pJ per element (int8 => per byte) ---
+inline constexpr double kEnergyMacPj = 1.0;
+inline constexpr double kEnergyL1Pj = 0.3;    // operand register, per MAC
+inline constexpr double kEnergyLinkPj = 0.2;  // OS neighbor-link, per MAC
+inline constexpr double kEnergyL2Pj = 2.0;    // global buffer access
+inline constexpr double kEnergyPsumPj = 0.25; // WS accumulator SRAM access
+inline constexpr double kEnergyDramPj = 20.0; // off-chip fill (weights)
+
+// Elementwise/pool ops run on the vector path at this fraction of MAC cost.
+inline constexpr double kEnergySimpleOpPj = 0.2;
+
+}  // namespace cnpu::cal

@@ -1,0 +1,229 @@
+#include "dataflow/cost_model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "dataflow/calibration.h"
+
+namespace cnpu {
+namespace {
+
+double ceil_div(double a, double b) { return std::ceil(a / b); }
+
+// Rectangle fit of (rows x cols) onto the (th x tw) native tile: the fraction
+// of tile PEs doing useful work once folds are accounted for.
+double rect_fit_util(double rows, double cols, double th, double tw) {
+  const double fold_r = ceil_div(rows, th);
+  const double fold_c = ceil_div(cols, tw);
+  return (rows * cols) / (fold_r * th * fold_c * tw);
+}
+
+struct Bounds {
+  double rate_spatial = 0.0;
+  double spatial_util = 0.0;
+  double extra_cycles = 0.0;  // non-overlapped stalls (tile switches)
+};
+
+// --- OS (Shidiannao-like) -------------------------------------------------
+//
+// Pixel-stationary template (convs, pools): output pixels pinned to the tile;
+// inputs re-served via neighbor links with R*S stencil reuse; weights
+// broadcast, refetched once per spatial fold; outputs written once.
+//
+// Tile-GEMM template (token ops): M folded over the whole tile; inputs
+// register-blocked over K (reuse kOsGemmKBlock); attention matmuls stream
+// both operands (no blocking, "weights" are activations).
+CostReport analyze_os(const LayerDesc& l, const PeArrayConfig& a) {
+  CostReport r;
+  r.macs = l.macs();
+  const double tile_pes = static_cast<double>(a.tile_h * a.tile_w);
+
+  Bounds b;
+  TrafficBreakdown t;
+  const double outs = l.output_elems();
+  const double weights = l.weight_elems();
+
+  if (l.is_token_op()) {
+    const double m = static_cast<double>(l.y);
+    const double folds = ceil_div(m, tile_pes);
+    b.spatial_util = m / (folds * tile_pes);
+    b.rate_spatial = tile_pes * b.spatial_util;
+    const double reuse =
+        l.streaming_weights ? 1.0 : static_cast<double>(cal::kOsGemmKBlock);
+    t.input_elems = r.macs / reuse;
+    t.weight_elems = l.streaming_weights ? 0.0 : weights * folds;
+    t.output_elems = outs;
+  } else {
+    const double rows = static_cast<double>(l.y);
+    const double cols = static_cast<double>(l.x);
+    b.spatial_util = rect_fit_util(rows, cols,
+                                   static_cast<double>(a.tile_h),
+                                   static_cast<double>(a.tile_w));
+    b.rate_spatial = tile_pes * b.spatial_util;
+    const double folds = ceil_div(rows, static_cast<double>(a.tile_h)) *
+                         ceil_div(cols, static_cast<double>(a.tile_w));
+    t.input_elems = r.macs / l.effective_taps();
+    t.weight_elems = weights * folds;
+    t.output_elems = outs;
+  }
+
+  const double rate_bw =
+      a.gb_bandwidth * r.macs / std::max(t.total_elems(), 1.0);
+  r.rate = std::max(1.0, std::min(b.rate_spatial, rate_bw));
+  r.spatial_util = b.spatial_util;
+  r.cycles = r.macs / r.rate + cal::kFillCycles;
+  r.traffic = t;
+
+  r.energy.mac_pj = r.macs * cal::kEnergyMacPj;
+  r.energy.l1_pj = r.macs * cal::kEnergyL1Pj;
+  if (!l.is_token_op()) r.energy.link_pj = r.macs * cal::kEnergyLinkPj;
+  r.energy.l2_pj = t.total_elems() * cal::kEnergyL2Pj;
+  r.energy.dram_pj = weights * cal::kEnergyDramPj;
+  return r;
+}
+
+// --- WS (NVDLA-like) ------------------------------------------------------
+//
+// Weights pinned with K spatial across the array (per attention head for
+// batched attention matmuls); inputs streamed, refetched once per Kt output
+// channels; partial sums recirculate through the accumulator every Ct
+// reduction elements over a kWsAccumBw-wide bus. Outputs too large for the
+// accumulator spill their recirculation into the GB port.
+CostReport analyze_ws(const LayerDesc& l, const PeArrayConfig& a) {
+  CostReport r;
+  r.macs = l.macs();
+  const double tile_pes = static_cast<double>(a.tile_h * a.tile_w);
+  const double outs = l.output_elems();
+  const double weights = l.weight_elems();
+
+  const double k_per_head =
+      static_cast<double>(l.k) / static_cast<double>(l.heads);
+  const double k_cap = std::min(k_per_head, tile_pes);
+  const double spatial_util = k_cap / tile_pes;
+
+  // Reduction length per output element and accumulator recirculations.
+  const double reduction = std::max(1.0, r.macs / std::max(outs, 1.0));
+  const double recirc =
+      ceil_div(reduction, static_cast<double>(cal::kWsCt)) - 1.0;
+  const double psum_traffic = 2.0 * outs * std::max(recirc, 0.0);
+  const bool spilled = outs > cal::kPsumSpillElems;
+
+  TrafficBreakdown t;
+  if (l.streaming_weights) {
+    // Both operands stream from the GB; nothing is stationary.
+    t.input_elems = r.macs;
+  } else {
+    t.input_elems =
+        l.input_elems() * ceil_div(static_cast<double>(l.k),
+                                   static_cast<double>(cal::kWsKt));
+    t.weight_elems = weights;
+  }
+  t.output_elems = outs;
+  if (spilled) t.psum_elems = psum_traffic;
+
+  const double rate_bw =
+      a.gb_bandwidth * r.macs / std::max(t.total_elems(), 1.0);
+  double rate = std::min(k_cap, rate_bw);
+  if (!spilled && psum_traffic > 0.0) {
+    const double rate_accum =
+        cal::kWsAccumBwElemsPerCycle * r.macs / psum_traffic;
+    rate = std::min(rate, rate_accum);
+  }
+  r.rate = std::max(1.0, rate);
+  r.spatial_util = spatial_util;
+
+  const double tiles = ceil_div(static_cast<double>(l.k),
+                                static_cast<double>(cal::kWsKt)) *
+                       ceil_div(static_cast<double>(l.c), 16.0) *
+                       static_cast<double>(l.r) * static_cast<double>(l.s);
+  r.cycles = r.macs / r.rate + tiles * cal::kWsTileSwitchCycles +
+             cal::kFillCycles;
+  r.traffic = t;
+
+  r.energy.mac_pj = r.macs * cal::kEnergyMacPj;
+  r.energy.l1_pj = r.macs * cal::kEnergyL1Pj;
+  r.energy.l2_pj = t.total_elems() * cal::kEnergyL2Pj;
+  if (!spilled) r.energy.psum_pj = psum_traffic * cal::kEnergyPsumPj;
+  r.energy.dram_pj = weights * cal::kEnergyDramPj;
+  return r;
+}
+
+// --- Vector path (elementwise / pooling), dataflow-agnostic ---------------
+CostReport analyze_vector(const LayerDesc& l, const PeArrayConfig& a) {
+  CostReport r;
+  r.macs = l.macs();
+  TrafficBreakdown t;
+  t.input_elems = l.input_elems();
+  t.output_elems = l.output_elems();
+  const double stream = std::max(r.macs, t.total_elems());
+  r.rate = a.gb_bandwidth * r.macs / std::max(stream, 1.0);
+  r.rate = std::max(r.rate, 1.0);
+  r.cycles = r.macs / r.rate + cal::kFillCycles;
+  r.spatial_util = 0.0;  // vector path bypasses the PE array
+  r.traffic = t;
+  r.energy.mac_pj = r.macs * cal::kEnergySimpleOpPj;
+  r.energy.l2_pj = t.total_elems() * cal::kEnergyL2Pj;
+  return r;
+}
+
+}  // namespace
+
+EnergyBreakdown& EnergyBreakdown::operator+=(const EnergyBreakdown& o) {
+  mac_pj += o.mac_pj;
+  l1_pj += o.l1_pj;
+  link_pj += o.link_pj;
+  l2_pj += o.l2_pj;
+  psum_pj += o.psum_pj;
+  dram_pj += o.dram_pj;
+  return *this;
+}
+
+CostReport analyze_layer(const LayerDesc& layer, const PeArrayConfig& array) {
+  assert(layer.validate().empty());
+  CostReport r;
+  switch (layer.kind) {
+    case OpKind::kElementwise:
+    case OpKind::kPool:
+      r = analyze_vector(layer, array);
+      break;
+    default:
+      r = array.dataflow == DataflowKind::kOutputStationary
+              ? analyze_os(layer, array)
+              : analyze_ws(layer, array);
+      break;
+  }
+  r.latency_s = r.cycles / array.frequency_hz;
+  r.pe_occupancy = r.rate / static_cast<double>(array.num_pes);
+  return r;
+}
+
+void accumulate(CostReport& a, const CostReport& o) {
+  const double total_cycles = a.cycles + o.cycles;
+  if (total_cycles > 0.0) {
+    a.spatial_util =
+        (a.spatial_util * a.cycles + o.spatial_util * o.cycles) / total_cycles;
+    a.pe_occupancy =
+        (a.pe_occupancy * a.cycles + o.pe_occupancy * o.cycles) / total_cycles;
+  }
+  a.macs += o.macs;
+  a.cycles = total_cycles;
+  a.latency_s += o.latency_s;
+  a.rate = total_cycles > 0.0 ? a.macs / total_cycles : 0.0;
+  a.traffic.input_elems += o.traffic.input_elems;
+  a.traffic.weight_elems += o.traffic.weight_elems;
+  a.traffic.output_elems += o.traffic.output_elems;
+  a.traffic.psum_elems += o.traffic.psum_elems;
+  a.energy += o.energy;
+}
+
+CostReport analyze_layers(const std::vector<LayerDesc>& layers,
+                          const PeArrayConfig& array) {
+  CostReport total;
+  for (const auto& l : layers) {
+    accumulate(total, analyze_layer(l, array));
+  }
+  return total;
+}
+
+}  // namespace cnpu

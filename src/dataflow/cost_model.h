@@ -1,0 +1,75 @@
+// Analytical per-layer cost model (MAESTRO-inspired).
+//
+// analyze_layer() maps one LayerDesc onto one PeArrayConfig and returns the
+// steady-state cost: cycles/latency, effective MAC rate, spatial mapping
+// utilization, per-operand global-buffer traffic, and an energy breakdown.
+// The mechanisms per dataflow are documented in DESIGN.md Sec. 3; all
+// constants live in calibration.h.
+//
+// The model is deliberately *compositional*: schedulers shard a layer by
+// splitting its token/row dim (shard_layer) and re-analyzing, so latency is
+// linear in shard size to first order (minus fixed fill costs).
+#pragma once
+
+#include "dataflow/dataflow.h"
+#include "dataflow/layer.h"
+
+namespace cnpu {
+
+// Per-level energy breakdown in picojoules.
+struct EnergyBreakdown {
+  double mac_pj = 0.0;   // arithmetic
+  double l1_pj = 0.0;    // PE operand registers
+  double link_pj = 0.0;  // OS neighbor-link forwarding
+  double l2_pj = 0.0;    // global buffer accesses
+  double psum_pj = 0.0;  // WS accumulator recirculation
+  double dram_pj = 0.0;  // off-chip weight fills
+
+  double total_pj() const {
+    return mac_pj + l1_pj + link_pj + l2_pj + psum_pj + dram_pj;
+  }
+  double total_j() const { return total_pj() * 1e-12; }
+
+  EnergyBreakdown& operator+=(const EnergyBreakdown& o);
+};
+
+// Global-buffer traffic per operand, in elements (int8: 1 B/elem).
+struct TrafficBreakdown {
+  double input_elems = 0.0;
+  double weight_elems = 0.0;
+  double output_elems = 0.0;
+  double psum_elems = 0.0;  // only counted here when spilled to the GB
+
+  double total_elems() const {
+    return input_elems + weight_elems + output_elems + psum_elems;
+  }
+};
+
+struct CostReport {
+  double macs = 0.0;
+  double cycles = 0.0;
+  double latency_s = 0.0;
+  // Effective MACs/cycle actually sustained (after all bounds).
+  double rate = 0.0;
+  // Fraction of the native mapping tile covered by the spatial mapping.
+  double spatial_util = 0.0;
+  // rate / num_pes: the PE-occupancy utilization reported in Table II.
+  double pe_occupancy = 0.0;
+  TrafficBreakdown traffic;
+  EnergyBreakdown energy;
+
+  double energy_j() const { return energy.total_j(); }
+};
+
+// Maps `layer` onto `array` and returns the cost. Layer must validate().
+CostReport analyze_layer(const LayerDesc& layer, const PeArrayConfig& array);
+
+// Sum of analyze_layer over a layer chain executed back-to-back on `array`.
+CostReport analyze_layers(const std::vector<LayerDesc>& layers,
+                          const PeArrayConfig& array);
+
+// Accumulates `o` into `a` (cycles/latency/macs/traffic/energy add; rate and
+// utilizations become cycle-weighted averages).
+void accumulate(CostReport& a, const CostReport& o);
+
+}  // namespace cnpu

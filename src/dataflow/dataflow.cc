@@ -1,0 +1,50 @@
+#include "dataflow/dataflow.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/strings.h"
+
+namespace cnpu {
+
+const char* dataflow_name(DataflowKind kind) {
+  return kind == DataflowKind::kOutputStationary ? "OS" : "WS";
+}
+
+const char* dataflow_style(DataflowKind kind) {
+  return kind == DataflowKind::kOutputStationary ? "Shidiannao-like"
+                                                 : "NVDLA-like";
+}
+
+std::string PeArrayConfig::describe() const {
+  return std::string(dataflow_name(dataflow)) + " " + std::to_string(num_pes) +
+         "-PE (" + std::to_string(array_h) + "x" + std::to_string(array_w) +
+         ", " + format_si(frequency_hz) + "Hz, " + format_fixed(gb_bandwidth, 1) +
+         " elem/cyc)";
+}
+
+void balanced_dims(std::int64_t num_pes, std::int64_t& h, std::int64_t& w) {
+  h = 1;
+  const auto root = static_cast<std::int64_t>(std::sqrt(static_cast<double>(num_pes)));
+  for (std::int64_t d = 1; d <= root; ++d) {
+    if (num_pes % d == 0) h = d;
+  }
+  w = num_pes / h;
+}
+
+PeArrayConfig make_pe_array(DataflowKind kind, std::int64_t num_pes) {
+  PeArrayConfig cfg;
+  cfg.dataflow = kind;
+  cfg.num_pes = std::max<std::int64_t>(num_pes, 1);
+  balanced_dims(cfg.num_pes, cfg.array_h, cfg.array_w);
+  cfg.tile_h = std::min(cal::kNativeTileH, cfg.array_h);
+  cfg.tile_w = std::min(cal::kNativeTileW, cfg.array_w);
+  // The GB port serves one mapping instance and is independent of die size
+  // (see calibration.h); larger arrays gain capacity, not per-layer speed.
+  cfg.gb_bandwidth = kind == DataflowKind::kOutputStationary
+                         ? cal::kBwOsElemsPerCycle
+                         : cal::kBwWsElemsPerCycle;
+  return cfg;
+}
+
+}  // namespace cnpu

@@ -1,0 +1,47 @@
+// Dataflow styles and PE-array configuration.
+//
+// The two accelerator templates the paper evaluates:
+//  * kOutputStationary  - Shidiannao-like: output pixels pinned to PEs,
+//    inputs forwarded over neighbor links, weights broadcast. Wins latency.
+//  * kWeightStationary  - NVDLA-like: weights pinned (K spatial), inputs
+//    streamed, partial sums recirculated. Wins energy on weight-heavy convs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "dataflow/calibration.h"
+
+namespace cnpu {
+
+enum class DataflowKind { kOutputStationary, kWeightStationary };
+
+const char* dataflow_name(DataflowKind kind);   // "OS" / "WS"
+const char* dataflow_style(DataflowKind kind);  // "Shidiannao-like" / ...
+
+// Physical PE array a layer is mapped onto. One accelerator (chiplet or
+// monolithic die) owns exactly one of these.
+struct PeArrayConfig {
+  DataflowKind dataflow = DataflowKind::kOutputStationary;
+  std::int64_t num_pes = cal::kPesPerChiplet;
+  std::int64_t array_h = cal::kNativeTileH;
+  std::int64_t array_w = cal::kNativeTileW;
+  // Spatial fan-out one mapping instance can use (fixed-dataflow tile).
+  std::int64_t tile_h = cal::kNativeTileH;
+  std::int64_t tile_w = cal::kNativeTileW;
+  double frequency_hz = cal::kFrequencyHz;
+  double gb_bandwidth = cal::kBwOsElemsPerCycle;  // elements / cycle
+
+  std::string describe() const;
+};
+
+// Builds an array of `num_pes` PEs with near-square physical dims, bandwidth
+// scaled by sqrt(num_pes/256), and the fixed 16x16 native mapping tile.
+PeArrayConfig make_pe_array(DataflowKind kind,
+                            std::int64_t num_pes = cal::kPesPerChiplet);
+
+// Near-square factorization h*w == num_pes with h <= w and h the largest
+// divisor not exceeding sqrt(num_pes).
+void balanced_dims(std::int64_t num_pes, std::int64_t& h, std::int64_t& w);
+
+}  // namespace cnpu

@@ -1,0 +1,111 @@
+#include "dataflow/directive.h"
+
+#include <set>
+
+namespace cnpu {
+
+const char* loop_dim_name(LoopDim dim) {
+  switch (dim) {
+    case LoopDim::kK:
+      return "K";
+    case LoopDim::kC:
+      return "C";
+    case LoopDim::kY:
+      return "Y";
+    case LoopDim::kX:
+      return "X";
+    case LoopDim::kR:
+      return "R";
+    case LoopDim::kS:
+      return "S";
+  }
+  return "?";
+}
+
+std::int64_t loop_dim_size(const LayerDesc& layer, LoopDim dim) {
+  switch (dim) {
+    case LoopDim::kK:
+      return layer.k;
+    case LoopDim::kC:
+      return layer.c;
+    case LoopDim::kY:
+      return layer.y;
+    case LoopDim::kX:
+      return layer.x;
+    case LoopDim::kR:
+      return layer.r;
+    case LoopDim::kS:
+      return layer.s;
+  }
+  return 1;
+}
+
+Directive spatial(LoopDim dim, std::int64_t tile) {
+  return Directive{Directive::Kind::kSpatial, dim, tile};
+}
+
+Directive temporal(LoopDim dim, std::int64_t tile) {
+  return Directive{Directive::Kind::kTemporal, dim, tile};
+}
+
+std::string MappingSpec::validate() const {
+  if (name.empty()) return "mapping name must not be empty";
+  if (order.empty()) return name + ": mapping needs at least one directive";
+  std::set<std::pair<int, int>> seen;
+  for (const auto& d : order) {
+    if (d.tile < 1) return name + ": tiles must be >= 1";
+    const auto key = std::make_pair(static_cast<int>(d.kind),
+                                    static_cast<int>(d.dim));
+    if (!seen.insert(key).second) {
+      return name + ": duplicate directive for dim " +
+             loop_dim_name(d.dim);
+    }
+  }
+  return "";
+}
+
+MappingSpec shidiannao_mapping(std::int64_t tile_h, std::int64_t tile_w) {
+  MappingSpec m;
+  m.name = "shidiannao_os";
+  m.order = {
+      temporal(LoopDim::kK, 1), temporal(LoopDim::kC, 1),
+      temporal(LoopDim::kR, 1), temporal(LoopDim::kS, 1),
+      spatial(LoopDim::kY, tile_h), spatial(LoopDim::kX, tile_w),
+  };
+  return m;
+}
+
+MappingSpec nvdla_mapping(std::int64_t k_lanes, std::int64_t c_block) {
+  MappingSpec m;
+  m.name = "nvdla_ws";
+  m.order = {
+      temporal(LoopDim::kC, c_block), temporal(LoopDim::kR, 1),
+      temporal(LoopDim::kS, 1),       spatial(LoopDim::kK, k_lanes),
+      temporal(LoopDim::kY, 1),       temporal(LoopDim::kX, 1),
+  };
+  return m;
+}
+
+MappingSpec os_token_mapping(std::int64_t lanes, std::int64_t k_block) {
+  MappingSpec m;
+  m.name = "os_token";
+  m.order = {
+      spatial(LoopDim::kY, lanes),
+      temporal(LoopDim::kK, k_block),
+      temporal(LoopDim::kC, 1),
+  };
+  return m;
+}
+
+MappingSpec eyeriss_mapping(std::int64_t y_lanes, std::int64_t r_lanes) {
+  MappingSpec m;
+  m.name = "eyeriss_rs";
+  m.order = {
+      temporal(LoopDim::kK, 1),       temporal(LoopDim::kC, 1),
+      spatial(LoopDim::kY, y_lanes),  spatial(LoopDim::kR, r_lanes),
+      temporal(LoopDim::kX, 1),       temporal(LoopDim::kS, 1),
+  };
+  return m;
+}
+
+}  // namespace cnpu

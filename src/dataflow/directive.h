@@ -1,0 +1,66 @@
+// Data-centric mapping directives (MAESTRO-style).
+//
+// A MappingSpec is an ordered loop nest (outer -> inner) of Spatial/Temporal
+// directives over the canonical layer dims K,C,Y,X,R,S. The closed-form
+// OS/WS cost models in cost_model.cc are hand-derived special cases; this
+// module is the general machinery: describe any dataflow as directives and
+// analyze_mapping() derives spatial utilization, per-operand reuse/traffic,
+// and buffer requirements from first principles.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dataflow/calibration.h"
+#include "dataflow/layer.h"
+
+namespace cnpu {
+
+enum class LoopDim { kK, kC, kY, kX, kR, kS };
+
+const char* loop_dim_name(LoopDim dim);
+
+// Extent of `dim` in `layer`'s output-centric loop nest.
+std::int64_t loop_dim_size(const LayerDesc& layer, LoopDim dim);
+
+struct Directive {
+  enum class Kind { kSpatial, kTemporal };
+  Kind kind = Kind::kTemporal;
+  LoopDim dim = LoopDim::kK;
+  // Elements of `dim` covered per lane (spatial) or per iteration (temporal).
+  std::int64_t tile = 1;
+};
+
+Directive spatial(LoopDim dim, std::int64_t tile);
+Directive temporal(LoopDim dim, std::int64_t tile);
+
+// An ordered dataflow description, outer -> inner.
+struct MappingSpec {
+  std::string name;
+  std::vector<Directive> order;
+
+  // Empty when well-formed: every dim at most once per kind, tiles >= 1.
+  std::string validate() const;
+};
+
+// --- The three classic dataflow templates ---
+
+// Shidiannao-like output-stationary: output pixels pinned on a tile_h x
+// tile_w lane grid; K,C,R,S stream temporally.
+MappingSpec shidiannao_mapping(std::int64_t tile_h = 16, std::int64_t tile_w = 16);
+
+// NVDLA-like weight-stationary: K spatial across the array, C blocked
+// temporally, pixels streamed innermost.
+MappingSpec nvdla_mapping(std::int64_t k_lanes = 256, std::int64_t c_block = 4);
+
+// Eyeriss-like row-stationary: kernel rows x output rows spatial, filter
+// columns and channels temporal.
+MappingSpec eyeriss_mapping(std::int64_t y_lanes = 16, std::int64_t r_lanes = 16);
+
+// The OS mapper's second template for token operators: tokens folded over
+// the whole tile, K register-blocked (cost_model.cc's tile-GEMM path).
+MappingSpec os_token_mapping(std::int64_t lanes = 256,
+                             std::int64_t k_block = cal::kOsGemmKBlock);
+
+}  // namespace cnpu

@@ -1,0 +1,111 @@
+// Layer IR: an output-centric loop-nest description of a DNN operator.
+//
+// Every operator the perception pipeline needs is normalized onto the dims
+//   K  - output channels (conv) / output features (GEMM)
+//   C  - input channels / reduction dim
+//   Y,X- output spatial extent (GEMM tokens map to Y with X = 1)
+//   R,S- kernel extent (1 for GEMM/elementwise)
+// which is the same normalization MAESTRO uses, so dataflow analyses can be
+// written once against this IR.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cnpu {
+
+enum class OpKind {
+  kConv2D,          // dense convolution
+  kDepthwiseConv,   // per-channel convolution (C = 1 reduction per output ch)
+  kTransposedConv,  // stride-u upsampling deconvolution
+  kGemm,            // token matmul: projections, attention matmuls, FC, FFN
+  kElementwise,     // add / mul / activation / softmax normalization
+  kPool,            // max/avg pooling
+};
+
+const char* op_kind_name(OpKind kind);
+
+// Plain-data operator descriptor; no invariant beyond "dims are positive",
+// which factory functions below establish and validate() re-checks.
+struct LayerDesc {
+  std::string name;
+  OpKind kind = OpKind::kConv2D;
+
+  std::int64_t k = 1;       // output channels / features
+  std::int64_t c = 1;       // input channels / reduction dim
+  std::int64_t y = 1;       // output rows (tokens for GEMM)
+  std::int64_t x = 1;       // output cols (1 for GEMM)
+  std::int64_t r = 1;       // kernel rows
+  std::int64_t s = 1;       // kernel cols
+  std::int64_t stride = 1;  // conv stride / transposed-conv upsampling factor
+  int heads = 1;            // attention heads; caps WS K-parallelism per head
+  // True for attention score/context matmuls: the "weight" operand is itself
+  // an activation (Q/K/V), so no dataflow can hold it stationary and both
+  // operands stream from the global buffer.
+  bool streaming_weights = false;
+
+  // Multiply-accumulate count for one inference of this layer.
+  double macs() const;
+  // Tensor footprints in elements (int8: 1 byte per element).
+  double output_elems() const;
+  double input_elems() const;
+  double weight_elems() const;
+  // Average kernel taps contributing to one output (R*S, except transposed
+  // conv where only R*S/stride^2 input positions are populated).
+  double effective_taps() const;
+  // True for operators whose output has no second spatial dim to map (GEMMs).
+  bool is_token_op() const { return kind == OpKind::kGemm; }
+  bool has_weights() const;
+
+  // Returns an empty string when well-formed, else a description of the
+  // violated constraint.
+  std::string validate() const;
+};
+
+// --- Factory functions (establish dims invariants) ---
+
+// Dense conv producing K x out_y x out_x from C input channels.
+LayerDesc conv2d(std::string name, std::int64_t in_c, std::int64_t out_k,
+                 std::int64_t out_y, std::int64_t out_x, std::int64_t kernel,
+                 std::int64_t stride = 1);
+
+// 1x1 projection conv (pointwise).
+LayerDesc pointwise(std::string name, std::int64_t in_c, std::int64_t out_k,
+                    std::int64_t out_y, std::int64_t out_x);
+
+LayerDesc depthwise(std::string name, std::int64_t channels, std::int64_t out_y,
+                    std::int64_t out_x, std::int64_t kernel,
+                    std::int64_t stride = 1);
+
+// Transposed conv upsampling by `up` (output spatial = input * up).
+LayerDesc transposed_conv(std::string name, std::int64_t in_c, std::int64_t out_k,
+                          std::int64_t out_y, std::int64_t out_x,
+                          std::int64_t kernel, std::int64_t up);
+
+// Token GEMM: tokens x in_f -> tokens x out_f; heads > 1 marks per-head
+// batched matmuls (attention score/context ops).
+LayerDesc gemm(std::string name, std::int64_t tokens, std::int64_t in_f,
+               std::int64_t out_f, int heads = 1);
+
+// Attention matmul (QK^T or A*V): a per-head batched GEMM whose "weights"
+// are activations. `tokens` queries each reduce over `red` and emit `out_f`
+// features per head.
+LayerDesc attention_matmul(std::string name, std::int64_t tokens,
+                           std::int64_t red, std::int64_t out_f, int heads);
+
+LayerDesc elementwise(std::string name, std::int64_t channels, std::int64_t out_y,
+                      std::int64_t out_x);
+
+LayerDesc pool(std::string name, std::int64_t channels, std::int64_t out_y,
+               std::int64_t out_x, std::int64_t kernel, std::int64_t stride);
+
+// Data-parallel shard: the layer's work split `n` ways along the token /
+// output-row dim (weights are replicated on every shard). `index` selects the
+// shard (they differ only when y % n != 0).
+LayerDesc shard_layer(const LayerDesc& layer, int n, int index = 0);
+
+// Total MACs over a sequence of layers.
+double total_macs(const std::vector<LayerDesc>& layers);
+
+}  // namespace cnpu

@@ -1,0 +1,267 @@
+#include "sim/event_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <queue>
+#include <set>
+
+#include "core/evaluator.h"
+
+namespace cnpu {
+namespace {
+
+struct ShardTask {
+  int item = 0;
+  int shard = 0;
+  int chiplet = -1;
+  double service_s = 0.0;
+};
+
+// Static (frame-independent) view of the schedule.
+struct Program {
+  std::vector<std::vector<ShardTask>> shards_of_item;
+  // deps[i] = {(producer item, NoP delay)}
+  std::vector<std::vector<std::pair<int, double>>> deps;
+  std::vector<int> chiplet_ids;
+};
+
+double edge_delay(const PackageConfig& pkg, const Placement& from,
+                  const Placement& to, double bytes) {
+  const int dst = to.primary_chiplet();
+  double hops = 0.0;
+  for (const auto& s : from.shards) {
+    hops += s.fraction * pkg.hops_between(s.chiplet_id, dst);
+  }
+  return nop_transfer(pkg.nop(), bytes, static_cast<int>(std::lround(hops)))
+      .latency_s;
+}
+
+Program build_program(const Schedule& sched, bool model_nop) {
+  const PerceptionPipeline& pipe = sched.pipeline();
+  const PackageConfig& pkg = sched.package();
+  Program prog;
+  prog.shards_of_item.resize(static_cast<std::size_t>(sched.num_items()));
+  prog.deps.resize(static_cast<std::size_t>(sched.num_items()));
+  for (const auto& c : pkg.chiplets()) prog.chiplet_ids.push_back(c.id);
+
+  for (int i = 0; i < sched.num_items(); ++i) {
+    const Placement& p = sched.placement(i);
+    int shard_no = 0;
+    for (const auto& sh : p.shards) {
+      const LayerDesc piece = shard_fraction(*sched.item(i).desc, sh.fraction);
+      const CostReport r = analyze_layer(piece, pkg.chiplet(sh.chiplet_id).array);
+      prog.shards_of_item[static_cast<std::size_t>(i)].push_back(
+          ShardTask{i, shard_no++, sh.chiplet_id, r.latency_s});
+    }
+  }
+
+  auto add_dep = [&](int consumer, int producer, double bytes) {
+    const double delay =
+        model_nop ? edge_delay(pkg, sched.placement(producer),
+                               sched.placement(consumer), bytes)
+                  : 0.0;
+    prog.deps[static_cast<std::size_t>(consumer)].push_back({producer, delay});
+  };
+
+  for (int st = 0; st < pipe.num_stages(); ++st) {
+    const Stage& stage = pipe.stages[static_cast<std::size_t>(st)];
+    for (int mod = 0; mod < stage.num_models(); ++mod) {
+      const StageModel& sm = stage.models[static_cast<std::size_t>(mod)];
+      const std::vector<int>& items = sched.items_of_model(st, mod);
+      if (items.empty()) continue;
+      // Intra-model chain.
+      for (std::size_t li = 1; li < items.size(); ++li) {
+        add_dep(items[li], items[li - 1],
+                sm.model.layers[li - 1].output_elems());
+      }
+      // Stage prefix -> parallel models.
+      if (!sm.prefix) {
+        for (int pm = 0; pm < stage.num_models(); ++pm) {
+          if (!stage.models[static_cast<std::size_t>(pm)].prefix) continue;
+          const std::vector<int>& pre = sched.items_of_model(st, pm);
+          if (!pre.empty()) {
+            add_dep(items.front(), pre.back(),
+                    stage.models[static_cast<std::size_t>(pm)].model.output_bytes());
+          }
+        }
+      }
+      // Previous stage parallel outputs -> this model's first layer (or the
+      // prefix model's first layer, which then gates the rest).
+      const bool receives_stage_input =
+          sm.prefix || stage.prefix_models().empty();
+      if (st > 0 && receives_stage_input) {
+        const Stage& prev = pipe.stages[static_cast<std::size_t>(st - 1)];
+        for (int pm = 0; pm < prev.num_models(); ++pm) {
+          if (prev.models[static_cast<std::size_t>(pm)].prefix) continue;
+          const std::vector<int>& src = sched.items_of_model(st - 1, pm);
+          if (!src.empty()) {
+            add_dep(items.front(), src.back(),
+                    prev.models[static_cast<std::size_t>(pm)].model.output_bytes());
+          }
+        }
+      }
+    }
+  }
+  return prog;
+}
+
+}  // namespace
+
+SimResult simulate_schedule(const Schedule& schedule, const SimOptions& options) {
+  const Program prog = build_program(schedule, options.model_nop_delays);
+  const int items = schedule.num_items();
+  const int frames = std::max(options.frames, 1);
+
+  // Per-(frame, item) bookkeeping.
+  auto idx = [&](int frame, int item) { return frame * items + item; };
+  std::vector<int> deps_left(static_cast<std::size_t>(frames * items), 0);
+  std::vector<double> ready_time(static_cast<std::size_t>(frames * items), 0.0);
+  std::vector<int> shards_left(static_cast<std::size_t>(frames * items), 0);
+  std::vector<double> item_done(static_cast<std::size_t>(frames * items), 0.0);
+  std::vector<int> frame_items_left(static_cast<std::size_t>(frames), items);
+
+  for (int f = 0; f < frames; ++f) {
+    for (int i = 0; i < items; ++i) {
+      deps_left[static_cast<std::size_t>(idx(f, i))] =
+          static_cast<int>(prog.deps[static_cast<std::size_t>(i)].size());
+      shards_left[static_cast<std::size_t>(idx(f, i))] =
+          static_cast<int>(prog.shards_of_item[static_cast<std::size_t>(i)].size());
+    }
+  }
+
+  // Per-chiplet queues of ready shards, ordered (frame, item, shard).
+  struct QueuedShard {
+    int frame;
+    int item;
+    int shard;
+    double ready;
+    bool operator<(const QueuedShard& o) const {
+      if (frame != o.frame) return frame < o.frame;
+      if (item != o.item) return item < o.item;
+      return shard < o.shard;
+    }
+  };
+  std::map<int, std::set<QueuedShard>> queues;
+  std::map<int, double> chiplet_free;
+  std::map<int, double> chiplet_busy;
+  for (int id : prog.chiplet_ids) {
+    queues[id];
+    chiplet_free[id] = 0.0;
+    chiplet_busy[id] = 0.0;
+  }
+
+  // Event heap: (time, chiplet) dispatch checks; (time, -1) unused.
+  using Event = std::pair<double, int>;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
+
+  SimResult result;
+  result.frame_completion_s.assign(static_cast<std::size_t>(frames), 0.0);
+
+  auto enqueue_item_shards = [&](int frame, int item, double at) {
+    for (const ShardTask& t :
+         prog.shards_of_item[static_cast<std::size_t>(item)]) {
+      queues[t.chiplet].insert(QueuedShard{frame, item, t.shard, at});
+      events.push({at, t.chiplet});
+    }
+  };
+
+  // Seed: all frames admitted at t=0 (back-to-back stream).
+  for (int f = 0; f < frames; ++f) {
+    for (int i = 0; i < items; ++i) {
+      if (deps_left[static_cast<std::size_t>(idx(f, i))] == 0) {
+        enqueue_item_shards(f, i, 0.0);
+      }
+    }
+  }
+
+  std::vector<std::vector<int>> consumers(static_cast<std::size_t>(items));
+  std::vector<std::vector<double>> consumer_delay(static_cast<std::size_t>(items));
+  for (int i = 0; i < items; ++i) {
+    for (const auto& [producer, delay] : prog.deps[static_cast<std::size_t>(i)]) {
+      consumers[static_cast<std::size_t>(producer)].push_back(i);
+      consumer_delay[static_cast<std::size_t>(producer)].push_back(delay);
+    }
+  }
+
+  auto service_of = [&](int item, int shard) {
+    return prog.shards_of_item[static_cast<std::size_t>(item)]
+        [static_cast<std::size_t>(shard)].service_s;
+  };
+
+  while (!events.empty()) {
+    const auto [now, chiplet] = events.top();
+    events.pop();
+    auto& queue = queues[chiplet];
+    if (queue.empty()) continue;
+    if (chiplet_free[chiplet] > now + 1e-15) {
+      events.push({chiplet_free[chiplet], chiplet});
+      continue;
+    }
+    // Pick the highest-priority shard that is ready now; otherwise sleep
+    // until the earliest becomes ready.
+    auto pick = queue.end();
+    double min_ready = std::numeric_limits<double>::infinity();
+    for (auto it = queue.begin(); it != queue.end(); ++it) {
+      if (it->ready <= now + 1e-15) {
+        pick = it;
+        break;
+      }
+      min_ready = std::min(min_ready, it->ready);
+    }
+    if (pick == queue.end()) {
+      events.push({min_ready, chiplet});
+      continue;
+    }
+    const QueuedShard task = *pick;
+    queue.erase(pick);
+    const double service = service_of(task.item, task.shard);
+    const double done = now + service;
+    chiplet_free[chiplet] = done;
+    chiplet_busy[chiplet] += service;
+    ++result.tasks_executed;
+    events.push({done, chiplet});
+
+    // Shard completion -> item completion -> successors.
+    const int key = idx(task.frame, task.item);
+    item_done[static_cast<std::size_t>(key)] =
+        std::max(item_done[static_cast<std::size_t>(key)], done);
+    if (--shards_left[static_cast<std::size_t>(key)] == 0) {
+      const double finished = item_done[static_cast<std::size_t>(key)];
+      if (--frame_items_left[static_cast<std::size_t>(task.frame)] == 0) {
+        result.frame_completion_s[static_cast<std::size_t>(task.frame)] = finished;
+      }
+      const auto& outs = consumers[static_cast<std::size_t>(task.item)];
+      for (std::size_t k = 0; k < outs.size(); ++k) {
+        const int succ = outs[k];
+        const int skey = idx(task.frame, succ);
+        ready_time[static_cast<std::size_t>(skey)] = std::max(
+            ready_time[static_cast<std::size_t>(skey)],
+            finished + consumer_delay[static_cast<std::size_t>(task.item)][k]);
+        if (--deps_left[static_cast<std::size_t>(skey)] == 0) {
+          enqueue_item_shards(task.frame, succ,
+                              ready_time[static_cast<std::size_t>(skey)]);
+        }
+      }
+    }
+  }
+
+  result.first_frame_latency_s = result.frame_completion_s.front();
+  result.makespan_s = result.frame_completion_s.back();
+  if (frames >= 4) {
+    const int half = frames / 2;
+    result.steady_interval_s =
+        (result.frame_completion_s[static_cast<std::size_t>(frames - 1)] -
+         result.frame_completion_s[static_cast<std::size_t>(half - 1)]) /
+        static_cast<double>(frames - half);
+  } else {
+    result.steady_interval_s = result.makespan_s / static_cast<double>(frames);
+  }
+  for (int id : prog.chiplet_ids) {
+    result.chiplet_busy_s.push_back(chiplet_busy[id]);
+  }
+  return result;
+}
+
+}  // namespace cnpu

@@ -1,0 +1,41 @@
+// Discrete-event pipeline simulator.
+//
+// Replays a Schedule over a stream of camera frames and measures what the
+// analytical evaluator predicts in closed form:
+//  * first-frame latency  ~ pipeline E2E (fill latency)
+//  * steady-state frame interval ~ pipe latency (initiation interval)
+//
+// Mechanics: every layer shard is a task served non-preemptively by its
+// chiplet (FIFO by frame, then program order). A task becomes ready when its
+// intra-model predecessor, cross-stage producers, and stage prefix (all of
+// the same frame) have completed, plus the NoP transfer delay on each edge.
+// Frames are admitted back-to-back, so steady-state throughput is limited by
+// the busiest chiplet - exactly the evaluator's pipe-latency claim, which
+// tests cross-validate.
+#pragma once
+
+#include <vector>
+
+#include "core/schedule.h"
+
+namespace cnpu {
+
+struct SimOptions {
+  int frames = 8;
+  bool model_nop_delays = true;
+};
+
+struct SimResult {
+  double first_frame_latency_s = 0.0;
+  // Mean inter-completion time over the second half of the stream.
+  double steady_interval_s = 0.0;
+  double makespan_s = 0.0;
+  std::vector<double> frame_completion_s;  // one per frame
+  std::vector<double> chiplet_busy_s;      // indexed as package order
+  int tasks_executed = 0;
+};
+
+SimResult simulate_schedule(const Schedule& schedule,
+                            const SimOptions& options = {});
+
+}  // namespace cnpu

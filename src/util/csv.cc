@@ -1,0 +1,56 @@
+#include "util/csv.h"
+
+#include <fstream>
+
+namespace cnpu {
+namespace {
+
+bool needs_quoting(const std::string& field) {
+  return field.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+std::string encode(const std::string& field) {
+  if (!needs_quoting(field)) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += "\"";
+  return out;
+}
+
+std::string encode_row(const std::vector<std::string>& row) {
+  std::string out;
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out += ",";
+    out += encode(row[i]);
+  }
+  return out + "\n";
+}
+
+}  // namespace
+
+void CsvWriter::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void CsvWriter::add_row(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string CsvWriter::to_string() const {
+  std::string out;
+  if (!header_.empty()) out += encode_row(header_);
+  for (const auto& row : rows_) out += encode_row(row);
+  return out;
+}
+
+bool CsvWriter::write_file(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) return false;
+  file << to_string();
+  return static_cast<bool>(file);
+}
+
+}  // namespace cnpu

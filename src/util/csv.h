@@ -1,0 +1,25 @@
+// CSV writer so bench outputs can be post-processed into plots.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cnpu {
+
+class CsvWriter {
+ public:
+  void set_header(std::vector<std::string> header);
+  void add_row(std::vector<std::string> row);
+
+  // RFC-4180-ish encoding: fields containing comma/quote/newline are quoted.
+  std::string to_string() const;
+
+  // Writes to `path`; returns false on I/O failure.
+  bool write_file(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cnpu

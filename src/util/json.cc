@@ -1,0 +1,114 @@
+#include "util/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace cnpu {
+
+void JsonWriter::maybe_comma() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (needs_comma_) out_ += ",";
+}
+
+void JsonWriter::escape_into(const std::string& s) {
+  out_ += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out_ += "\\\"";
+        break;
+      case '\\':
+        out_ += "\\\\";
+        break;
+      case '\n':
+        out_ += "\\n";
+        break;
+      case '\t':
+        out_ += "\\t";
+        break;
+      default:
+        out_ += c;
+    }
+  }
+  out_ += '"';
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  maybe_comma();
+  out_ += "{";
+  stack_.push_back('{');
+  needs_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  out_ += "}";
+  if (!stack_.empty()) stack_.pop_back();
+  needs_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  maybe_comma();
+  out_ += "[";
+  stack_.push_back('[');
+  needs_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  out_ += "]";
+  if (!stack_.empty()) stack_.pop_back();
+  needs_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& name) {
+  if (needs_comma_) out_ += ",";
+  escape_into(name);
+  out_ += ":";
+  needs_comma_ = false;
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& v) {
+  maybe_comma();
+  escape_into(v);
+  needs_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* v) { return value(std::string(v)); }
+
+JsonWriter& JsonWriter::value(double v) {
+  maybe_comma();
+  if (std::isfinite(v)) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    out_ += buf;
+  } else {
+    out_ += "null";
+  }
+  needs_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(int v) {
+  maybe_comma();
+  out_ += std::to_string(v);
+  needs_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  maybe_comma();
+  out_ += v ? "true" : "false";
+  needs_comma_ = true;
+  return *this;
+}
+
+}  // namespace cnpu

@@ -1,0 +1,45 @@
+// Minimal JSON emitter (no parsing) for exporting schedules and metrics.
+//
+// Usage:
+//   JsonWriter w;
+//   w.begin_object();
+//   w.key("pipe_ms").value(83.5);
+//   w.key("stages").begin_array();
+//   ... w.end_array();
+//   w.end_object();
+//   std::string out = w.str();
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cnpu {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+  JsonWriter& key(const std::string& name);
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v);
+  JsonWriter& value(double v);
+  JsonWriter& value(int v);
+  JsonWriter& value(bool v);
+
+  const std::string& str() const { return out_; }
+  // True when all containers are closed.
+  bool complete() const { return stack_.empty() && !out_.empty(); }
+
+ private:
+  void maybe_comma();
+  void escape_into(const std::string& s);
+
+  std::string out_;
+  std::vector<char> stack_;      // '{' or '['
+  bool needs_comma_ = false;
+  bool after_key_ = false;
+};
+
+}  // namespace cnpu

@@ -1,0 +1,51 @@
+// Minimal leveled logger for library diagnostics.
+//
+// The library is a cost-model / scheduling toolkit, so logging is used
+// sparingly: scheduler iteration traces at kDebug, configuration summaries at
+// kInfo, and recoverable misconfigurations at kWarn. Output goes to stderr so
+// bench binaries can keep stdout clean for the reproduced tables.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace cnpu {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+// Global log threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+// Emits a single formatted line to stderr if `level` passes the threshold.
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+
+// Stream-style builder: LogLine(kInfo) << "x=" << x; emits on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { log_message(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+inline detail::LogLine log_debug() { return detail::LogLine(LogLevel::kDebug); }
+inline detail::LogLine log_info() { return detail::LogLine(LogLevel::kInfo); }
+inline detail::LogLine log_warn() { return detail::LogLine(LogLevel::kWarn); }
+inline detail::LogLine log_error() { return detail::LogLine(LogLevel::kError); }
+
+}  // namespace cnpu

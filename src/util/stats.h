@@ -1,0 +1,19 @@
+// Descriptive statistics helpers for benches and tests.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace cnpu {
+
+double mean(const std::vector<double>& xs);
+// Geometric mean; requires all positive entries (returns 0 otherwise).
+double geomean(const std::vector<double>& xs);
+double stddev(const std::vector<double>& xs);  // population stddev
+double min_of(const std::vector<double>& xs);
+double max_of(const std::vector<double>& xs);
+double sum(const std::vector<double>& xs);
+// Linear interpolated percentile; p in [0,100].
+double percentile(std::vector<double> xs, double p);
+
+}  // namespace cnpu

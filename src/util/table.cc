@@ -1,0 +1,68 @@
+#include "util/table.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace cnpu {
+
+void Table::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  rows_.push_back(Row{std::move(row), false});
+}
+
+void Table::add_separator() { rows_.push_back(Row{{}, true}); }
+
+std::size_t Table::num_columns() const {
+  std::size_t cols = header_.size();
+  for (const auto& row : rows_) cols = std::max(cols, row.cells.size());
+  return cols;
+}
+
+std::string Table::to_string() const {
+  const std::size_t cols = num_columns();
+  if (cols == 0) return title_.empty() ? "" : title_ + "\n";
+
+  std::vector<std::size_t> widths(cols, 0);
+  auto account = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      widths[i] = std::max(widths[i], cells[i].size());
+    }
+  };
+  account(header_);
+  for (const auto& row : rows_) {
+    if (!row.separator) account(row.cells);
+  }
+
+  auto rule = [&]() {
+    std::string line = "+";
+    for (std::size_t w : widths) line += std::string(w + 2, '-') + "+";
+    return line + "\n";
+  };
+  auto render = [&](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (std::size_t i = 0; i < cols; ++i) {
+      const std::string& cell = i < cells.size() ? cells[i] : std::string();
+      line += " " + pad_right(cell, widths[i]) + " |";
+    }
+    return line + "\n";
+  };
+
+  std::string out;
+  if (!title_.empty()) out += title_ + "\n";
+  out += rule();
+  if (!header_.empty()) {
+    out += render(header_);
+    out += rule();
+  }
+  for (const auto& row : rows_) {
+    out += row.separator ? rule() : render(row.cells);
+  }
+  out += rule();
+  return out;
+}
+
+}  // namespace cnpu

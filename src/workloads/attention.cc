@@ -1,0 +1,33 @@
+#include "workloads/attention.h"
+
+namespace cnpu {
+
+std::vector<LayerDesc> build_attention_module(const AttentionConfig& cfg) {
+  std::vector<LayerDesc> layers;
+  const std::string p = cfg.prefix;
+
+  // Q from every grid cell, K and V from every source token.
+  layers.push_back(gemm(p + "_QKV_Proj", cfg.queries + 2 * cfg.kv_tokens,
+                        cfg.in_dim, cfg.model_dim));
+
+  // Windowed multi-head attention: each query scores `window` keys per head.
+  layers.push_back(attention_matmul(p + "_ATTN_QK", cfg.queries,
+                                    cfg.head_dim(), cfg.window, cfg.heads));
+  layers.push_back(elementwise(p + "_SOFTMAX",
+                               cfg.window * static_cast<std::int64_t>(cfg.heads),
+                               cfg.queries, 1));
+  layers.push_back(attention_matmul(p + "_ATTN_AV", cfg.queries, cfg.window,
+                                    cfg.head_dim(), cfg.heads));
+
+  // Encoder-style FFN applied to all tokens (queries + source tokens).
+  layers.push_back(
+      gemm(p + "_FFN1", cfg.ffn_tokens(), cfg.model_dim, cfg.ffn_hidden));
+  layers.push_back(
+      gemm(p + "_FFN2", cfg.ffn_tokens(), cfg.ffn_hidden, cfg.model_dim));
+  // Residual/output selection: the module emits the fused query grid, which
+  // is what travels over the NoP to the next stage.
+  layers.push_back(elementwise(p + "_OUT", cfg.model_dim, cfg.queries, 1));
+  return layers;
+}
+
+}  // namespace cnpu

@@ -1,0 +1,35 @@
+// Transformer attention module builder (paper Sec. II-B, [33]).
+//
+// Each fusion module is: QKV projection -> windowed multi-head attention
+// (QK^T, softmax, A*V) -> encoder-style FFN over all tokens. Queries come
+// from the BEV grid; keys/values from the source set (8 cameras for S_FUSE,
+// N=12 queue frames for T_FUSE).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dataflow/layer.h"
+
+namespace cnpu {
+
+struct AttentionConfig {
+  std::string prefix;            // layer-name prefix, e.g. "S" / "T"
+  std::int64_t queries = 16000;  // BEV grid cells (200x80)
+  std::int64_t kv_tokens = 0;    // total key/value source tokens
+  std::int64_t in_dim = 256;     // incoming embedding width
+  std::int64_t model_dim = 256;  // module width (d)
+  std::int64_t ffn_hidden = 768; // FFN expansion width
+  std::int64_t window = 80;      // keys attended per query (deformable-style)
+  int heads = 8;
+
+  std::int64_t head_dim() const { return model_dim / heads; }
+  std::int64_t ffn_tokens() const { return queries + kv_tokens; }
+};
+
+// The module as a flat layer chain:
+//   {P}_QKV_Proj, {P}_ATTN_QK, {P}_SOFTMAX, {P}_ATTN_AV, {P}_FFN1, {P}_FFN2
+std::vector<LayerDesc> build_attention_module(const AttentionConfig& cfg);
+
+}  // namespace cnpu

@@ -1,0 +1,52 @@
+#include "workloads/autopilot.h"
+
+namespace cnpu {
+namespace {
+
+Stage build_fe_stage(const AutopilotConfig& cfg) {
+  Stage s;
+  s.name = "FE_BFPN";
+  for (int cam = 0; cam < cfg.num_cameras; ++cam) {
+    StageModel sm;
+    sm.model = build_fe_bfpn_model("FE_BFPN_CAM" + std::to_string(cam), cfg.fe,
+                                   cfg.bifpn);
+    s.models.push_back(std::move(sm));
+  }
+  return s;
+}
+
+Stage build_trunk_stage(const AutopilotConfig& cfg) {
+  Stage s;
+  s.name = "TRUNKS";
+  StageModel pre;
+  pre.model = build_trunk_preamble(cfg.trunks, cfg.fusion.grid_h, cfg.fusion.grid_w);
+  pre.prefix = true;
+  s.models.push_back(std::move(pre));
+
+  s.models.push_back({build_occupancy_trunk(cfg.trunks), false});
+  s.models.push_back({build_lane_trunk(cfg.trunks, cfg.lane_context), false});
+  for (auto& det : build_detection_heads(cfg.trunks)) {
+    s.models.push_back({std::move(det), false});
+  }
+  return s;
+}
+
+}  // namespace
+
+PerceptionPipeline build_autopilot_pipeline(const AutopilotConfig& cfg) {
+  PerceptionPipeline p;
+  p.name = "tesla_autopilot_perception";
+  p.stages.push_back(build_fe_stage(cfg));
+  p.stages.push_back(Stage{"S_FUSE", {{build_spatial_fusion_model(cfg.fusion), false}}});
+  p.stages.push_back(Stage{"T_FUSE", {{build_temporal_fusion_model(cfg.fusion), false}}});
+  if (cfg.include_trunks) p.stages.push_back(build_trunk_stage(cfg));
+  return p;
+}
+
+PerceptionPipeline build_autopilot_front(const AutopilotConfig& cfg) {
+  AutopilotConfig front = cfg;
+  front.include_trunks = false;
+  return build_autopilot_pipeline(front);
+}
+
+}  // namespace cnpu

@@ -1,0 +1,33 @@
+// Assembly of the full Tesla-Autopilot-style perception pipeline (Fig. 2):
+//   Stage 1  FE+BFPN   - 8 concurrent per-camera feature extractors
+//   Stage 2  S_FUSE    - multi-cam spatial fusion transformer
+//   Stage 3  T_FUSE    - temporal fusion transformer (N = 12 queue)
+//   Stage 4  TRUNKS    - occupancy / lane / 3 detection heads
+#pragma once
+
+#include "workloads/bifpn.h"
+#include "workloads/fusion.h"
+#include "workloads/model.h"
+#include "workloads/resnet.h"
+#include "workloads/trunks.h"
+
+namespace cnpu {
+
+struct AutopilotConfig {
+  int num_cameras = 8;
+  ResnetConfig fe;
+  BifpnConfig bifpn;
+  FusionConfig fusion;
+  TrunkConfig trunks;
+  // Default lane operating point: the context-aware gating level that keeps
+  // the trunk stage inside the pipelining budget (Sec. V-C, Fig. 11).
+  double lane_context = 0.6;
+  bool include_trunks = true;
+};
+
+PerceptionPipeline build_autopilot_pipeline(const AutopilotConfig& cfg = {});
+
+// Stages 1-3 only (the paper's Table II comparison scope).
+PerceptionPipeline build_autopilot_front(const AutopilotConfig& cfg = {});
+
+}  // namespace cnpu

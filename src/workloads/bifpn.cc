@@ -1,0 +1,62 @@
+#include "workloads/bifpn.h"
+
+namespace cnpu {
+namespace {
+
+// One BiFPN fusion node at a given scale: depthwise 3x3 + pointwise
+// projection + fused-input add.
+void add_node(std::vector<LayerDesc>& layers, const std::string& name,
+              std::int64_t width, std::int64_t h, std::int64_t w) {
+  layers.push_back(depthwise(name + "_DW", width, h, w, 3, 1));
+  layers.push_back(pointwise(name + "_PW", width, width, h, w));
+  layers.push_back(elementwise(name + "_ADD", width, h, w));
+}
+
+}  // namespace
+
+std::vector<LayerDesc> build_bifpn(const ResnetConfig& fe,
+                                   const BifpnConfig& cfg) {
+  std::vector<LayerDesc> layers;
+
+  FeatureDims dims[4];
+  for (int s = 0; s < 4; ++s) dims[s] = resnet_stage_dims(fe, s);
+
+  // Lateral 1x1 projections into the pyramid width (P3..P6).
+  for (int s = 0; s < 4; ++s) {
+    layers.push_back(pointwise("BFPN_LAT_P" + std::to_string(s + 3),
+                               dims[s].channels, cfg.width, dims[s].h,
+                               dims[s].w));
+  }
+
+  for (int b = 0; b < cfg.num_blocks; ++b) {
+    const std::string prefix = "BFPN_B" + std::to_string(b + 1);
+    // Top-down: P5td (at P5 scale), P4td (at P4 scale).
+    add_node(layers, prefix + "_P5TD", cfg.width, dims[2].h, dims[2].w);
+    add_node(layers, prefix + "_P4TD", cfg.width, dims[1].h, dims[1].w);
+    // Bottom-up outputs: P3, P4, P5, P6.
+    add_node(layers, prefix + "_P3OUT", cfg.width, dims[0].h, dims[0].w);
+    add_node(layers, prefix + "_P4OUT", cfg.width, dims[1].h, dims[1].w);
+    add_node(layers, prefix + "_P5OUT", cfg.width, dims[2].h, dims[2].w);
+    add_node(layers, prefix + "_P6OUT", cfg.width, dims[3].h, dims[3].w);
+  }
+
+  // BEV head: resample the finest pyramid level onto the attention grid and
+  // project to the fusion embedding width.
+  layers.push_back(
+      elementwise("BFPN_GRID_RESAMPLE", cfg.width, cfg.grid_h, cfg.grid_w));
+  layers.push_back(pointwise("BFPN_GRID_EMBED", cfg.width, cfg.embed_dim,
+                             cfg.grid_h, cfg.grid_w));
+  return layers;
+}
+
+Model build_fe_bfpn_model(const std::string& name, const ResnetConfig& fe,
+                          const BifpnConfig& bifpn) {
+  Model m;
+  m.name = name;
+  m.layers = build_resnet_backbone(fe);
+  std::vector<LayerDesc> fpn = build_bifpn(fe, bifpn);
+  m.layers.insert(m.layers.end(), fpn.begin(), fpn.end());
+  return m;
+}
+
+}  // namespace cnpu

@@ -1,0 +1,34 @@
+// Bidirectional Feature Pyramid Network (BFPN, EfficientDet-style [32]).
+//
+// Two BiFPN blocks over the four ResNet scales, with 1x1 lateral projections
+// into the pyramid width, depthwise-separable fusion convs per node, and a
+// BEV head that resamples the finest level onto the 200x80 attention grid
+// (the grid the paper's Sec. IV-B spatial fusion operates on) and projects
+// to the fusion embedding width.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "workloads/model.h"
+#include "workloads/resnet.h"
+
+namespace cnpu {
+
+struct BifpnConfig {
+  std::int64_t width = 144;      // pyramid channel width
+  int num_blocks = 2;            // paper: 2 BFPN blocks
+  std::int64_t grid_h = 200;     // BEV grid rows (Sec. IV-B: 200x80)
+  std::int64_t grid_w = 80;      // BEV grid cols
+  std::int64_t embed_dim = 256;  // per-camera feature embedding width
+};
+
+// Laterals + blocks + head, consuming the four backbone scales of `fe`.
+std::vector<LayerDesc> build_bifpn(const ResnetConfig& fe,
+                                   const BifpnConfig& cfg = {});
+
+// Full per-camera Stage-1 model: ResNet backbone followed by the BFPN.
+Model build_fe_bfpn_model(const std::string& name, const ResnetConfig& fe = {},
+                          const BifpnConfig& bifpn = {});
+
+}  // namespace cnpu

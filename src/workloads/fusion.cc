@@ -1,0 +1,45 @@
+#include "workloads/fusion.h"
+
+namespace cnpu {
+
+AttentionConfig spatial_attention_config(const FusionConfig& cfg) {
+  AttentionConfig a;
+  a.prefix = "S";
+  a.queries = cfg.grid_cells();
+  a.kv_tokens = static_cast<std::int64_t>(cfg.num_cameras) * cfg.grid_cells();
+  a.in_dim = cfg.embed_dim;
+  a.model_dim = cfg.embed_dim;
+  a.ffn_hidden = cfg.spatial_ffn_hidden;
+  a.window = cfg.spatial_window;
+  a.heads = cfg.heads;
+  return a;
+}
+
+AttentionConfig temporal_attention_config(const FusionConfig& cfg) {
+  AttentionConfig a;
+  a.prefix = "T";
+  a.queries = cfg.grid_cells();
+  a.kv_tokens = static_cast<std::int64_t>(cfg.queue_frames) * cfg.grid_cells();
+  a.in_dim = cfg.embed_dim;
+  a.model_dim = cfg.temporal_dim;
+  a.ffn_hidden = cfg.temporal_ffn_hidden;
+  a.window = cfg.temporal_window;
+  a.heads = cfg.heads;
+  return a;
+}
+
+Model build_spatial_fusion_model(const FusionConfig& cfg) {
+  Model m;
+  m.name = "S_FUSE";
+  m.layers = build_attention_module(spatial_attention_config(cfg));
+  return m;
+}
+
+Model build_temporal_fusion_model(const FusionConfig& cfg) {
+  Model m;
+  m.name = "T_FUSE";
+  m.layers = build_attention_module(temporal_attention_config(cfg));
+  return m;
+}
+
+}  // namespace cnpu

@@ -1,0 +1,38 @@
+// Stage 2 (S_FUSE) and Stage 3 (T_FUSE) fusion modules.
+//
+// S_FUSE: multi-cam spatial fusion — 8 camera embeddings projected onto the
+// 200x80 BEV grid via cross-attention (paper Sec. II-B / IV-B).
+// T_FUSE: temporal fusion — the spatial representation fused with an N=12
+// frame video queue, widening the embedding to the spatio-temporal width.
+#pragma once
+
+#include <cstdint>
+
+#include "workloads/attention.h"
+#include "workloads/model.h"
+
+namespace cnpu {
+
+struct FusionConfig {
+  std::int64_t grid_h = 200;
+  std::int64_t grid_w = 80;
+  std::int64_t embed_dim = 256;        // per-camera / spatial width
+  std::int64_t temporal_dim = 304;     // spatio-temporal width (paper: 300)
+  int num_cameras = 8;
+  int queue_frames = 12;               // temporal queue depth N
+  std::int64_t spatial_window = 80;    // S_ATTN keys per query
+  std::int64_t temporal_window = 128;  // T_ATTN keys per query
+  std::int64_t spatial_ffn_hidden = 768;
+  std::int64_t temporal_ffn_hidden = 912;
+  int heads = 8;
+
+  std::int64_t grid_cells() const { return grid_h * grid_w; }
+};
+
+AttentionConfig spatial_attention_config(const FusionConfig& cfg = {});
+AttentionConfig temporal_attention_config(const FusionConfig& cfg = {});
+
+Model build_spatial_fusion_model(const FusionConfig& cfg = {});
+Model build_temporal_fusion_model(const FusionConfig& cfg = {});
+
+}  // namespace cnpu

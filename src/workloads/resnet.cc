@@ -1,0 +1,54 @@
+#include "workloads/resnet.h"
+
+namespace cnpu {
+namespace {
+
+std::int64_t half_ceil(std::int64_t v) { return (v + 1) / 2; }
+
+}  // namespace
+
+FeatureDims resnet_stage_dims(const ResnetConfig& cfg, int stage_idx) {
+  // Stem: conv stride 2 + pool stride 2 => /4; each stage halves again.
+  std::int64_t h = half_ceil(half_ceil(cfg.input_h));
+  std::int64_t w = half_ceil(half_ceil(cfg.input_w));
+  for (int s = 0; s <= stage_idx; ++s) {
+    h = half_ceil(h);
+    w = half_ceil(w);
+  }
+  return FeatureDims{h, w, cfg.stage_channels[static_cast<std::size_t>(stage_idx)]};
+}
+
+std::vector<LayerDesc> build_resnet_backbone(const ResnetConfig& cfg) {
+  std::vector<LayerDesc> layers;
+
+  const std::int64_t stem_h = half_ceil(cfg.input_h);
+  const std::int64_t stem_w = half_ceil(cfg.input_w);
+  layers.push_back(
+      conv2d("FE_STEM_CONV", 3, cfg.stem_channels, stem_h, stem_w, 7, 2));
+  layers.push_back(pool("FE_STEM_POOL", cfg.stem_channels, half_ceil(stem_h),
+                        half_ceil(stem_w), 3, 2));
+
+  std::int64_t in_c = cfg.stem_channels;
+  for (int s = 0; s < 4; ++s) {
+    const FeatureDims dims = resnet_stage_dims(cfg, s);
+    const std::int64_t ch = dims.channels;
+    const std::string stage = "FE_S" + std::to_string(s + 1);
+    for (int b = 0; b < cfg.blocks_per_stage; ++b) {
+      const std::string block = stage + "_B" + std::to_string(b + 1);
+      const bool downsample = b == 0;
+      const std::int64_t block_in = downsample ? in_c : ch;
+      layers.push_back(conv2d(block + "_CONV1", block_in, ch, dims.h, dims.w, 3,
+                              downsample ? 2 : 1));
+      layers.push_back(conv2d(block + "_CONV2", ch, ch, dims.h, dims.w, 3, 1));
+      if (downsample) {
+        // 1x1 strided projection for the residual path.
+        layers.push_back(conv2d(block + "_DS", block_in, ch, dims.h, dims.w, 1, 2));
+      }
+      layers.push_back(elementwise(block + "_ADD", ch, dims.h, dims.w));
+    }
+    in_c = ch;
+  }
+  return layers;
+}
+
+}  // namespace cnpu

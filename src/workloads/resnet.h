@@ -1,0 +1,37 @@
+// ResNet-18 feature extractor (FE) for one camera.
+//
+// Follows the paper's Stage 1 description: a ResNet-18 backbone over a 720p
+// (720x1280) camera frame producing four multiscale feature maps at strides
+// 8/16/32/64 (90x160, 45x80, 23x40, 12x20). The stem uses an extra stride so
+// the stage outputs land on the published resolutions.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "workloads/model.h"
+
+namespace cnpu {
+
+struct ResnetConfig {
+  std::int64_t input_h = 720;
+  std::int64_t input_w = 1280;
+  std::int64_t stem_channels = 64;
+  std::array<std::int64_t, 4> stage_channels{64, 128, 256, 512};
+  int blocks_per_stage = 2;
+};
+
+// Spatial dims of stage `stage_idx` (0..3) outputs under `cfg`.
+struct FeatureDims {
+  std::int64_t h = 0;
+  std::int64_t w = 0;
+  std::int64_t channels = 0;
+};
+FeatureDims resnet_stage_dims(const ResnetConfig& cfg, int stage_idx);
+
+// The backbone as a flat layer chain (stem + 4 stages of basic blocks with
+// residual adds and 1x1 downsample projections).
+std::vector<LayerDesc> build_resnet_backbone(const ResnetConfig& cfg = {});
+
+}  // namespace cnpu

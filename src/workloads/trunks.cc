@@ -1,0 +1,107 @@
+#include "workloads/trunks.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cnpu {
+
+Model build_trunk_preamble(const TrunkConfig& cfg, std::int64_t fused_grid_h,
+                           std::int64_t fused_grid_w) {
+  Model m;
+  m.name = "TR_PRE";
+  m.layers.push_back(
+      pool("TR_POOL", cfg.in_dim, cfg.grid_h, cfg.grid_w,
+           std::max<std::int64_t>(fused_grid_h / cfg.grid_h, 1),
+           std::max<std::int64_t>(fused_grid_h / cfg.grid_h, 1)));
+  (void)fused_grid_w;
+  m.layers.push_back(pointwise("TR_COMPRESS", cfg.in_dim, cfg.occ_channels,
+                               cfg.grid_h, cfg.grid_w));
+  return m;
+}
+
+Model build_occupancy_trunk(const TrunkConfig& cfg, int up_stages) {
+  const int stages = up_stages < 0 ? cfg.occ_up_stages : up_stages;
+  Model m;
+  m.name = "OCUP_TR";
+  std::int64_t h = cfg.grid_h;
+  std::int64_t w = cfg.grid_w;
+  for (int s = 0; s < stages; ++s) {
+    h *= 2;
+    w *= 2;
+    m.layers.push_back(transposed_conv("OCUP_D" + std::to_string(s + 1),
+                                       cfg.occ_channels, cfg.occ_channels, h, w,
+                                       cfg.occ_kernel, 2));
+  }
+  return m;
+}
+
+Model build_lane_trunk(const TrunkConfig& cfg, double context) {
+  context = std::clamp(context, 0.01, 1.0);
+  const auto grid = cfg.grid_cells();
+  const auto tokens = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(std::llround(static_cast<double>(grid) * context)));
+  const std::int64_t head_dim = cfg.lane_dim / cfg.heads;
+
+  Model m;
+  m.name = "LANE_TR";
+  m.layers.push_back(gemm("LANE_PROJ", tokens, cfg.in_dim, cfg.lane_dim));
+  for (int l = 1; l <= cfg.lane_levels; ++l) {
+    const std::string p = "LANE_L" + std::to_string(l);
+    // Self-attention over the gated lane tokens.
+    m.layers.push_back(gemm(p + "_SELF_QKV", tokens, cfg.lane_dim, 3 * cfg.lane_dim));
+    m.layers.push_back(attention_matmul(p + "_SELF_QK", tokens, head_dim,
+                                        std::min(cfg.lane_self_window, tokens),
+                                        cfg.heads));
+    m.layers.push_back(elementwise(
+        p + "_SELF_SM", std::min(cfg.lane_self_window, tokens) * cfg.heads,
+        tokens, 1));
+    m.layers.push_back(attention_matmul(p + "_SELF_AV", tokens,
+                                        std::min(cfg.lane_self_window, tokens),
+                                        head_dim, cfg.heads));
+    // Cross-attention into the (ungated) BEV grid.
+    m.layers.push_back(gemm(p + "_CROSS_KV", grid, cfg.in_dim, 2 * cfg.lane_dim));
+    m.layers.push_back(attention_matmul(p + "_CROSS_QK", tokens, head_dim,
+                                        std::min(cfg.lane_cross_window, grid),
+                                        cfg.heads));
+    m.layers.push_back(elementwise(
+        p + "_CROSS_SM", std::min(cfg.lane_cross_window, grid) * cfg.heads,
+        tokens, 1));
+    m.layers.push_back(attention_matmul(p + "_CROSS_AV", tokens,
+                                        std::min(cfg.lane_cross_window, grid),
+                                        head_dim, cfg.heads));
+    m.layers.push_back(gemm(p + "_FFN1", tokens, cfg.lane_dim, cfg.lane_ffn_hidden));
+    m.layers.push_back(gemm(p + "_FFN2", tokens, cfg.lane_ffn_hidden, cfg.lane_dim));
+  }
+  for (int c = 1; c <= cfg.lane_classifiers; ++c) {
+    m.layers.push_back(
+        gemm("LANE_CLS" + std::to_string(c), tokens, cfg.lane_dim, 64));
+  }
+  return m;
+}
+
+Model build_detection_head(const std::string& head, const TrunkConfig& cfg) {
+  Model m;
+  m.name = "DET_TR_" + head;
+  for (const char* net : {"CLS", "BOX"}) {
+    std::int64_t in_c = cfg.in_dim;
+    for (int i = 1; i <= cfg.det_convs_per_net; ++i) {
+      m.layers.push_back(conv2d(m.name + "_" + net + "_CONV" + std::to_string(i),
+                                in_c, cfg.det_channels, cfg.grid_h, cfg.grid_w,
+                                3, 1));
+      in_c = cfg.det_channels;
+    }
+    m.layers.push_back(gemm(m.name + "_" + net + "_FC", cfg.grid_cells(),
+                            cfg.det_channels, cfg.det_fc_out));
+  }
+  return m;
+}
+
+std::vector<Model> build_detection_heads(const TrunkConfig& cfg) {
+  std::vector<Model> heads;
+  heads.push_back(build_detection_head("TRAF", cfg));
+  heads.push_back(build_detection_head("VEH", cfg));
+  heads.push_back(build_detection_head("PED", cfg));
+  return heads;
+}
+
+}  // namespace cnpu

@@ -1,0 +1,65 @@
+// Stage 4: trunks and heads (paper Sec. II-B Stage 4, Sec. V-C).
+//
+//  * Occupancy network: 4 transposed-conv upsampling stages (16x) predicting
+//    grid occupancy/semantics.
+//  * Lane prediction: 3 levels of self+cross attention with 3 classifier
+//    predictors; supports context-aware gating (fraction of grid regions
+//    actually processed, Fig. 11).
+//  * Object detection: 3 detector heads (traffic light / vehicle /
+//    pedestrian), each with separate class and box networks of 3 convs + FC.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workloads/model.h"
+
+namespace cnpu {
+
+struct TrunkConfig {
+  std::int64_t grid_h = 20;        // trunk-stage BEV grid (paper: 20x80)
+  std::int64_t grid_w = 80;
+  std::int64_t in_dim = 304;       // pooled spatio-temporal width
+  // Occupancy
+  std::int64_t occ_channels = 64;
+  int occ_up_stages = 4;           // each stage upsamples 2x (total 16x)
+  std::int64_t occ_kernel = 4;
+  // Lane prediction
+  std::int64_t lane_dim = 256;
+  int lane_levels = 3;
+  std::int64_t lane_self_window = 700;
+  std::int64_t lane_cross_window = 1000;
+  std::int64_t lane_ffn_hidden = 1024;
+  int lane_classifiers = 3;
+  int heads = 8;
+  // Detection
+  std::int64_t det_channels = 256;
+  int det_convs_per_net = 3;
+  std::int64_t det_fc_out = 36;    // anchors x (coords | classes)
+
+  std::int64_t grid_cells() const { return grid_h * grid_w; }
+};
+
+// Shared preamble: pools the 200x80 spatio-temporal grid down to the 20x80
+// trunk grid and compresses a 64-d copy for the occupancy head.
+Model build_trunk_preamble(const TrunkConfig& cfg = {},
+                           std::int64_t fused_grid_h = 200,
+                           std::int64_t fused_grid_w = 80);
+
+// Occupancy trunk with `up_stages` 2x upsampling stages (Table III sweeps
+// 1..4, i.e. 2x..16x). Consumes the preamble's compressed 64-d grid.
+Model build_occupancy_trunk(const TrunkConfig& cfg = {}, int up_stages = -1);
+
+// Lane trunk; `context` in (0,1] is the fraction of grid regions processed
+// (context-aware computing, Fig. 11).
+Model build_lane_trunk(const TrunkConfig& cfg = {}, double context = 1.0);
+
+// One detector head (class net + box net). `head` names it, e.g. "VEH".
+Model build_detection_head(const std::string& head, const TrunkConfig& cfg = {});
+
+// All detector heads: TRAF (traffic lights), VEH (vehicles), PED
+// (pedestrians).
+std::vector<Model> build_detection_heads(const TrunkConfig& cfg = {});
+
+}  // namespace cnpu

@@ -1,0 +1,120 @@
+#include "workloads/zoo.h"
+
+namespace cnpu {
+namespace {
+
+// One ResNet-50 bottleneck block: 1x1 reduce, 3x3, 1x1 expand, residual add.
+void add_bottleneck(std::vector<LayerDesc>& layers, const std::string& name,
+                    std::int64_t in_c, std::int64_t mid_c, std::int64_t out_c,
+                    std::int64_t h, std::int64_t w, std::int64_t stride) {
+  layers.push_back(conv2d(name + "_PW1", in_c, mid_c, h, w, 1, stride));
+  layers.push_back(conv2d(name + "_C3", mid_c, mid_c, h, w, 3, 1));
+  layers.push_back(pointwise(name + "_PW2", mid_c, out_c, h, w));
+  if (in_c != out_c || stride != 1) {
+    layers.push_back(conv2d(name + "_DS", in_c, out_c, h, w, 1, stride));
+  }
+  layers.push_back(elementwise(name + "_ADD", out_c, h, w));
+}
+
+}  // namespace
+
+Model build_resnet50_classifier(std::int64_t input, std::int64_t num_classes) {
+  Model m;
+  m.name = "resnet50";
+  const std::int64_t s0 = (input + 1) / 2;   // stem conv /2
+  const std::int64_t s1 = (s0 + 1) / 2;      // pool /2
+  m.layers.push_back(conv2d("R50_STEM", 3, 64, s0, s0, 7, 2));
+  m.layers.push_back(pool("R50_POOL", 64, s1, s1, 3, 2));
+
+  struct StageCfg {
+    std::int64_t mid, out;
+    int blocks;
+  };
+  const StageCfg stages[] = {{64, 256, 3}, {128, 512, 4}, {256, 1024, 6},
+                             {512, 2048, 3}};
+  std::int64_t in_c = 64;
+  std::int64_t hw = s1;
+  for (int s = 0; s < 4; ++s) {
+    if (s > 0) hw = (hw + 1) / 2;
+    for (int b = 0; b < stages[s].blocks; ++b) {
+      const std::string name =
+          "R50_S" + std::to_string(s + 1) + "B" + std::to_string(b + 1);
+      add_bottleneck(m.layers, name, in_c, stages[s].mid, stages[s].out, hw, hw,
+                     s > 0 && b == 0 ? 2 : 1);
+      in_c = stages[s].out;
+    }
+  }
+  m.layers.push_back(pool("R50_GAP", in_c, 1, 1, hw, hw));
+  m.layers.push_back(gemm("R50_FC", 1, in_c, num_classes));
+  return m;
+}
+
+Model build_vit_encoder(std::int64_t tokens, std::int64_t dim, int depth) {
+  Model m;
+  m.name = "vit_encoder";
+  constexpr int kHeads = 12;
+  const std::int64_t head_dim = dim / kHeads;
+  m.layers.push_back(gemm("VIT_EMBED", tokens, 3 * 16 * 16, dim));
+  for (int l = 1; l <= depth; ++l) {
+    const std::string p = "VIT_L" + std::to_string(l);
+    m.layers.push_back(gemm(p + "_QKV", tokens, dim, 3 * dim));
+    m.layers.push_back(
+        attention_matmul(p + "_QK", tokens, head_dim, tokens, kHeads));
+    m.layers.push_back(elementwise(p + "_SM", tokens * kHeads, tokens, 1));
+    m.layers.push_back(
+        attention_matmul(p + "_AV", tokens, tokens, head_dim, kHeads));
+    m.layers.push_back(gemm(p + "_PROJ", tokens, dim, dim));
+    m.layers.push_back(elementwise(p + "_ADD1", dim, tokens, 1));
+    m.layers.push_back(gemm(p + "_FFN1", tokens, dim, 4 * dim));
+    m.layers.push_back(gemm(p + "_FFN2", tokens, 4 * dim, dim));
+    m.layers.push_back(elementwise(p + "_ADD2", dim, tokens, 1));
+  }
+  return m;
+}
+
+Model build_unet_segmenter(std::int64_t h, std::int64_t w, std::int64_t classes) {
+  Model m;
+  m.name = "unet";
+  struct Level {
+    std::int64_t ch, h, w;
+  };
+  std::vector<Level> levels;
+  std::int64_t ch = 32;
+  std::int64_t lh = h;
+  std::int64_t lw = w;
+  std::int64_t in_c = 3;
+  for (int l = 1; l <= 4; ++l) {
+    const std::string p = "UNET_E" + std::to_string(l);
+    m.layers.push_back(conv2d(p + "_C1", in_c, ch, lh, lw, 3, 1));
+    m.layers.push_back(conv2d(p + "_C2", ch, ch, lh, lw, 3, 1));
+    levels.push_back(Level{ch, lh, lw});
+    m.layers.push_back(pool(p + "_DOWN", ch, lh / 2, lw / 2, 2, 2));
+    in_c = ch;
+    ch *= 2;
+    lh /= 2;
+    lw /= 2;
+  }
+  m.layers.push_back(conv2d("UNET_MID", in_c, ch, lh, lw, 3, 1));
+  in_c = ch;
+  for (int l = 4; l >= 1; --l) {
+    const std::string p = "UNET_D" + std::to_string(l);
+    const Level& skip = levels[static_cast<std::size_t>(l - 1)];
+    m.layers.push_back(
+        transposed_conv(p + "_UP", in_c, skip.ch, skip.h, skip.w, 2, 2));
+    m.layers.push_back(elementwise(p + "_SKIP", skip.ch, skip.h, skip.w));
+    m.layers.push_back(conv2d(p + "_C1", skip.ch, skip.ch, skip.h, skip.w, 3, 1));
+    in_c = skip.ch;
+  }
+  m.layers.push_back(pointwise("UNET_HEAD", in_c, classes, h, w));
+  return m;
+}
+
+std::vector<ZooEntry> workload_zoo() {
+  std::vector<ZooEntry> zoo;
+  zoo.push_back(ZooEntry{build_resnet50_classifier(), "classification"});
+  zoo.push_back(ZooEntry{build_vit_encoder(), "transformer"});
+  zoo.push_back(ZooEntry{build_unet_segmenter(), "segmentation"});
+  return zoo;
+}
+
+}  // namespace cnpu

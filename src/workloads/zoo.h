@@ -1,0 +1,34 @@
+// Reference workload zoo: standard DNNs beyond the paper's perception
+// pipeline, for exercising the scheduler/cost model on foreign topologies
+// (classification, ViT encoders, encoder-decoder segmentation).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "workloads/model.h"
+
+namespace cnpu {
+
+struct ZooEntry {
+  Model model;
+  const char* domain;  // "classification", "transformer", "segmentation"
+};
+
+// ResNet-50-style bottleneck classifier over a square input.
+Model build_resnet50_classifier(std::int64_t input = 224,
+                                std::int64_t num_classes = 1000);
+
+// ViT-Base-style encoder stack: `depth` transformer blocks over `tokens`
+// patch embeddings of width `dim`.
+Model build_vit_encoder(std::int64_t tokens = 196, std::int64_t dim = 768,
+                        int depth = 12);
+
+// U-Net-style encoder/decoder segmenter over an `h x w` input.
+Model build_unet_segmenter(std::int64_t h = 256, std::int64_t w = 256,
+                           std::int64_t classes = 8);
+
+// All zoo entries (for parameterized tests and the zoo bench).
+std::vector<ZooEntry> workload_zoo();
+
+}  // namespace cnpu

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "arch/chiplet.h"
+#include "arch/nop.h"
+#include "arch/package.h"
+
+namespace cnpu {
+namespace {
+
+TEST(MeshHops, ManhattanDistance) {
+  EXPECT_EQ(mesh_hops({0, 0}, {0, 0}), 0);
+  EXPECT_EQ(mesh_hops({0, 0}, {2, 3}), 5);
+  EXPECT_EQ(mesh_hops({5, 1}, {1, 5}), 8);
+}
+
+TEST(MeshHops, Symmetric) {
+  const GridCoord a{1, 4};
+  const GridCoord b{3, 0};
+  EXPECT_EQ(mesh_hops(a, b), mesh_hops(b, a));
+}
+
+TEST(NopTransfer, PaperFormula) {
+  const NopParams p;
+  // 1 MB over 2 hops: 2*(1e6/100e9) + 2*35ns = 20us + 70ns.
+  const NopCost c = nop_transfer(p, 1e6, 2);
+  EXPECT_NEAR(c.latency_s, 2e-5 + 7e-8, 1e-12);
+  // Energy: 1e6 B * 8 b/B * 2.04 pJ/b * 2 hops.
+  EXPECT_NEAR(c.energy_j, 1e6 * 8 * 2.04e-12 * 2, 1e-15);
+}
+
+TEST(NopTransfer, ZeroHopsIsFree) {
+  const NopCost c = nop_transfer(NopParams{}, 1e9, 0);
+  EXPECT_DOUBLE_EQ(c.latency_s, 0.0);
+  EXPECT_DOUBLE_EQ(c.energy_j, 0.0);
+}
+
+TEST(NopTransfer, ScalesLinearlyInHopsAndBytes) {
+  const NopParams p;
+  const NopCost one = nop_transfer(p, 5e5, 1);
+  const NopCost two = nop_transfer(p, 5e5, 2);
+  const NopCost big = nop_transfer(p, 1e6, 1);
+  EXPECT_NEAR(two.latency_s, 2 * one.latency_s, 1e-15);
+  EXPECT_NEAR(two.energy_j, 2 * one.energy_j, 1e-18);
+  EXPECT_GT(big.latency_s, one.latency_s);
+}
+
+TEST(SimbaPackage, DefaultGeometry) {
+  const PackageConfig pkg = make_simba_package();
+  EXPECT_EQ(pkg.num_chiplets(), 36);
+  EXPECT_EQ(pkg.total_pes(), 9216);
+  for (const auto& c : pkg.chiplets()) {
+    EXPECT_EQ(c.array.num_pes, 256);
+    EXPECT_EQ(c.dataflow(), DataflowKind::kOutputStationary);
+  }
+}
+
+TEST(SimbaPackage, CoordsAreRowMajorUnique) {
+  const PackageConfig pkg = make_simba_package(2, 3);
+  EXPECT_EQ(pkg.num_chiplets(), 6);
+  EXPECT_EQ(pkg.chiplet(0).coord, (GridCoord{0, 0}));
+  EXPECT_EQ(pkg.chiplet(5).coord, (GridCoord{1, 2}));
+}
+
+TEST(SimbaPackage, HopsBetweenChiplets) {
+  const PackageConfig pkg = make_simba_package();
+  // id 0 at (0,0); id 35 at (5,5).
+  EXPECT_EQ(pkg.hops_between(0, 35), 10);
+  EXPECT_EQ(pkg.hops_between(7, 7), 0);
+}
+
+TEST(SimbaPackage, FindChipletAt) {
+  const PackageConfig pkg = make_simba_package();
+  const auto id = pkg.find_chiplet_at(GridCoord{2, 3});
+  ASSERT_TRUE(id.has_value());
+  EXPECT_EQ(*id, 2 * 6 + 3);
+  EXPECT_FALSE(pkg.find_chiplet_at(GridCoord{9, 9}).has_value());
+}
+
+TEST(SimbaPackage, IoPortOnWestEdge) {
+  const PackageConfig pkg = make_simba_package();
+  // Chiplet (2,0) is adjacent to the IO port at (2,-1).
+  const auto west = pkg.find_chiplet_at(GridCoord{2, 0});
+  ASSERT_TRUE(west.has_value());
+  EXPECT_EQ(pkg.hops_from_io(*west), 1);
+}
+
+TEST(SimbaPackage, SetChipletDataflow) {
+  PackageConfig pkg = make_simba_package(3, 3);
+  pkg.set_chiplet_dataflow(4, DataflowKind::kWeightStationary);
+  EXPECT_EQ(pkg.chiplet(4).dataflow(), DataflowKind::kWeightStationary);
+  EXPECT_EQ(pkg.chiplet(3).dataflow(), DataflowKind::kOutputStationary);
+  EXPECT_THROW(pkg.set_chiplet_dataflow(99, DataflowKind::kWeightStationary),
+               std::out_of_range);
+}
+
+TEST(MultiNpuPackage, CrossNpuHopsPenalized) {
+  const PackageConfig pkg = make_multi_npu_package(2);
+  EXPECT_EQ(pkg.num_chiplets(), 72);
+  // Same mesh position, different NPU.
+  const int same_pos_other_npu = 36;
+  EXPECT_EQ(pkg.hops_between(0, same_pos_other_npu), pkg.inter_npu_hops());
+  EXPECT_EQ(pkg.hops_between(0, 1), 1);
+}
+
+TEST(MonolithicPackage, SplitsPeBudget) {
+  const PackageConfig one = make_monolithic_package(1);
+  const PackageConfig four = make_monolithic_package(4);
+  EXPECT_EQ(one.num_chiplets(), 1);
+  EXPECT_EQ(one.chiplet(0).array.num_pes, 9216);
+  EXPECT_EQ(four.num_chiplets(), 4);
+  EXPECT_EQ(four.chiplet(0).array.num_pes, 2304);
+  EXPECT_EQ(four.total_pes(), 9216);
+}
+
+TEST(PackageConfig, TransferCostUsesMeshHops) {
+  const PackageConfig pkg = make_simba_package();
+  const NopCost c = pkg.transfer_cost(0, 35, 1e6);
+  const NopCost expect = nop_transfer(pkg.nop(), 1e6, 10);
+  EXPECT_DOUBLE_EQ(c.latency_s, expect.latency_s);
+}
+
+TEST(PackageConfig, ChipletLookupThrowsOnBadId) {
+  const PackageConfig pkg = make_simba_package(2, 2);
+  EXPECT_THROW(pkg.chiplet(77), std::out_of_range);
+}
+
+TEST(PackageConfig, WithoutChipletRemovesOne) {
+  const PackageConfig pkg = make_simba_package();
+  const PackageConfig degraded = pkg.without_chiplet(7);
+  EXPECT_EQ(degraded.num_chiplets(), 35);
+  EXPECT_EQ(degraded.total_pes(), 9216 - 256);
+  EXPECT_THROW(degraded.chiplet(7), std::out_of_range);
+  // Survivors keep ids and coordinates.
+  EXPECT_EQ(degraded.chiplet(8).coord, pkg.chiplet(8).coord);
+}
+
+TEST(PackageConfig, WithoutChipletRejectsUnknownId) {
+  const PackageConfig pkg = make_simba_package(2, 2);
+  EXPECT_THROW(pkg.without_chiplet(99), std::out_of_range);
+}
+
+TEST(PackageConfig, WithoutChipletPreservesNop) {
+  PackageConfig pkg = make_simba_package(2, 2);
+  NopParams nop = pkg.nop();
+  nop.bandwidth_bytes_per_s = 50e9;
+  pkg.set_nop(nop);
+  const PackageConfig degraded = pkg.without_chiplet(0);
+  EXPECT_DOUBLE_EQ(degraded.nop().bandwidth_bytes_per_s, 50e9);
+}
+
+TEST(PackageConfig, DescribeCountsStyles) {
+  PackageConfig pkg = make_simba_package(3, 3);
+  pkg.set_chiplet_dataflow(0, DataflowKind::kWeightStationary);
+  const std::string d = pkg.describe();
+  EXPECT_NE(d.find("8 OS"), std::string::npos);
+  EXPECT_NE(d.find("1 WS"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cnpu

@@ -1,0 +1,93 @@
+#include "core/baselines.h"
+
+#include <gtest/gtest.h>
+
+#include "workloads/autopilot.h"
+
+namespace cnpu {
+namespace {
+
+class BaselineTest : public ::testing::Test {
+ protected:
+  PerceptionPipeline front_ = build_autopilot_front();
+};
+
+TEST_F(BaselineTest, MonolithicPipeEqualsE2eCompute) {
+  const PackageConfig pkg = make_monolithic_package(1);
+  const BaselineRow row =
+      run_baseline(front_, pkg, PipelineMode::kStagewise, "1x9216");
+  // One chip: no pipelining, the initiation interval equals total busy.
+  EXPECT_NEAR(row.metrics.pipe_s, row.metrics.chiplets[0].busy_s, 1e-12);
+  EXPECT_GE(row.metrics.e2e_s, row.metrics.pipe_s);
+  EXPECT_EQ(row.metrics.chiplets_used(), 1);
+}
+
+TEST_F(BaselineTest, MorePipelineStagesLowerPipeLatency) {
+  double prev = 1e9;
+  for (int chips : {1, 2, 4}) {
+    const PackageConfig pkg = make_monolithic_package(chips);
+    const BaselineRow row = run_baseline(front_, pkg, PipelineMode::kStagewise,
+                                         std::to_string(chips));
+    EXPECT_LT(row.metrics.pipe_s, prev);
+    prev = row.metrics.pipe_s;
+  }
+}
+
+TEST_F(BaselineTest, LayerwiseBeatsStagewise) {
+  for (int chips : {2, 4}) {
+    const PackageConfig pkg = make_monolithic_package(chips);
+    const auto stage = run_baseline(front_, pkg, PipelineMode::kStagewise, "s");
+    const auto layer = run_baseline(front_, pkg, PipelineMode::kLayerwise, "l");
+    EXPECT_LE(layer.metrics.pipe_s, stage.metrics.pipe_s * 1.02) << chips;
+    EXPECT_LE(layer.metrics.e2e_s, stage.metrics.e2e_s * 1.02) << chips;
+  }
+}
+
+TEST_F(BaselineTest, AllChipsUsedByLayerwise) {
+  const PackageConfig pkg = make_monolithic_package(4);
+  const Schedule s =
+      build_baseline_schedule(front_, pkg, PipelineMode::kLayerwise);
+  EXPECT_TRUE(s.fully_assigned());
+  EXPECT_EQ(evaluate_schedule(s).chiplets_used(), 4);
+}
+
+TEST_F(BaselineTest, StagewiseKeepsStagesWhole) {
+  const PackageConfig pkg = make_monolithic_package(4);
+  const Schedule s =
+      build_baseline_schedule(front_, pkg, PipelineMode::kStagewise);
+  for (int st = 0; st < front_.num_stages(); ++st) {
+    const auto items = s.items_of_stage(st);
+    const int chip = s.placement(items.front()).primary_chiplet();
+    for (int idx : items) {
+      EXPECT_EQ(s.placement(idx).primary_chiplet(), chip) << "stage " << st;
+    }
+  }
+}
+
+TEST_F(BaselineTest, EnergyRoughlyPlacementInvariant) {
+  // Same chips, different pipelining: compute energy within 5%.
+  const PackageConfig pkg = make_monolithic_package(2);
+  const auto a = run_baseline(front_, pkg, PipelineMode::kStagewise, "s");
+  const auto b = run_baseline(front_, pkg, PipelineMode::kLayerwise, "l");
+  EXPECT_NEAR(a.metrics.compute_energy_j, b.metrics.compute_energy_j,
+              a.metrics.compute_energy_j * 0.05);
+}
+
+TEST_F(BaselineTest, UtilizationImprovesWithChipCount) {
+  double prev = 0.0;
+  for (int chips : {1, 2, 4}) {
+    const PackageConfig pkg = make_monolithic_package(chips);
+    const auto row =
+        run_baseline(front_, pkg, PipelineMode::kLayerwise, "x");
+    EXPECT_GT(row.metrics.utilization, prev);
+    prev = row.metrics.utilization;
+  }
+}
+
+TEST(PipelineModeName, Strings) {
+  EXPECT_STREQ(pipeline_mode_name(PipelineMode::kStagewise), "Stagewise");
+  EXPECT_STREQ(pipeline_mode_name(PipelineMode::kLayerwise), "Layerwise");
+}
+
+}  // namespace
+}  // namespace cnpu

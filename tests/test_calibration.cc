@@ -1,0 +1,171 @@
+// Pins the calibrated per-layer/per-model latencies against the values the
+// paper reports in Sec. III/IV. These are the anchors the whole reproduction
+// hangs on; if a calibration constant changes, these tests say what moved.
+#include <gtest/gtest.h>
+
+#include "dataflow/cost_model.h"
+#include "workloads/autopilot.h"
+#include "workloads/fusion.h"
+
+namespace cnpu {
+namespace {
+
+PeArrayConfig os() { return make_pe_array(DataflowKind::kOutputStationary); }
+PeArrayConfig ws() { return make_pe_array(DataflowKind::kWeightStationary); }
+
+double model_ms(const Model& m, const PeArrayConfig& a) {
+  return analyze_layers(m.layers, a).latency_s * 1e3;
+}
+
+double layer_ms(const Model& m, const std::string& name,
+                const PeArrayConfig& a) {
+  for (const auto& l : m.layers) {
+    if (l.name == name) return analyze_layer(l, a).latency_s * 1e3;
+  }
+  ADD_FAILURE() << "no layer named " << name;
+  return 0.0;
+}
+
+class CalibrationTest : public ::testing::Test {
+ protected:
+  AutopilotConfig cfg_;
+  Model fe_ = build_fe_bfpn_model("FE", cfg_.fe, cfg_.bifpn);
+  Model sfuse_ = build_spatial_fusion_model(cfg_.fusion);
+  Model tfuse_ = build_temporal_fusion_model(cfg_.fusion);
+};
+
+// Paper Fig. 5: FE+BFPN ~82.7 ms on one OS chiplet (the base latency).
+TEST_F(CalibrationTest, FeBfpnNearPaperBaseLatency) {
+  EXPECT_NEAR(model_ms(fe_, os()), 82.7, 8.0);
+}
+
+// Paper Sec. IV-B: S_FUSE per-layer latencies 78.7 / 20.5 / 236 ms.
+TEST_F(CalibrationTest, SpatialQkvNearPaper) {
+  EXPECT_NEAR(layer_ms(sfuse_, "S_QKV_Proj", os()), 78.7, 12.0);
+}
+
+TEST_F(CalibrationTest, SpatialAttentionNearPaper) {
+  const double attn = layer_ms(sfuse_, "S_ATTN_QK", os()) +
+                      layer_ms(sfuse_, "S_SOFTMAX", os()) +
+                      layer_ms(sfuse_, "S_ATTN_AV", os());
+  EXPECT_NEAR(attn, 20.5, 6.0);
+}
+
+TEST_F(CalibrationTest, SpatialFfnNearPaper) {
+  const double ffn =
+      layer_ms(sfuse_, "S_FFN1", os()) + layer_ms(sfuse_, "S_FFN2", os());
+  EXPECT_NEAR(ffn, 236.0, 30.0);
+}
+
+// Paper Sec. IV-B: T_FUSE per-layer latencies 165.6 / 36.4 / 490.2 ms.
+TEST_F(CalibrationTest, TemporalQkvNearPaper) {
+  EXPECT_NEAR(layer_ms(tfuse_, "T_QKV_Proj", os()), 165.6, 40.0);
+}
+
+TEST_F(CalibrationTest, TemporalAttentionNearPaper) {
+  const double attn = layer_ms(tfuse_, "T_ATTN_QK", os()) +
+                      layer_ms(tfuse_, "T_SOFTMAX", os()) +
+                      layer_ms(tfuse_, "T_ATTN_AV", os());
+  EXPECT_NEAR(attn, 36.4, 10.0);
+}
+
+TEST_F(CalibrationTest, TemporalFfnNearPaper) {
+  const double ffn =
+      layer_ms(tfuse_, "T_FFN1", os()) + layer_ms(tfuse_, "T_FFN2", os());
+  EXPECT_NEAR(ffn, 490.2, 50.0);
+}
+
+// Paper Fig. 3: fusion dominates - T_FUSE 52-54%, S_FUSE 25-28% of the
+// single-camera pipeline latency.
+TEST_F(CalibrationTest, FusionSharesMatchFig3) {
+  const PerceptionPipeline pipe = build_autopilot_pipeline(cfg_);
+  double total = 0.0;
+  double s = 0.0;
+  double t = 0.0;
+  for (const auto& stage : pipe.stages) {
+    for (const auto& sm : stage.models) {
+      const double ms = model_ms(sm.model, os());
+      if (stage.name == "FE_BFPN" && sm.model.name != "FE_BFPN_CAM0") continue;
+      total += ms;
+      if (stage.name == "S_FUSE") s += ms;
+      if (stage.name == "T_FUSE") t += ms;
+    }
+  }
+  EXPECT_GT(t / total, 0.45);
+  EXPECT_LT(t / total, 0.60);
+  EXPECT_GT(s / total, 0.20);
+  EXPECT_LT(s / total, 0.33);
+}
+
+// Paper Fig. 3: OS ~6.85x faster than WS across the workloads.
+TEST_F(CalibrationTest, OsSpeedupNearPaper) {
+  const PerceptionPipeline pipe = build_autopilot_pipeline(cfg_);
+  double os_total = 0.0;
+  double ws_total = 0.0;
+  for (const auto& stage : pipe.stages) {
+    for (const auto& sm : stage.models) {
+      os_total += model_ms(sm.model, os());
+      ws_total += model_ms(sm.model, ws());
+    }
+  }
+  const double speedup = ws_total / os_total;
+  EXPECT_GT(speedup, 4.5);
+  EXPECT_LT(speedup, 9.0);
+}
+
+// Paper Fig. 3: WS is more energy-efficient on the non-fusion workloads.
+TEST_F(CalibrationTest, WsEnergyAdvantageOffFusion) {
+  const double fe_os = analyze_layers(fe_.layers, os()).energy_j();
+  const double fe_ws = analyze_layers(fe_.layers, ws()).energy_j();
+  EXPECT_LT(fe_ws, fe_os);
+  EXPECT_GT(fe_os / fe_ws, 1.05);  // at least ~5% (paper: 1.2-1.55x)
+}
+
+// Paper Fig. 4 (mid): fusion modules are OS-affine in energy too.
+TEST_F(CalibrationTest, OsEnergyAdvantageOnFusion) {
+  const double s_os = analyze_layers(sfuse_.layers, os()).energy_j();
+  const double s_ws = analyze_layers(sfuse_.layers, ws()).energy_j();
+  EXPECT_LT(s_os, s_ws);
+}
+
+// Paper Table III: occupancy E2E scales ~1 : 5 : 21 : 87 with upsampling.
+TEST_F(CalibrationTest, OccupancyScalingRatios) {
+  std::vector<double> e2e;
+  for (int stages = 1; stages <= 4; ++stages) {
+    const Model occ = build_occupancy_trunk(cfg_.trunks, stages);
+    e2e.push_back(analyze_layers(occ.layers, os()).latency_s);
+  }
+  EXPECT_NEAR(e2e[1] / e2e[0], 5.0, 1.5);
+  EXPECT_NEAR(e2e[2] / e2e[0], 21.0, 5.0);
+  EXPECT_NEAR(e2e[3] / e2e[0], 85.0, 20.0);
+}
+
+// Paper Table III: the final upsampling layer contributes ~75% of latency.
+TEST_F(CalibrationTest, OccupancyLastLayerDominates) {
+  const Model occ = build_occupancy_trunk(cfg_.trunks, 4);
+  const double total = analyze_layers(occ.layers, os()).latency_s;
+  const double last = analyze_layer(occ.layers.back(), os()).latency_s;
+  EXPECT_GT(last / total, 0.65);
+  EXPECT_LT(last / total, 0.85);
+}
+
+// Paper Fig. 11: full-context lane processing exceeds the 82 ms budget; the
+// default gated operating point (60%) fits it.
+TEST_F(CalibrationTest, LaneContextOperatingPoints) {
+  const Model full = build_lane_trunk(cfg_.trunks, 1.0);
+  const Model gated = build_lane_trunk(cfg_.trunks, 0.6);
+  EXPECT_GT(model_ms(full, os()), 82.0);
+  EXPECT_LT(model_ms(gated, os()), 82.0);
+}
+
+// Paper Table I: detection heads are where WS saves energy.
+TEST_F(CalibrationTest, DetectionHeadsWsEnergyWin) {
+  const Model det = build_detection_head("VEH", cfg_.trunks);
+  const double e_os = analyze_layers(det.layers, os()).energy_j();
+  const double e_ws = analyze_layers(det.layers, ws()).energy_j();
+  EXPECT_LT(e_ws, e_os);
+  EXPECT_GT(e_os / e_ws, 1.08);
+}
+
+}  // namespace
+}  // namespace cnpu

@@ -1,0 +1,64 @@
+#include "core/context_gating.h"
+
+#include <gtest/gtest.h>
+
+namespace cnpu {
+namespace {
+
+const std::vector<double> kPaperFractions{1.0, 0.9, 0.75, 0.6,
+                                          0.5, 0.4, 0.25, 0.1};
+
+class ContextGatingTest : public ::testing::Test {
+ protected:
+  TrunkConfig cfg_;
+  PeArrayConfig os_ = make_pe_array(DataflowKind::kOutputStationary);
+  std::vector<ContextSweepPoint> sweep_ =
+      lane_context_sweep(cfg_, os_, kPaperFractions, 0.082);
+};
+
+TEST_F(ContextGatingTest, OnePointPerFraction) {
+  ASSERT_EQ(sweep_.size(), kPaperFractions.size());
+  for (std::size_t i = 0; i < sweep_.size(); ++i) {
+    EXPECT_DOUBLE_EQ(sweep_[i].context, kPaperFractions[i]);
+  }
+}
+
+TEST_F(ContextGatingTest, LatencyMonotoneInContext) {
+  for (std::size_t i = 1; i < sweep_.size(); ++i) {
+    EXPECT_LT(sweep_[i].latency_s, sweep_[i - 1].latency_s);
+  }
+}
+
+TEST_F(ContextGatingTest, EnergyMonotoneInContext) {
+  for (std::size_t i = 1; i < sweep_.size(); ++i) {
+    EXPECT_LT(sweep_[i].energy_j, sweep_[i - 1].energy_j);
+  }
+}
+
+TEST_F(ContextGatingTest, FullContextViolatesThreshold) {
+  EXPECT_FALSE(sweep_.front().meets_threshold);
+}
+
+TEST_F(ContextGatingTest, LowContextMeetsThreshold) {
+  EXPECT_TRUE(sweep_.back().meets_threshold);
+}
+
+TEST_F(ContextGatingTest, CrossoverNearSixtyPercent) {
+  // Paper Sec. V-C: "around 60% computing satisfies the latency constraint".
+  const double feasible = max_feasible_context(sweep_);
+  EXPECT_GE(feasible, 0.4);
+  EXPECT_LE(feasible, 0.75);
+}
+
+TEST_F(ContextGatingTest, ThresholdFlagConsistent) {
+  for (const auto& p : sweep_) {
+    EXPECT_EQ(p.meets_threshold, p.latency_s <= 0.082);
+  }
+}
+
+TEST(ContextGating, MaxFeasibleOnEmptySweepIsZero) {
+  EXPECT_DOUBLE_EQ(max_feasible_context({}), 0.0);
+}
+
+}  // namespace
+}  // namespace cnpu

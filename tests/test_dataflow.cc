@@ -1,0 +1,84 @@
+#include "dataflow/dataflow.h"
+
+#include <gtest/gtest.h>
+
+namespace cnpu {
+namespace {
+
+TEST(BalancedDims, PerfectSquares) {
+  std::int64_t h = 0;
+  std::int64_t w = 0;
+  balanced_dims(256, h, w);
+  EXPECT_EQ(h, 16);
+  EXPECT_EQ(w, 16);
+  balanced_dims(9216, h, w);
+  EXPECT_EQ(h, 96);
+  EXPECT_EQ(w, 96);
+}
+
+TEST(BalancedDims, NonSquares) {
+  std::int64_t h = 0;
+  std::int64_t w = 0;
+  balanced_dims(4608, h, w);
+  EXPECT_EQ(h * w, 4608);
+  EXPECT_LE(h, w);
+  EXPECT_EQ(h, 64);
+  balanced_dims(2304, h, w);
+  EXPECT_EQ(h, 48);
+  EXPECT_EQ(w, 48);
+}
+
+TEST(BalancedDims, Primes) {
+  std::int64_t h = 0;
+  std::int64_t w = 0;
+  balanced_dims(7, h, w);
+  EXPECT_EQ(h, 1);
+  EXPECT_EQ(w, 7);
+}
+
+TEST(MakePeArray, DefaultChiplet) {
+  const PeArrayConfig a = make_pe_array(DataflowKind::kOutputStationary);
+  EXPECT_EQ(a.num_pes, 256);
+  EXPECT_EQ(a.array_h, 16);
+  EXPECT_EQ(a.tile_h, 16);
+  EXPECT_DOUBLE_EQ(a.frequency_hz, 2e9);
+  EXPECT_DOUBLE_EQ(a.gb_bandwidth, cal::kBwOsElemsPerCycle);
+}
+
+TEST(MakePeArray, WsBandwidthLower) {
+  const PeArrayConfig os = make_pe_array(DataflowKind::kOutputStationary);
+  const PeArrayConfig ws = make_pe_array(DataflowKind::kWeightStationary);
+  EXPECT_LT(ws.gb_bandwidth, os.gb_bandwidth);
+}
+
+TEST(MakePeArray, MonolithicKeepsNativeTileAndBandwidth) {
+  const PeArrayConfig big = make_pe_array(DataflowKind::kOutputStationary, 9216);
+  EXPECT_EQ(big.tile_h, 16);
+  EXPECT_EQ(big.tile_w, 16);
+  // Per-mapping-instance port: no scaling with die size.
+  EXPECT_DOUBLE_EQ(big.gb_bandwidth, cal::kBwOsElemsPerCycle);
+}
+
+TEST(MakePeArray, TinyArrayShrinksTile) {
+  const PeArrayConfig tiny = make_pe_array(DataflowKind::kOutputStationary, 64);
+  EXPECT_EQ(tiny.array_h, 8);
+  EXPECT_LE(tiny.tile_h, tiny.array_h);
+}
+
+TEST(DataflowNames, Stable) {
+  EXPECT_STREQ(dataflow_name(DataflowKind::kOutputStationary), "OS");
+  EXPECT_STREQ(dataflow_name(DataflowKind::kWeightStationary), "WS");
+  EXPECT_STREQ(dataflow_style(DataflowKind::kOutputStationary),
+               "Shidiannao-like");
+  EXPECT_STREQ(dataflow_style(DataflowKind::kWeightStationary), "NVDLA-like");
+}
+
+TEST(Describe, MentionsDataflowAndPes) {
+  const PeArrayConfig a = make_pe_array(DataflowKind::kOutputStationary);
+  const std::string d = a.describe();
+  EXPECT_NE(d.find("OS"), std::string::npos);
+  EXPECT_NE(d.find("256"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cnpu

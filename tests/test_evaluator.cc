@@ -1,0 +1,184 @@
+#include "core/evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include "dataflow/cost_model.h"
+
+namespace cnpu {
+namespace {
+
+// Small two-stage pipeline: one conv chain, then two parallel GEMM models.
+PerceptionPipeline tiny_pipeline() {
+  PerceptionPipeline p;
+  p.name = "tiny";
+  Model chain;
+  chain.name = "CHAIN";
+  chain.layers = {conv2d("C1", 16, 16, 32, 32, 3), conv2d("C2", 16, 16, 32, 32, 3)};
+  p.stages.push_back(Stage{"S0", {{chain, false}}});
+
+  Model a;
+  a.name = "A";
+  a.layers = {gemm("GA", 4096, 64, 64)};
+  Model b;
+  b.name = "B";
+  b.layers = {gemm("GB", 4096, 64, 64)};
+  p.stages.push_back(Stage{"S1", {{a, false}, {b, false}}});
+  return p;
+}
+
+double solo_latency(const LayerDesc& l, const PackageConfig& pkg, int chiplet) {
+  return analyze_layer(l, pkg.chiplet(chiplet).array).latency_s;
+}
+
+class EvaluatorTest : public ::testing::Test {
+ protected:
+  PerceptionPipeline pipe_ = tiny_pipeline();
+  PackageConfig pkg_ = make_simba_package(2, 2);
+  Schedule sched_{pipe_, pkg_};
+};
+
+TEST_F(EvaluatorTest, ThrowsOnUnassignedItems) {
+  EXPECT_THROW(evaluate_schedule(sched_), std::logic_error);
+}
+
+TEST_F(EvaluatorTest, SingleChipletSerializesEverything) {
+  for (int i = 0; i < sched_.num_items(); ++i) sched_.assign(i, 0);
+  const ScheduleMetrics m = evaluate_schedule(sched_);
+  double sum = 0.0;
+  for (int i = 0; i < sched_.num_items(); ++i) {
+    sum += solo_latency(*sched_.item(i).desc, pkg_, 0);
+  }
+  EXPECT_NEAR(m.pipe_s, sum, 1e-12);
+  // E2E adds the camera-input NoP edge but no inter-chiplet edges.
+  EXPECT_GE(m.e2e_s, sum);
+  EXPECT_EQ(m.chiplets_used(), 1);
+}
+
+TEST_F(EvaluatorTest, ParallelModelsOverlapInE2e) {
+  // Chain on chiplet 0; A and B on chiplets 1 and 2.
+  const auto& chain = sched_.items_of_model(0, 0);
+  for (int idx : chain) sched_.assign(idx, 0);
+  sched_.assign(sched_.items_of_model(1, 0)[0], 1);
+  sched_.assign(sched_.items_of_model(1, 1)[0], 2);
+  const ScheduleMetrics m = evaluate_schedule(sched_);
+
+  const double ga = solo_latency(*sched_.item(sched_.items_of_model(1, 0)[0]).desc, pkg_, 1);
+  // Stage 1 E2E ~ max of the two parallel chains, not their sum.
+  EXPECT_NEAR(m.stages[1].e2e_s, ga + m.stages[1].nop.latency_s, ga * 0.05);
+  // Pipe: the busiest single chiplet (the GEMM hosts outweigh the chain).
+  const double chain_busy = solo_latency(*sched_.item(chain[0]).desc, pkg_, 0) +
+                            solo_latency(*sched_.item(chain[1]).desc, pkg_, 0);
+  EXPECT_NEAR(m.pipe_s, std::max(chain_busy, ga), 1e-12);
+}
+
+TEST_F(EvaluatorTest, ShardingReducesItemLatency) {
+  const auto& chain = sched_.items_of_model(0, 0);
+  for (int idx : chain) sched_.assign(idx, 0);
+  const int ga = sched_.items_of_model(1, 0)[0];
+  const int gb = sched_.items_of_model(1, 1)[0];
+  sched_.assign(gb, 3);
+
+  sched_.assign(ga, 1);
+  const double solo = item_latency_s(sched_, ga);
+  sched_.assign_sharded(ga, {1, 2});
+  const double sharded = item_latency_s(sched_, ga);
+  EXPECT_LT(sharded, solo * 0.6);
+  EXPECT_GT(sharded, solo * 0.4);
+}
+
+TEST_F(EvaluatorTest, NopEdgesAppearAcrossChiplets) {
+  // Chain split across chiplets 0 and 3 (2 hops apart in a 2x2 mesh).
+  const auto& chain = sched_.items_of_model(0, 0);
+  sched_.assign(chain[0], 0);
+  sched_.assign(chain[1], 3);
+  sched_.assign(sched_.items_of_model(1, 0)[0], 1);
+  sched_.assign(sched_.items_of_model(1, 1)[0], 2);
+  const ScheduleMetrics m = evaluate_schedule(sched_);
+  EXPECT_GT(m.stages[0].nop.energy_j, 0.0);
+  EXPECT_GT(m.nop.latency_s, 0.0);
+
+  // Co-locating the chain removes the intra-model edge energy.
+  sched_.assign(chain[1], 0);
+  const ScheduleMetrics m2 = evaluate_schedule(sched_);
+  EXPECT_LT(m2.stages[0].nop.energy_j, m.stages[0].nop.energy_j);
+}
+
+TEST_F(EvaluatorTest, EnergyIndependentOfPlacementComputePart) {
+  // Compute energy is placement-invariant on a homogeneous package.
+  for (int i = 0; i < sched_.num_items(); ++i) sched_.assign(i, 0);
+  const double e1 = evaluate_schedule(sched_).compute_energy_j;
+  for (int i = 0; i < sched_.num_items(); ++i) sched_.assign(i, i % 4);
+  const double e2 = evaluate_schedule(sched_).compute_energy_j;
+  EXPECT_NEAR(e1, e2, e1 * 0.01);
+}
+
+TEST_F(EvaluatorTest, UtilizationWithinBounds) {
+  for (int i = 0; i < sched_.num_items(); ++i) sched_.assign(i, i % 4);
+  const ScheduleMetrics m = evaluate_schedule(sched_);
+  EXPECT_GT(m.utilization, 0.0);
+  EXPECT_LE(m.utilization, 1.0);
+}
+
+TEST_F(EvaluatorTest, EdpIsEnergyTimesPipe) {
+  for (int i = 0; i < sched_.num_items(); ++i) sched_.assign(i, 0);
+  const ScheduleMetrics m = evaluate_schedule(sched_);
+  EXPECT_NEAR(m.edp_j_ms(), m.energy_j() * m.pipe_s * 1e3, 1e-12);
+}
+
+TEST_F(EvaluatorTest, StageBusyAccounting) {
+  for (int i = 0; i < sched_.num_items(); ++i) sched_.assign(i, 0);
+  const ScheduleMetrics m = evaluate_schedule(sched_);
+  const ChipletUsage& u = m.chiplets[0];
+  ASSERT_EQ(u.stage_busy_s.size(), 2u);
+  EXPECT_NEAR(u.stage_busy_s[0] + u.stage_busy_s[1], u.busy_s, 1e-15);
+  EXPECT_NEAR(m.stages[0].pipe_s, u.stage_busy_s[0], 1e-15);
+}
+
+TEST_F(EvaluatorTest, TotalMacsMatchesPipeline) {
+  for (int i = 0; i < sched_.num_items(); ++i) sched_.assign(i, 0);
+  const ScheduleMetrics m = evaluate_schedule(sched_);
+  EXPECT_NEAR(m.total_macs, pipe_.macs(), pipe_.macs() * 1e-9);
+}
+
+// Prefix models gate the stage's parallel models.
+TEST(EvaluatorPrefix, PrefixChainAddsToStageE2e) {
+  PerceptionPipeline p;
+  Model pre;
+  pre.name = "PRE";
+  pre.layers = {gemm("P", 4096, 64, 64)};
+  Model body;
+  body.name = "BODY";
+  body.layers = {gemm("B", 4096, 64, 64)};
+  p.stages.push_back(Stage{"S", {{pre, true}, {body, false}}});
+
+  const PackageConfig pkg = make_simba_package(1, 2);
+  Schedule sched(p, pkg);
+  sched.assign(0, 0);
+  sched.assign(1, 1);
+  const ScheduleMetrics m = evaluate_schedule(sched);
+  const double lp = analyze_layer(pre.layers[0], pkg.chiplet(0).array).latency_s;
+  const double lb = analyze_layer(body.layers[0], pkg.chiplet(1).array).latency_s;
+  EXPECT_GE(m.stages[0].e2e_s, lp + lb);
+}
+
+// Heterogeneous placement: the same layer is slower on a WS chiplet.
+TEST(EvaluatorHetero, WsChipletSlowsConvs) {
+  PerceptionPipeline p;
+  Model m1;
+  m1.name = "M";
+  m1.layers = {conv2d("C", 64, 64, 90, 160, 3)};
+  p.stages.push_back(Stage{"S", {{m1, false}}});
+
+  PackageConfig pkg = make_simba_package(1, 2);
+  pkg.set_chiplet_dataflow(1, DataflowKind::kWeightStationary);
+  Schedule sched(p, pkg);
+
+  sched.assign(0, 0);
+  const double on_os = evaluate_schedule(sched).pipe_s;
+  sched.assign(0, 1);
+  const double on_ws = evaluate_schedule(sched).pipe_s;
+  EXPECT_GT(on_ws, on_os * 2.0);
+}
+
+}  // namespace
+}  // namespace cnpu

@@ -1,0 +1,133 @@
+// Randomized property tests (deterministic seeds): the cost model, mapping
+// analysis, and sharding must hold their invariants over arbitrary layer
+// shapes, not just the perception suite.
+#include <gtest/gtest.h>
+
+#include "dataflow/cost_model.h"
+#include "dataflow/mapping_analysis.h"
+
+namespace cnpu {
+namespace {
+
+// Small deterministic LCG so failures reproduce exactly.
+class Lcg {
+ public:
+  explicit Lcg(std::uint64_t seed) : state_(seed) {}
+  std::uint64_t next() {
+    state_ = state_ * 6364136223846793005ull + 1442695040888963407ull;
+    return state_ >> 33;
+  }
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(next() % static_cast<std::uint64_t>(hi - lo + 1));
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+LayerDesc random_layer(Lcg& rng, int tag) {
+  const int kind = static_cast<int>(rng.range(0, 5));
+  const std::string name = "fuzz_" + std::to_string(tag);
+  switch (kind) {
+    case 0:
+      return conv2d(name, rng.range(1, 512), rng.range(1, 512),
+                    rng.range(1, 256), rng.range(1, 256), rng.range(1, 7),
+                    rng.range(1, 2));
+    case 1:
+      return depthwise(name, rng.range(1, 512), rng.range(1, 128),
+                       rng.range(1, 128), rng.range(1, 5), rng.range(1, 2));
+    case 2: {
+      const std::int64_t up = 2;
+      return transposed_conv(name, rng.range(1, 256), rng.range(1, 256),
+                             rng.range(1, 64) * up, rng.range(1, 64) * up,
+                             rng.range(2, 5), up);
+    }
+    case 3:
+      return gemm(name, rng.range(1, 200000), rng.range(1, 1024),
+                  rng.range(1, 1024));
+    case 4: {
+      const int heads = 8;
+      return attention_matmul(name, rng.range(1, 20000), rng.range(1, 64),
+                              rng.range(1, 128), heads);
+    }
+    default:
+      return elementwise(name, rng.range(1, 512), rng.range(1, 256),
+                         rng.range(1, 256));
+  }
+}
+
+class FuzzSeed : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzSeed, CostModelInvariantsHold) {
+  Lcg rng(static_cast<std::uint64_t>(GetParam()) * 7919u + 17u);
+  for (int i = 0; i < 40; ++i) {
+    const LayerDesc l = random_layer(rng, i);
+    ASSERT_TRUE(l.validate().empty()) << l.name;
+    for (auto kind : {DataflowKind::kOutputStationary,
+                      DataflowKind::kWeightStationary}) {
+      const PeArrayConfig a = make_pe_array(kind);
+      const CostReport r = analyze_layer(l, a);
+      EXPECT_GT(r.latency_s, 0.0) << l.name;
+      EXPECT_LE(r.rate, static_cast<double>(a.num_pes) + 1e-9) << l.name;
+      EXPECT_GE(r.cycles * static_cast<double>(a.num_pes) * 1.001, r.macs)
+          << l.name;
+      EXPECT_GE(r.energy.total_pj(), 0.0) << l.name;
+      EXPECT_LE(r.spatial_util, 1.0 + 1e-9) << l.name;
+      EXPECT_GE(r.traffic.total_elems(), 0.0) << l.name;
+    }
+  }
+}
+
+TEST_P(FuzzSeed, ShardingConservesWork) {
+  Lcg rng(static_cast<std::uint64_t>(GetParam()) * 104729u + 3u);
+  for (int i = 0; i < 25; ++i) {
+    const LayerDesc l = random_layer(rng, i);
+    const int n = static_cast<int>(rng.range(2, 8));
+    if (l.y < n) continue;
+    double macs = 0.0;
+    for (int s = 0; s < n; ++s) {
+      macs += shard_layer(l, n, s).macs();
+    }
+    EXPECT_NEAR(macs, l.macs(), l.macs() * 1e-9) << l.name;
+  }
+}
+
+TEST_P(FuzzSeed, ShardLatencyMonotoneInShardCount) {
+  Lcg rng(static_cast<std::uint64_t>(GetParam()) * 65537u + 11u);
+  const PeArrayConfig os = make_pe_array(DataflowKind::kOutputStationary);
+  for (int i = 0; i < 15; ++i) {
+    LayerDesc l = random_layer(rng, i);
+    if (l.y < 64) l.y = 64 + l.y;
+    double prev = analyze_layer(l, os).latency_s;
+    for (int n : {2, 4, 8}) {
+      const double cur = analyze_layer(shard_layer(l, n, 0), os).latency_s;
+      EXPECT_LE(cur, prev * 1.02) << l.name << " n=" << n;
+      prev = cur;
+    }
+  }
+}
+
+TEST_P(FuzzSeed, MappingAnalysisInvariantsHold) {
+  Lcg rng(static_cast<std::uint64_t>(GetParam()) * 2654435761u + 5u);
+  const std::vector<MappingSpec> specs{shidiannao_mapping(), nvdla_mapping(),
+                                       eyeriss_mapping(), os_token_mapping()};
+  for (int i = 0; i < 20; ++i) {
+    const LayerDesc l = random_layer(rng, i);
+    for (const auto& spec : specs) {
+      const MappingAnalysis a = analyze_mapping(l, spec);
+      EXPECT_GE(a.spatial_util, 0.0) << spec.name << "/" << l.name;
+      EXPECT_LE(a.spatial_util, 1.0 + 1e-9) << spec.name << "/" << l.name;
+      EXPECT_GE(a.temporal_steps, 1.0) << spec.name;
+      // Step capacity covers the MAC iteration space (ceil slack allowed).
+      EXPECT_GE(a.temporal_steps * a.step_work * 1.001, l.macs())
+          << spec.name << "/" << l.name;
+      EXPECT_GE(a.psum_recirc_elems, -1e-6) << spec.name;
+      EXPECT_GE(a.staging_elems, 0.0) << spec.name;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeed, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace cnpu

@@ -1,0 +1,142 @@
+// End-to-end reproduction checks: the headline claims of the paper's
+// evaluation section, asserted on the full library stack.
+#include <gtest/gtest.h>
+
+#include "core/baselines.h"
+#include "core/report.h"
+#include "core/throughput_matching.h"
+#include "workloads/autopilot.h"
+
+namespace cnpu {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static const MatchResult& mcm() {
+    static const MatchResult r = [] {
+      static const PerceptionPipeline pipe = build_autopilot_front();
+      static const PackageConfig pkg = make_simba_package();
+      return throughput_matching(pipe, pkg);
+    }();
+    return r;
+  }
+  static const ScheduleMetrics& mono() {
+    static const ScheduleMetrics m = [] {
+      static const PerceptionPipeline pipe = build_autopilot_front();
+      static const PackageConfig pkg = make_monolithic_package(1);
+      return run_baseline(pipe, pkg, PipelineMode::kStagewise, "1x9216")
+          .metrics;
+    }();
+    return m;
+  }
+};
+
+// Abstract claim: higher throughput than monolithic designs.
+TEST_F(IntegrationTest, McmThroughputFarExceedsMonolithic) {
+  // Paper Table II: pipe 1.8 s -> 0.09 s (20x). Require at least 10x.
+  EXPECT_GT(mono().pipe_s / mcm().metrics.pipe_s, 10.0);
+}
+
+// Abstract claim: 2.8x utilization increase (ours is larger; same sign).
+TEST_F(IntegrationTest, McmUtilizationFarExceedsMonolithic) {
+  EXPECT_GT(mcm().metrics.utilization, mono().utilization * 2.8);
+}
+
+// Table II: the 36x256 configuration achieves the lowest EDP.
+TEST_F(IntegrationTest, McmHasLowestEdp) {
+  const PerceptionPipeline front = build_autopilot_front();
+  for (int chips : {1, 2, 4}) {
+    const PackageConfig pkg = make_monolithic_package(chips);
+    for (auto mode : {PipelineMode::kStagewise, PipelineMode::kLayerwise}) {
+      const auto row = run_baseline(front, pkg, mode, "x");
+      EXPECT_LT(mcm().metrics.edp_j_ms(), row.metrics.edp_j_ms());
+    }
+  }
+}
+
+// Table II: the MCM pays an energy premium over the monolithic chip.
+TEST_F(IntegrationTest, McmEnergyOverheadPositiveButBounded) {
+  const double overhead = mcm().metrics.energy_j() / mono().energy_j() - 1.0;
+  EXPECT_GT(overhead, 0.0);
+  EXPECT_LT(overhead, 0.25);  // paper: +10.9%
+}
+
+// Table II magnitudes: pipe ~0.09 s for the MCM, ~1.8 s monolithic.
+TEST_F(IntegrationTest, PipeMagnitudesNearPaper) {
+  EXPECT_NEAR(mcm().metrics.pipe_s, 0.09, 0.025);
+  EXPECT_NEAR(mono().pipe_s, 1.8, 0.4);
+}
+
+// Table II magnitudes: E2E ~0.5 s MCM vs ~1.8 s monolithic.
+TEST_F(IntegrationTest, E2eMagnitudesNearPaper) {
+  EXPECT_NEAR(mcm().metrics.e2e_s, 0.5, 0.15);
+  EXPECT_NEAR(mono().e2e_s, 1.8, 0.4);
+}
+
+// MCM utilization ~54% (paper Table II).
+TEST_F(IntegrationTest, McmUtilizationNearPaper) {
+  EXPECT_GT(mcm().metrics.utilization, 0.30);
+  EXPECT_LT(mcm().metrics.utilization, 0.70);
+}
+
+// Figs. 5-8 mapping summaries: every stage pipe within the base tolerance.
+TEST_F(IntegrationTest, FullPipelineStagePipesMatched) {
+  const PerceptionPipeline full = build_autopilot_pipeline();
+  const PackageConfig pkg = make_simba_package();
+  const MatchResult r = throughput_matching(full, pkg);
+  ASSERT_TRUE(r.converged);
+  for (const auto& s : r.metrics.stages) {
+    EXPECT_LT(s.pipe_s * 1e3, 92.0) << s.name;  // ~82.7 * 1.1
+  }
+  // Fig. 5: FE stage E2E ~82.7 ms; Fig. 7: T_FUSE E2E ~200 ms.
+  EXPECT_NEAR(r.metrics.stages[0].e2e_s * 1e3, 82.7, 9.0);
+  EXPECT_NEAR(r.metrics.stages[2].e2e_s * 1e3, 200.5, 80.0);
+}
+
+// Fig. 9: NoP overheads are orders of magnitude below compute latency.
+TEST_F(IntegrationTest, NopLatencyOrdersBelowCompute) {
+  EXPECT_LT(mcm().metrics.nop.latency_s, mcm().metrics.e2e_s * 0.05);
+}
+
+// The report helpers format the paper metrics without throwing.
+TEST_F(IntegrationTest, ReportFormatting) {
+  const MetricStrings ms = format_metrics(mcm().metrics);
+  EXPECT_FALSE(ms.e2e.empty());
+  EXPECT_FALSE(ms.utilization.empty());
+  const std::string table = stage_summary_table(mcm().metrics, "t");
+  EXPECT_NE(table.find("TOTAL"), std::string::npos);
+  EXPECT_EQ(delta_percent(0.9, 1.0), "-10.0%");
+}
+
+// The mesh map renders every chiplet with a stage tag or idle marker.
+TEST_F(IntegrationTest, MeshBusyMapRendersAllChiplets) {
+  const std::string map =
+      mesh_busy_map(mcm().metrics, mcm().schedule.package());
+  // 6 mesh rows plus the title line.
+  int lines = 0;
+  for (char c : map) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 7);
+  // Stage tags 0..2 all present (stages 1-3 pipeline).
+  EXPECT_NE(map.find("/0"), std::string::npos);
+  EXPECT_NE(map.find("/1"), std::string::npos);
+  EXPECT_NE(map.find("/2"), std::string::npos);
+}
+
+// Chiplet-count sweep: steady-state throughput improves monotonically from
+// 1 -> 2 -> 4 -> 36 chips (Table II rows).
+TEST_F(IntegrationTest, ThroughputMonotoneAcrossConfigs) {
+  const PerceptionPipeline front = build_autopilot_front();
+  double prev_pipe = 1e9;
+  for (int chips : {1, 2, 4}) {
+    const PackageConfig pkg = make_monolithic_package(chips);
+    const auto row = run_baseline(front, pkg, PipelineMode::kLayerwise, "x");
+    EXPECT_LT(row.metrics.pipe_s, prev_pipe);
+    prev_pipe = row.metrics.pipe_s;
+  }
+  EXPECT_LT(mcm().metrics.pipe_s, prev_pipe);
+}
+
+}  // namespace
+}  // namespace cnpu

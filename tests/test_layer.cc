@@ -1,0 +1,144 @@
+#include "dataflow/layer.h"
+
+#include <gtest/gtest.h>
+
+namespace cnpu {
+namespace {
+
+TEST(Conv2d, MacCount) {
+  // 90x160x64 output from 64 input channels, 3x3 kernel.
+  const LayerDesc l = conv2d("c", 64, 64, 90, 160, 3);
+  EXPECT_DOUBLE_EQ(l.macs(), 90.0 * 160 * 64 * 64 * 9);
+}
+
+TEST(Conv2d, TensorFootprints) {
+  const LayerDesc l = conv2d("c", 3, 64, 360, 640, 7, 2);
+  EXPECT_DOUBLE_EQ(l.output_elems(), 64.0 * 360 * 640);
+  EXPECT_DOUBLE_EQ(l.input_elems(), 3.0 * 720 * 1280);
+  EXPECT_DOUBLE_EQ(l.weight_elems(), 64.0 * 3 * 49);
+}
+
+TEST(Pointwise, IsOneByOneConv) {
+  const LayerDesc l = pointwise("p", 128, 256, 20, 80);
+  EXPECT_EQ(l.r, 1);
+  EXPECT_EQ(l.s, 1);
+  EXPECT_DOUBLE_EQ(l.macs(), 20.0 * 80 * 128 * 256);
+}
+
+TEST(Depthwise, MacsIndependentOfChannelsSquared) {
+  const LayerDesc l = depthwise("d", 144, 90, 160, 3);
+  EXPECT_DOUBLE_EQ(l.macs(), 144.0 * 90 * 160 * 9);
+  EXPECT_DOUBLE_EQ(l.weight_elems(), 144.0 * 9);
+}
+
+TEST(TransposedConv, EffectiveTapsAccountUpsampling) {
+  const LayerDesc l = transposed_conv("t", 64, 64, 40, 160, 4, 2);
+  // 4x4 kernel, 2x upsampling: 16/4 = 4 effective taps per output.
+  EXPECT_DOUBLE_EQ(l.effective_taps(), 4.0);
+  EXPECT_DOUBLE_EQ(l.macs(), 40.0 * 160 * 64 * 64 * 4);
+  EXPECT_DOUBLE_EQ(l.input_elems(), 64.0 * 20 * 80);
+}
+
+TEST(Gemm, TokensTimesFeatures) {
+  const LayerDesc l = gemm("g", 16000, 256, 768);
+  EXPECT_DOUBLE_EQ(l.macs(), 16000.0 * 256 * 768);
+  EXPECT_DOUBLE_EQ(l.weight_elems(), 256.0 * 768);
+  EXPECT_TRUE(l.is_token_op());
+  EXPECT_FALSE(l.streaming_weights);
+}
+
+TEST(AttentionMatmul, PerHeadDims) {
+  // 16000 queries, 8 heads, 32-dim reduction, 80 keys per head.
+  const LayerDesc l = attention_matmul("a", 16000, 32, 80, 8);
+  EXPECT_EQ(l.k, 640);  // out_f * heads
+  EXPECT_EQ(l.c, 32);
+  EXPECT_TRUE(l.streaming_weights);
+  EXPECT_DOUBLE_EQ(l.macs(), 16000.0 * 640 * 32);
+}
+
+TEST(Elementwise, OneOpPerElement) {
+  const LayerDesc l = elementwise("e", 64, 10, 10);
+  EXPECT_DOUBLE_EQ(l.macs(), 6400.0);
+  EXPECT_DOUBLE_EQ(l.weight_elems(), 0.0);
+  EXPECT_FALSE(l.has_weights());
+}
+
+TEST(Pool, WindowOps) {
+  const LayerDesc l = pool("p", 64, 180, 320, 3, 2);
+  EXPECT_DOUBLE_EQ(l.macs(), 64.0 * 180 * 320 * 9);
+  EXPECT_DOUBLE_EQ(l.input_elems(), 64.0 * 360 * 640);
+}
+
+TEST(Validate, AcceptsFactoryOutput) {
+  EXPECT_TRUE(conv2d("c", 3, 64, 8, 8, 3).validate().empty());
+  EXPECT_TRUE(gemm("g", 100, 16, 16).validate().empty());
+  EXPECT_TRUE(attention_matmul("a", 100, 32, 80, 8).validate().empty());
+}
+
+TEST(Validate, RejectsBadDims) {
+  LayerDesc l = conv2d("c", 3, 64, 8, 8, 3);
+  l.k = 0;
+  EXPECT_FALSE(l.validate().empty());
+}
+
+TEST(Validate, RejectsEmptyName) {
+  LayerDesc l = conv2d("c", 3, 64, 8, 8, 3);
+  l.name.clear();
+  EXPECT_FALSE(l.validate().empty());
+}
+
+TEST(Validate, RejectsHeadsOnConv) {
+  LayerDesc l = conv2d("c", 3, 64, 8, 8, 3);
+  l.heads = 4;
+  EXPECT_FALSE(l.validate().empty());
+}
+
+TEST(Validate, RejectsHeadsNotDividingK) {
+  LayerDesc l = gemm("g", 100, 16, 30, 1);
+  l.heads = 4;  // 30 % 4 != 0
+  EXPECT_FALSE(l.validate().empty());
+}
+
+TEST(ShardLayer, SplitsRowsEvenly) {
+  const LayerDesc l = gemm("g", 100, 16, 16);
+  const LayerDesc s0 = shard_layer(l, 4, 0);
+  EXPECT_EQ(s0.y, 25);
+  EXPECT_DOUBLE_EQ(s0.macs() * 4, l.macs());
+}
+
+TEST(ShardLayer, UnevenRemainderGoesToLowShards) {
+  const LayerDesc l = gemm("g", 10, 4, 4);
+  EXPECT_EQ(shard_layer(l, 3, 0).y, 4);
+  EXPECT_EQ(shard_layer(l, 3, 1).y, 3);
+  EXPECT_EQ(shard_layer(l, 3, 2).y, 3);
+}
+
+TEST(ShardLayer, SingleShardIsIdentity) {
+  const LayerDesc l = conv2d("c", 8, 8, 12, 12, 3);
+  const LayerDesc s = shard_layer(l, 1, 0);
+  EXPECT_EQ(s.y, l.y);
+  EXPECT_EQ(s.name, l.name);
+}
+
+TEST(ShardLayer, NeverEmptiesRows) {
+  const LayerDesc l = gemm("g", 2, 4, 4);
+  EXPECT_GE(shard_layer(l, 8, 7).y, 1);
+}
+
+TEST(TotalMacs, SumsChain) {
+  const std::vector<LayerDesc> layers{gemm("a", 10, 10, 10),
+                                      gemm("b", 10, 10, 10)};
+  EXPECT_DOUBLE_EQ(total_macs(layers), 2000.0);
+}
+
+TEST(OpKindName, AllKindsNamed) {
+  EXPECT_STREQ(op_kind_name(OpKind::kConv2D), "conv2d");
+  EXPECT_STREQ(op_kind_name(OpKind::kDepthwiseConv), "depthwise");
+  EXPECT_STREQ(op_kind_name(OpKind::kTransposedConv), "transposed_conv");
+  EXPECT_STREQ(op_kind_name(OpKind::kGemm), "gemm");
+  EXPECT_STREQ(op_kind_name(OpKind::kElementwise), "elementwise");
+  EXPECT_STREQ(op_kind_name(OpKind::kPool), "pool");
+}
+
+}  // namespace
+}  // namespace cnpu

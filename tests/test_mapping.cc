@@ -1,0 +1,190 @@
+#include "dataflow/mapping_analysis.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace cnpu {
+namespace {
+
+const LayerDesc kConv = conv2d("conv", 64, 64, 90, 160, 3);
+const LayerDesc kGemmL = gemm("gemm", 16000, 256, 256);
+const LayerDesc kDeep = conv2d("deep", 512, 512, 12, 20, 3);
+
+// --- Directive / MappingSpec basics ---
+
+TEST(Directive, LoopDimSizes) {
+  EXPECT_EQ(loop_dim_size(kConv, LoopDim::kK), 64);
+  EXPECT_EQ(loop_dim_size(kConv, LoopDim::kC), 64);
+  EXPECT_EQ(loop_dim_size(kConv, LoopDim::kY), 90);
+  EXPECT_EQ(loop_dim_size(kConv, LoopDim::kX), 160);
+  EXPECT_EQ(loop_dim_size(kConv, LoopDim::kR), 3);
+  EXPECT_EQ(loop_dim_size(kConv, LoopDim::kS), 3);
+}
+
+TEST(Directive, LoopDimNames) {
+  EXPECT_STREQ(loop_dim_name(LoopDim::kK), "K");
+  EXPECT_STREQ(loop_dim_name(LoopDim::kS), "S");
+}
+
+TEST(MappingSpec, TemplatesValidate) {
+  EXPECT_TRUE(shidiannao_mapping().validate().empty());
+  EXPECT_TRUE(nvdla_mapping().validate().empty());
+  EXPECT_TRUE(eyeriss_mapping().validate().empty());
+}
+
+TEST(MappingSpec, RejectsDuplicatesAndBadTiles) {
+  MappingSpec m;
+  m.name = "bad";
+  m.order = {temporal(LoopDim::kK, 1), temporal(LoopDim::kK, 2)};
+  EXPECT_FALSE(m.validate().empty());
+  m.order = {temporal(LoopDim::kK, 0)};
+  EXPECT_FALSE(m.validate().empty());
+  m.order.clear();
+  EXPECT_FALSE(m.validate().empty());
+}
+
+// --- Structural agreement with the closed-form dataflow models ---
+
+TEST(MappingAnalysis, OsOutputsAreStationary) {
+  const MappingAnalysis a = analyze_mapping(kConv, shidiannao_mapping());
+  EXPECT_NEAR(a.psum_recirc_elems, 0.0, a.output.unique_elems * 0.2);
+}
+
+TEST(MappingAnalysis, OsWeightsRefetchPerSpatialFold) {
+  const MappingAnalysis a = analyze_mapping(kConv, shidiannao_mapping());
+  const double folds = std::ceil(90.0 / 16) * std::ceil(160.0 / 16);
+  EXPECT_NEAR(a.weight.fetched_elems, kConv.weight_elems() * folds,
+              kConv.weight_elems() * folds * 0.01);
+}
+
+TEST(MappingAnalysis, OsInputsGetStencilReuse) {
+  const MappingAnalysis a = analyze_mapping(kConv, shidiannao_mapping());
+  // Neighbor sharing: several MACs per fetched input element.
+  EXPECT_GT(a.input.reuse, 4.0);
+}
+
+TEST(MappingAnalysis, WsWeightsFetchedOnce) {
+  const MappingAnalysis a = analyze_mapping(kDeep, nvdla_mapping());
+  EXPECT_NEAR(a.weight.fetched_elems, kDeep.weight_elems(),
+              kDeep.weight_elems() * 0.05);
+}
+
+TEST(MappingAnalysis, WsRecirculatesPsums) {
+  const MappingAnalysis a = analyze_mapping(kDeep, nvdla_mapping());
+  // Reduction loops (C/4, R, S) sit outside the output's innermost loop.
+  EXPECT_GT(a.psum_recirc_elems, a.output.unique_elems * 10.0);
+}
+
+TEST(MappingAnalysis, GemmOnOsFoldsTokens) {
+  const MappingAnalysis a = analyze_mapping(kGemmL, shidiannao_mapping());
+  // Tokens (Y=16000) fold over the 16x16 tile; X=1 wastes the X lanes.
+  EXPECT_NEAR(a.spatial_util, 1.0 / 16.0, 0.01);
+}
+
+TEST(MappingAnalysis, EyerissUnderutilizedBySmallKernels) {
+  const MappingAnalysis a = analyze_mapping(kConv, eyeriss_mapping());
+  // R=3 over 16 R-lanes: utilization capped at 3/16.
+  EXPECT_LE(a.spatial_util, 3.0 / 16.0 + 1e-9);
+  EXPECT_GT(a.spatial_util, 0.1);
+}
+
+TEST(MappingAnalysis, LanesClampToBudget) {
+  MappingAnalysisOptions opt;
+  opt.max_lanes = 64;
+  const MappingAnalysis a = analyze_mapping(kConv, shidiannao_mapping(), opt);
+  EXPECT_LE(a.lanes, 64.0 + 1e-9);
+}
+
+TEST(MappingAnalysis, FetchesNeverBelowUnique) {
+  for (const auto& spec :
+       {shidiannao_mapping(), nvdla_mapping(), eyeriss_mapping()}) {
+    for (const LayerDesc* l : {&kConv, &kGemmL, &kDeep}) {
+      const MappingAnalysis a = analyze_mapping(*l, spec);
+      EXPECT_GE(a.input.fetched_elems + 1e-6, a.input.unique_elems)
+          << spec.name << "/" << l->name;
+      EXPECT_GE(a.weight.fetched_elems + 1e-6, a.weight.unique_elems);
+      EXPECT_GE(a.output.fetched_elems + 1e-6, a.output.unique_elems);
+    }
+  }
+}
+
+TEST(MappingAnalysis, StepsCoverIterationSpace) {
+  for (const auto& spec :
+       {shidiannao_mapping(), nvdla_mapping(), eyeriss_mapping()}) {
+    const MappingAnalysis a = analyze_mapping(kConv, spec);
+    // steps * per-step capacity >= total MACs.
+    EXPECT_GE(a.temporal_steps * a.step_work * 1.0001, kConv.macs())
+        << spec.name;
+  }
+}
+
+TEST(MappingAnalysis, UncoveredDimsSerializedImplicitly) {
+  // The token template does not mention R/S/X; on a conv they must appear
+  // as implicit serial loops, not vanish from the iteration space.
+  const MappingAnalysis a = analyze_mapping(kConv, os_token_mapping());
+  EXPECT_GE(a.temporal_steps * a.step_work * 1.0001, kConv.macs());
+}
+
+TEST(MappingAnalysis, StagingFootprintPositiveAndBounded) {
+  const MappingAnalysis a = analyze_mapping(kConv, shidiannao_mapping());
+  EXPECT_GT(a.staging_elems, 0.0);
+  // Staging holds tiles, not whole tensors.
+  EXPECT_LT(a.staging_elems, kConv.input_elems() + kConv.weight_elems());
+}
+
+// --- mapping_cost: the generic estimator vs the calibrated closed forms ---
+
+TEST(MappingCost, OsConvAgreesWithClosedForm) {
+  const PeArrayConfig os = make_pe_array(DataflowKind::kOutputStationary);
+  const CostReport generic = mapping_cost(kConv, shidiannao_mapping(), os);
+  const CostReport closed = analyze_layer(kConv, os);
+  EXPECT_NEAR(generic.latency_s, closed.latency_s, closed.latency_s * 0.35);
+}
+
+TEST(MappingCost, OsTokenTemplateAgreesWithClosedForm) {
+  const PeArrayConfig os = make_pe_array(DataflowKind::kOutputStationary);
+  const CostReport generic = mapping_cost(kGemmL, os_token_mapping(), os);
+  const CostReport closed = analyze_layer(kGemmL, os);
+  EXPECT_NEAR(generic.rate, closed.rate, closed.rate * 0.25);
+  // Input K-blocking: fetches ~ MACs / kOsGemmKBlock (ceil rounding on the
+  // K tiling adds up to one block of slack).
+  const MappingAnalysis a = analyze_mapping(kGemmL, os_token_mapping());
+  const double expected = kGemmL.macs() / static_cast<double>(cal::kOsGemmKBlock);
+  EXPECT_NEAR(a.input.fetched_elems, expected, expected * 0.02);
+}
+
+TEST(MappingCost, PixelTemplateColumnBoundOnGemm) {
+  // The fixed pixel-stationary template wastes the X lanes on token ops -
+  // the mechanism behind the paper's fusion bottleneck.
+  const PeArrayConfig os = make_pe_array(DataflowKind::kOutputStationary);
+  const CostReport pixel = mapping_cost(kGemmL, shidiannao_mapping(), os);
+  const CostReport token = mapping_cost(kGemmL, os_token_mapping(), os);
+  EXPECT_NEAR(pixel.rate, 16.0, 1.0);
+  EXPECT_GT(token.rate, pixel.rate * 4.0);
+}
+
+TEST(MappingCost, WsSlowerThanOsOnEarlyConvs) {
+  const PeArrayConfig os = make_pe_array(DataflowKind::kOutputStationary);
+  const PeArrayConfig ws = make_pe_array(DataflowKind::kWeightStationary);
+  const double t_os = mapping_cost(kConv, shidiannao_mapping(), os).latency_s;
+  const double t_ws = mapping_cost(kConv, nvdla_mapping(), ws).latency_s;
+  EXPECT_LT(t_os, t_ws);
+}
+
+TEST(MappingCost, PhysicalBoundsAcrossTemplates) {
+  const PeArrayConfig os = make_pe_array(DataflowKind::kOutputStationary);
+  for (const auto& spec :
+       {shidiannao_mapping(), nvdla_mapping(), eyeriss_mapping()}) {
+    for (const LayerDesc* l : {&kConv, &kGemmL, &kDeep}) {
+      const CostReport r = mapping_cost(*l, spec, os);
+      EXPECT_GT(r.latency_s, 0.0) << spec.name;
+      EXPECT_LE(r.rate, static_cast<double>(os.num_pes) + 1e-9) << spec.name;
+      EXPECT_GE(r.cycles * os.num_pes * 1.001, r.macs) << spec.name;
+      EXPECT_GE(r.energy.total_pj(), r.macs * 0.1) << spec.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cnpu

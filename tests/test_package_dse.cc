@@ -1,0 +1,70 @@
+#include "core/package_dse.h"
+
+#include <gtest/gtest.h>
+
+#include "workloads/autopilot.h"
+
+namespace cnpu {
+namespace {
+
+class PackageDseTest : public ::testing::Test {
+ protected:
+  static const PackageDseResult& result() {
+    static const PackageDseResult r = [] {
+      static const PerceptionPipeline front = build_autopilot_front();
+      PackageDseOptions opt;
+      opt.mesh_sizes = {1, 2, 4, 6, 12};
+      return run_package_dse(front, opt);
+    }();
+    return r;
+  }
+};
+
+TEST_F(PackageDseTest, EvaluatesAllDivisibleGeometries) {
+  // 9216 = 1*9216 = 4*2304 = 16*576 = 36*256 = 144*64.
+  EXPECT_EQ(result().points.size(), 5u);
+}
+
+TEST_F(PackageDseTest, PeBudgetConserved) {
+  for (const auto& p : result().points) {
+    EXPECT_EQ(static_cast<std::int64_t>(p.rows) * p.cols * p.pes_per_chiplet,
+              9216);
+  }
+}
+
+TEST_F(PackageDseTest, SimbaPointBeatsMonolithic) {
+  const GeometryPoint* mono = nullptr;
+  const GeometryPoint* simba = nullptr;
+  for (const auto& p : result().points) {
+    if (p.rows == 1) mono = &p;
+    if (p.rows == 6) simba = &p;
+  }
+  ASSERT_NE(mono, nullptr);
+  ASSERT_NE(simba, nullptr);
+  EXPECT_LT(simba->metrics.pipe_s, mono->metrics.pipe_s * 0.2);
+  EXPECT_LT(simba->metrics.edp_j_ms(), mono->metrics.edp_j_ms());
+}
+
+TEST_F(PackageDseTest, BestIndicesValidAndConverged) {
+  ASSERT_GE(result().best_edp, 0);
+  ASSERT_LT(result().best_edp, static_cast<int>(result().points.size()));
+  EXPECT_TRUE(
+      result().points[static_cast<std::size_t>(result().best_edp)].converged);
+  ASSERT_GE(result().best_pipe, 0);
+}
+
+TEST_F(PackageDseTest, LabelsDescriptive) {
+  EXPECT_EQ(result().points.front().label(), "1x1 x 9216PE");
+}
+
+TEST(PackageDseOptionsTest, SkipsNonDivisibleAndTinyChips) {
+  const PerceptionPipeline front = build_autopilot_front();
+  PackageDseOptions opt;
+  opt.total_pes = 1024;
+  opt.mesh_sizes = {1, 2, 3, 32};  // 3 doesn't divide; 32x32 -> 1 PE, skipped
+  const PackageDseResult r = run_package_dse(front, opt);
+  EXPECT_EQ(r.points.size(), 2u);
+}
+
+}  // namespace
+}  // namespace cnpu

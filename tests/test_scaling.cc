@@ -1,0 +1,68 @@
+#include "core/scaling.h"
+
+#include <gtest/gtest.h>
+
+namespace cnpu {
+namespace {
+
+class ScalingTest : public ::testing::Test {
+ protected:
+  static const ScaleOutResult& result() {
+    static const ScaleOutResult r = scale_out_two_npus();
+    return r;
+  }
+};
+
+TEST_F(ScalingTest, DoubledTrunks) {
+  const PerceptionPipeline& pipe = *result().pipeline;
+  ASSERT_EQ(pipe.num_stages(), 4);
+  EXPECT_EQ(pipe.stages[3].num_models(), 12);  // 2 x (pre+occ+lane+3 det)
+}
+
+TEST_F(ScalingTest, UsesSeventyTwoChiplets) {
+  EXPECT_EQ(result().package->num_chiplets(), 72);
+}
+
+TEST_F(ScalingTest, BaseLatencyHalves) {
+  // Paper Fig. 10: FE split halves the base from ~82 to ~41 ms.
+  const double base_ms = result().match.latbase_s * 1e3;
+  EXPECT_GT(base_ms, 30.0);
+  EXPECT_LT(base_ms, 50.0);
+}
+
+TEST_F(ScalingTest, FrontStagesMatchHalvedBase) {
+  const auto& stages = result().match.metrics.stages;
+  for (int st = 0; st < 3; ++st) {
+    EXPECT_LT(stages[static_cast<std::size_t>(st)].pipe_s * 1e3, 50.0)
+        << stages[static_cast<std::size_t>(st)].name;
+  }
+}
+
+TEST_F(ScalingTest, TraceRecordsFeSplit) {
+  bool split_seen = false;
+  for (const auto& step : result().match.trace) {
+    if (step.action.find("split FE") != std::string::npos) split_seen = true;
+  }
+  EXPECT_TRUE(split_seen);
+}
+
+TEST_F(ScalingTest, TracePipeEndsNearPaperValue) {
+  // Paper: final pipelining latency ~41.1 ms, about half the 36-chiplet case.
+  const double final_pipe = result().match.trace.back().pipe_ms;
+  EXPECT_GT(final_pipe, 33.0);
+  EXPECT_LT(final_pipe, 50.0);
+}
+
+TEST_F(ScalingTest, FrozenTrunksStayModelGranular) {
+  const Schedule& s = result().match.schedule;
+  for (int idx : s.items_of_stage(3)) {
+    EXPECT_EQ(s.placement(idx).num_shards(), 1);
+  }
+}
+
+TEST_F(ScalingTest, TwoNpuPipelineNameTagged) {
+  EXPECT_NE(result().pipeline->name.find("2npu"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cnpu

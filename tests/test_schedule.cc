@@ -1,0 +1,115 @@
+#include "core/schedule.h"
+
+#include <gtest/gtest.h>
+
+#include "workloads/autopilot.h"
+
+namespace cnpu {
+namespace {
+
+class ScheduleTest : public ::testing::Test {
+ protected:
+  PerceptionPipeline pipe_ = build_autopilot_front();
+  PackageConfig pkg_ = make_simba_package();
+  Schedule sched_{pipe_, pkg_};
+};
+
+TEST_F(ScheduleTest, FlattensAllLayers) {
+  int expected = 0;
+  for (const auto& stage : pipe_.stages) {
+    for (const auto& sm : stage.models) {
+      expected += sm.model.num_layers();
+    }
+  }
+  EXPECT_EQ(sched_.num_items(), expected);
+}
+
+TEST_F(ScheduleTest, ItemCoordinatesRoundTrip) {
+  const auto& items = sched_.items_of_model(1, 0);
+  ASSERT_FALSE(items.empty());
+  const Schedule::Item& it = sched_.item(items.front());
+  EXPECT_EQ(it.stage, 1);
+  EXPECT_EQ(it.model, 0);
+  EXPECT_EQ(it.layer, 0);
+  EXPECT_EQ(it.desc->name, "S_QKV_Proj");
+}
+
+TEST_F(ScheduleTest, StartsUnassigned) {
+  EXPECT_FALSE(sched_.fully_assigned());
+  EXPECT_EQ(sched_.free_chiplets().size(), 36u);
+  EXPECT_FALSE(sched_.placement(0).assigned());
+}
+
+TEST_F(ScheduleTest, AssignSingleChiplet) {
+  sched_.assign(0, 7);
+  const Placement& p = sched_.placement(0);
+  ASSERT_TRUE(p.assigned());
+  EXPECT_EQ(p.num_shards(), 1);
+  EXPECT_EQ(p.primary_chiplet(), 7);
+  EXPECT_TRUE(p.uses_chiplet(7));
+  EXPECT_FALSE(p.uses_chiplet(8));
+  EXPECT_EQ(sched_.free_chiplets().size(), 35u);
+}
+
+TEST_F(ScheduleTest, AssignShardedSplitsEvenly) {
+  sched_.assign_sharded(0, {1, 2, 3, 4});
+  const Placement& p = sched_.placement(0);
+  EXPECT_EQ(p.num_shards(), 4);
+  for (const auto& s : p.shards) EXPECT_DOUBLE_EQ(s.fraction, 0.25);
+}
+
+TEST_F(ScheduleTest, AssignWeightedNormalizes) {
+  sched_.assign_weighted(0, {{1, 160.0}, {2, 32.0}});
+  const Placement& p = sched_.placement(0);
+  EXPECT_NEAR(p.shards[0].fraction, 160.0 / 192.0, 1e-12);
+  EXPECT_NEAR(p.shards[1].fraction, 32.0 / 192.0, 1e-12);
+  EXPECT_EQ(p.primary_chiplet(), 1);
+}
+
+TEST_F(ScheduleTest, AssignWeightedRejectsBadInput) {
+  EXPECT_THROW(sched_.assign_weighted(0, {}), std::invalid_argument);
+  EXPECT_THROW(sched_.assign_weighted(0, {{1, 0.0}}), std::invalid_argument);
+  EXPECT_THROW(sched_.assign_weighted(0, {{1, -2.0}}), std::invalid_argument);
+}
+
+TEST_F(ScheduleTest, ClearAssignment) {
+  sched_.assign(0, 3);
+  sched_.clear_assignment(0);
+  EXPECT_FALSE(sched_.placement(0).assigned());
+}
+
+TEST_F(ScheduleTest, ReassignmentReplaces) {
+  sched_.assign(0, 3);
+  sched_.assign(0, 5);
+  EXPECT_EQ(sched_.placement(0).primary_chiplet(), 5);
+  EXPECT_EQ(sched_.placement(0).num_shards(), 1);
+}
+
+TEST_F(ScheduleTest, ItemsOfStageConcatenatesModels) {
+  const auto stage0 = sched_.items_of_stage(0);
+  int count = 0;
+  for (const auto& sm : pipe_.stages[0].models) count += sm.model.num_layers();
+  EXPECT_EQ(static_cast<int>(stage0.size()), count);
+}
+
+TEST_F(ScheduleTest, DescribeReportsProgress) {
+  sched_.assign(0, 0);
+  const std::string d = sched_.describe();
+  EXPECT_NE(d.find("1/"), std::string::npos);
+}
+
+TEST(ShardFraction, ScalesRows) {
+  const LayerDesc l = gemm("g", 1000, 8, 8);
+  EXPECT_EQ(shard_fraction(l, 0.25).y, 250);
+  EXPECT_EQ(shard_fraction(l, 1.0).y, 1000);
+  EXPECT_GE(shard_fraction(l, 0.0001).y, 1);
+}
+
+TEST(ShardFraction, ClampsFraction) {
+  const LayerDesc l = gemm("g", 100, 8, 8);
+  EXPECT_EQ(shard_fraction(l, 2.0).y, 100);
+  EXPECT_EQ(shard_fraction(l, -1.0).y, 1);
+}
+
+}  // namespace
+}  // namespace cnpu

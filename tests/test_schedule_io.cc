@@ -1,0 +1,121 @@
+#include "core/schedule_io.h"
+
+#include <gtest/gtest.h>
+
+#include "core/throughput_matching.h"
+#include "util/json.h"
+#include "workloads/autopilot.h"
+
+namespace cnpu {
+namespace {
+
+// --- JsonWriter primitives ---
+
+TEST(JsonWriter, FlatObject) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("a").value(1);
+  w.key("b").value("x");
+  w.key("c").value(true);
+  w.end_object();
+  EXPECT_EQ(w.str(), "{\"a\":1,\"b\":\"x\",\"c\":true}");
+  EXPECT_TRUE(w.complete());
+}
+
+TEST(JsonWriter, NestedStructures) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("arr").begin_array();
+  w.value(1);
+  w.value(2);
+  w.begin_object();
+  w.key("k").value(3.5);
+  w.end_object();
+  w.end_array();
+  w.end_object();
+  EXPECT_EQ(w.str(), "{\"arr\":[1,2,{\"k\":3.5}]}");
+}
+
+TEST(JsonWriter, EscapesStrings) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("s").value("a\"b\\c\nd");
+  w.end_object();
+  EXPECT_EQ(w.str(), "{\"s\":\"a\\\"b\\\\c\\nd\"}");
+}
+
+TEST(JsonWriter, NonFiniteBecomesNull) {
+  JsonWriter w;
+  w.begin_array();
+  w.value(std::numeric_limits<double>::infinity());
+  w.end_array();
+  EXPECT_EQ(w.str(), "[null]");
+}
+
+TEST(JsonWriter, IncompleteDetected) {
+  JsonWriter w;
+  w.begin_object();
+  EXPECT_FALSE(w.complete());
+}
+
+// --- Schedule serialization ---
+
+class ScheduleIoTest : public ::testing::Test {
+ protected:
+  static const MatchResult& match() {
+    static const MatchResult r = [] {
+      static const PerceptionPipeline pipe = build_autopilot_front();
+      static const PackageConfig pkg = make_simba_package();
+      return throughput_matching(pipe, pkg);
+    }();
+    return r;
+  }
+};
+
+TEST_F(ScheduleIoTest, MetricsJsonHasCoreFields) {
+  const std::string json = metrics_to_json(match().metrics);
+  EXPECT_NE(json.find("\"pipe_ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"e2e_ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"stages\""), std::string::npos);
+  EXPECT_NE(json.find("\"utilization\""), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST_F(ScheduleIoTest, ScheduleJsonListsAllPlacements) {
+  const std::string json = schedule_to_json(match().schedule, match().metrics);
+  // One "shards" array per layer.
+  std::size_t count = 0;
+  for (std::size_t pos = 0; (pos = json.find("\"shards\"", pos)) != std::string::npos;
+       ++pos) {
+    ++count;
+  }
+  EXPECT_EQ(count, static_cast<std::size_t>(match().schedule.num_items()));
+  EXPECT_NE(json.find("\"S_QKV_Proj\""), std::string::npos);
+  EXPECT_NE(json.find("\"dataflow\":\"OS\""), std::string::npos);
+}
+
+TEST_F(ScheduleIoTest, BalancedBraces) {
+  const std::string json = schedule_to_json(match().schedule, match().metrics);
+  int depth = 0;
+  bool in_string = false;
+  char prev = '\0';
+  for (char c : json) {
+    if (c == '"' && prev != '\\') in_string = !in_string;
+    if (!in_string) {
+      if (c == '{' || c == '[') ++depth;
+      if (c == '}' || c == ']') --depth;
+      EXPECT_GE(depth, 0);
+    }
+    prev = c;
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST_F(ScheduleIoTest, WriteFileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/cnpu_schedule.json";
+  ASSERT_TRUE(write_json_file(path, metrics_to_json(match().metrics)));
+}
+
+}  // namespace
+}  // namespace cnpu

@@ -1,0 +1,151 @@
+#include "sim/event_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "core/baselines.h"
+#include "core/throughput_matching.h"
+#include "workloads/autopilot.h"
+
+namespace cnpu {
+namespace {
+
+// One conv on one chiplet: the simulator must agree with the cost model.
+TEST(EventSim, SingleLayerMatchesCostModel) {
+  PerceptionPipeline p;
+  Model m;
+  m.name = "M";
+  m.layers = {conv2d("C", 64, 64, 90, 160, 3)};
+  p.stages.push_back(Stage{"S", {{m, false}}});
+  const PackageConfig pkg = make_simba_package(1, 1);
+  Schedule sched(p, pkg);
+  sched.assign(0, 0);
+
+  SimOptions opt;
+  opt.frames = 4;
+  opt.model_nop_delays = false;
+  const SimResult r = simulate_schedule(sched, opt);
+  const double expect = analyze_layer(m.layers[0], pkg.chiplet(0).array).latency_s;
+  EXPECT_NEAR(r.first_frame_latency_s, expect, expect * 1e-6);
+  EXPECT_NEAR(r.steady_interval_s, expect, expect * 1e-6);
+  EXPECT_EQ(r.tasks_executed, 4);
+}
+
+// Two layers on two chiplets pipeline across frames: interval = max layer.
+TEST(EventSim, TwoStagePipelineOverlapsFrames) {
+  PerceptionPipeline p;
+  Model m;
+  m.name = "M";
+  m.layers = {gemm("A", 4096, 64, 64), gemm("B", 4096, 64, 64)};
+  p.stages.push_back(Stage{"S", {{m, false}}});
+  const PackageConfig pkg = make_simba_package(1, 2);
+  Schedule sched(p, pkg);
+  sched.assign(0, 0);
+  sched.assign(1, 1);
+
+  SimOptions opt;
+  opt.frames = 16;
+  opt.model_nop_delays = false;
+  const SimResult r = simulate_schedule(sched, opt);
+  const double la = analyze_layer(m.layers[0], pkg.chiplet(0).array).latency_s;
+  const double lb = analyze_layer(m.layers[1], pkg.chiplet(1).array).latency_s;
+  EXPECT_NEAR(r.first_frame_latency_s, la + lb, (la + lb) * 1e-6);
+  EXPECT_NEAR(r.steady_interval_s, std::max(la, lb), la * 0.01);
+}
+
+// Both layers on ONE chiplet: interval = sum (no overlap resource).
+TEST(EventSim, SharedChipletSerializes) {
+  PerceptionPipeline p;
+  Model m;
+  m.name = "M";
+  m.layers = {gemm("A", 4096, 64, 64), gemm("B", 4096, 64, 64)};
+  p.stages.push_back(Stage{"S", {{m, false}}});
+  const PackageConfig pkg = make_simba_package(1, 1);
+  Schedule sched(p, pkg);
+  sched.assign(0, 0);
+  sched.assign(1, 0);
+
+  SimOptions opt;
+  opt.frames = 8;
+  opt.model_nop_delays = false;
+  const SimResult r = simulate_schedule(sched, opt);
+  const double la = analyze_layer(m.layers[0], pkg.chiplet(0).array).latency_s;
+  EXPECT_NEAR(r.steady_interval_s, 2 * la, la * 0.02);
+}
+
+// Sharded layer: all shards run in parallel; completion = slowest shard.
+TEST(EventSim, ShardedLayerParallelism) {
+  PerceptionPipeline p;
+  Model m;
+  m.name = "M";
+  m.layers = {gemm("A", 8192, 64, 64)};
+  p.stages.push_back(Stage{"S", {{m, false}}});
+  const PackageConfig pkg = make_simba_package(1, 4);
+  Schedule sched(p, pkg);
+  sched.assign_sharded(0, {0, 1, 2, 3});
+
+  SimOptions opt;
+  opt.frames = 4;
+  opt.model_nop_delays = false;
+  const SimResult r = simulate_schedule(sched, opt);
+  const LayerDesc quarter = shard_fraction(m.layers[0], 0.25);
+  const double lq = analyze_layer(quarter, pkg.chiplet(0).array).latency_s;
+  EXPECT_NEAR(r.steady_interval_s, lq, lq * 0.02);
+}
+
+// The analytic evaluator's pipe latency matches simulated steady state on
+// the full matched Autopilot schedule (within queueing/NoP slack).
+TEST(EventSim, MatchedScheduleSteadyStateNearAnalyticPipe) {
+  const PerceptionPipeline pipe = build_autopilot_pipeline();
+  const PackageConfig pkg = make_simba_package();
+  const MatchResult match = throughput_matching(pipe, pkg);
+
+  SimOptions opt;
+  opt.frames = 10;
+  const SimResult sim = simulate_schedule(match.schedule, opt);
+  EXPECT_NEAR(sim.steady_interval_s, match.metrics.pipe_s,
+              match.metrics.pipe_s * 0.15);
+  // Fill latency at least the analytic E2E floor... it includes queueing, so
+  // only a loose two-sided sanity band:
+  EXPECT_GT(sim.first_frame_latency_s, match.metrics.e2e_s * 0.5);
+  EXPECT_LT(sim.first_frame_latency_s, match.metrics.e2e_s * 3.0);
+}
+
+TEST(EventSim, MonolithicBaselineMatchesAnalyticPipe) {
+  const PerceptionPipeline front = build_autopilot_front();
+  const PackageConfig pkg = make_monolithic_package(1);
+  const Schedule sched =
+      build_baseline_schedule(front, pkg, PipelineMode::kStagewise);
+  const ScheduleMetrics m = evaluate_schedule(sched);
+
+  SimOptions opt;
+  opt.frames = 4;
+  const SimResult sim = simulate_schedule(sched, opt);
+  EXPECT_NEAR(sim.steady_interval_s, m.pipe_s, m.pipe_s * 0.05);
+}
+
+TEST(EventSim, BusyTimesMatchEvaluator) {
+  const PerceptionPipeline front = build_autopilot_front();
+  const PackageConfig pkg = make_simba_package();
+  const MatchResult match = throughput_matching(front, pkg);
+
+  SimOptions opt;
+  opt.frames = 3;
+  const SimResult sim = simulate_schedule(match.schedule, opt);
+  for (std::size_t c = 0; c < sim.chiplet_busy_s.size(); ++c) {
+    EXPECT_NEAR(sim.chiplet_busy_s[c],
+                match.metrics.chiplets[c].busy_s * opt.frames, 1e-9);
+  }
+}
+
+TEST(EventSim, FrameCompletionsMonotone) {
+  const PerceptionPipeline front = build_autopilot_front();
+  const PackageConfig pkg = make_simba_package();
+  const MatchResult match = throughput_matching(front, pkg);
+  const SimResult sim = simulate_schedule(match.schedule, SimOptions{6, true});
+  for (std::size_t f = 1; f < sim.frame_completion_s.size(); ++f) {
+    EXPECT_GT(sim.frame_completion_s[f], sim.frame_completion_s[f - 1]);
+  }
+}
+
+}  // namespace
+}  // namespace cnpu

@@ -1,0 +1,61 @@
+#include "util/stats.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace cnpu {
+namespace {
+
+TEST(Mean, Basics) {
+  EXPECT_DOUBLE_EQ(mean({1, 2, 3}), 2.0);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(mean({5}), 5.0);
+}
+
+TEST(Geomean, Basics) {
+  EXPECT_NEAR(geomean({1, 4}), 2.0, 1e-12);
+  EXPECT_NEAR(geomean({2, 2, 2}), 2.0, 1e-12);
+}
+
+TEST(Geomean, NonPositiveReturnsZero) {
+  EXPECT_DOUBLE_EQ(geomean({1.0, 0.0}), 0.0);
+  EXPECT_DOUBLE_EQ(geomean({1.0, -2.0}), 0.0);
+}
+
+TEST(Stddev, Population) {
+  EXPECT_NEAR(stddev({2, 4, 4, 4, 5, 5, 7, 9}), 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(stddev({3}), 0.0);
+}
+
+TEST(MinMaxSum, Basics) {
+  EXPECT_DOUBLE_EQ(min_of({3, 1, 2}), 1.0);
+  EXPECT_DOUBLE_EQ(max_of({3, 1, 2}), 3.0);
+  EXPECT_DOUBLE_EQ(sum({3, 1, 2}), 6.0);
+}
+
+TEST(MinMax, EmptyIsNan) {
+  EXPECT_TRUE(std::isnan(min_of({})));
+  EXPECT_TRUE(std::isnan(max_of({})));
+}
+
+TEST(Percentile, Endpoints) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 5.0);
+}
+
+TEST(Percentile, Median) {
+  EXPECT_DOUBLE_EQ(percentile({1, 2, 3, 4, 5}, 50), 3.0);
+  EXPECT_DOUBLE_EQ(percentile({1, 2, 3, 4}, 50), 2.5);
+}
+
+TEST(Percentile, ClampsRange) {
+  EXPECT_DOUBLE_EQ(percentile({1, 2}, -5), 1.0);
+  EXPECT_DOUBLE_EQ(percentile({1, 2}, 200), 2.0);
+}
+
+TEST(Percentile, EmptyIsNan) { EXPECT_TRUE(std::isnan(percentile({}, 50))); }
+
+}  // namespace
+}  // namespace cnpu

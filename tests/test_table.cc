@@ -1,0 +1,89 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include "util/csv.h"
+
+namespace cnpu {
+namespace {
+
+TEST(Table, EmptyRendersTitleOnly) {
+  Table t("hello");
+  EXPECT_EQ(t.to_string(), "hello\n");
+}
+
+TEST(Table, HeaderAndRows) {
+  Table t;
+  t.set_header({"a", "bb"});
+  t.add_row({"1", "2"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| a | bb |"), std::string::npos);
+  EXPECT_NE(s.find("| 1 | 2  |"), std::string::npos);
+}
+
+TEST(Table, ColumnWidthsFitWidestCell) {
+  Table t;
+  t.set_header({"x"});
+  t.add_row({"wide-cell"});
+  EXPECT_NE(t.to_string().find("| wide-cell |"), std::string::npos);
+}
+
+TEST(Table, RaggedRowsPadded) {
+  Table t;
+  t.set_header({"a", "b", "c"});
+  t.add_row({"1"});
+  EXPECT_EQ(t.num_columns(), 3u);
+  EXPECT_NE(t.to_string().find("| 1 |   |   |"), std::string::npos);
+}
+
+TEST(Table, SeparatorAddsRule) {
+  Table t;
+  t.set_header({"a"});
+  t.add_row({"1"});
+  t.add_separator();
+  t.add_row({"2"});
+  const std::string s = t.to_string();
+  // 5 rules: top, under header, separator, bottom... count '+---'-style lines.
+  int rules = 0;
+  for (std::size_t pos = 0; (pos = s.find("+-", pos)) != std::string::npos; ++pos) {
+    ++rules;
+  }
+  EXPECT_GE(rules, 4);
+}
+
+TEST(Table, RowCount) {
+  Table t;
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(Csv, HeaderAndRows) {
+  CsvWriter w;
+  w.set_header({"a", "b"});
+  w.add_row({"1", "2"});
+  EXPECT_EQ(w.to_string(), "a,b\n1,2\n");
+}
+
+TEST(Csv, QuotesSpecialChars) {
+  CsvWriter w;
+  w.add_row({"a,b", "say \"hi\"", "line\nbreak"});
+  EXPECT_EQ(w.to_string(), "\"a,b\",\"say \"\"hi\"\"\",\"line\nbreak\"\n");
+}
+
+TEST(Csv, NoHeaderMeansRowsOnly) {
+  CsvWriter w;
+  w.add_row({"x"});
+  EXPECT_EQ(w.to_string(), "x\n");
+}
+
+TEST(Csv, WriteFileRoundTrip) {
+  CsvWriter w;
+  w.set_header({"k"});
+  w.add_row({"v"});
+  const std::string path = ::testing::TempDir() + "/cnpu_csv_test.csv";
+  ASSERT_TRUE(w.write_file(path));
+}
+
+}  // namespace
+}  // namespace cnpu

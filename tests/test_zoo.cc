@@ -1,0 +1,83 @@
+#include "workloads/zoo.h"
+
+#include <gtest/gtest.h>
+
+#include "core/throughput_matching.h"
+
+namespace cnpu {
+namespace {
+
+TEST(Zoo, AllEntriesValidate) {
+  for (const auto& entry : workload_zoo()) {
+    for (const auto& l : entry.model.layers) {
+      EXPECT_TRUE(l.validate().empty()) << entry.model.name << "/" << l.name;
+    }
+  }
+}
+
+TEST(Zoo, Resnet50MacsNearReference) {
+  // ResNet-50 @224 is ~4.1 GMACs.
+  const Model m = build_resnet50_classifier();
+  EXPECT_NEAR(m.macs() / 1e9, 4.1, 1.2);
+}
+
+TEST(Zoo, Resnet50Structure) {
+  const Model m = build_resnet50_classifier();
+  int bottleneck_adds = 0;
+  for (const auto& l : m.layers) {
+    if (l.kind == OpKind::kElementwise) ++bottleneck_adds;
+  }
+  EXPECT_EQ(bottleneck_adds, 3 + 4 + 6 + 3);
+  EXPECT_EQ(m.layers.back().name, "R50_FC");
+  EXPECT_EQ(m.layers.back().k, 1000);
+}
+
+TEST(Zoo, VitMacsNearReference) {
+  // ViT-Base @196 tokens is ~17 GMACs (counting full attention).
+  const Model m = build_vit_encoder();
+  EXPECT_NEAR(m.macs() / 1e9, 17.0, 5.0);
+}
+
+TEST(Zoo, VitLayersPerBlock) {
+  const Model m = build_vit_encoder(196, 768, 2);
+  // embed + 2 blocks x 9 layers.
+  EXPECT_EQ(m.layers.size(), 1u + 2u * 9u);
+}
+
+TEST(Zoo, UnetOutputMatchesInputResolution) {
+  const Model m = build_unet_segmenter(256, 256, 8);
+  const LayerDesc& head = m.layers.back();
+  EXPECT_EQ(head.y, 256);
+  EXPECT_EQ(head.x, 256);
+  EXPECT_EQ(head.k, 8);
+}
+
+TEST(Zoo, UnetHasSymmetricDecoder) {
+  const Model m = build_unet_segmenter();
+  int ups = 0;
+  for (const auto& l : m.layers) {
+    if (l.kind == OpKind::kTransposedConv) ++ups;
+  }
+  EXPECT_EQ(ups, 4);
+}
+
+// Every zoo model schedules on the Simba MCM as a single-stage pipeline.
+class ZooScheduling : public ::testing::TestWithParam<int> {};
+
+TEST_P(ZooScheduling, MatchesOnSimba) {
+  const auto zoo = workload_zoo();
+  const auto& entry = zoo[static_cast<std::size_t>(GetParam())];
+  PerceptionPipeline pipe;
+  pipe.name = entry.model.name;
+  pipe.stages.push_back(Stage{"NET", {{entry.model, false}}});
+  const PackageConfig pkg = make_simba_package();
+  const MatchResult r = throughput_matching(pipe, pkg);
+  EXPECT_TRUE(r.schedule.fully_assigned()) << entry.model.name;
+  EXPECT_GT(r.metrics.pipe_s, 0.0);
+  EXPECT_GE(r.metrics.e2e_s, r.metrics.pipe_s * 0.99);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, ZooScheduling, ::testing::Range(0, 3));
+
+}  // namespace
+}  // namespace cnpu
