@@ -28,7 +28,7 @@ NopCost outbound_cost(const Schedule& s, int item_idx) {
   for (std::size_t i = 0; i + 1 < items.size(); ++i) {
     if (items[i] == item_idx) next = items[i + 1];
   }
-  const double bytes = it.desc->output_elems();
+  const double bytes = it.desc->output_bytes();
   if (next < 0) {
     // Last layer: ship to the centroid of the next stage (approximate with
     // 2 hops, the mean quadrant-to-quadrant distance).
@@ -39,7 +39,7 @@ NopCost outbound_cost(const Schedule& s, int item_idx) {
   for (const auto& sh : from.shards) {
     hops += sh.fraction * pkg.hops_between(sh.chiplet_id, to.primary_chiplet());
   }
-  return nop_transfer(pkg.nop(), bytes, static_cast<int>(hops + 0.5));
+  return nop_transfer(pkg.nop(), bytes, hops);
 }
 
 void print_tables() {

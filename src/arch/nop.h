@@ -29,4 +29,10 @@ struct NopCost {
 // costs nothing: intra-chiplet movement is already in the compute model.
 NopCost nop_transfer(const NopParams& params, double bytes, int hops);
 
+// Fractional-hop variant for fraction-weighted mean hop counts (sharded
+// producers gathering to one consumer). Cost scales linearly with hops and
+// is never rounded, so a sub-half-hop mean still pays its proportional
+// share instead of rounding down to free.
+NopCost nop_transfer(const NopParams& params, double bytes, double hops);
+
 }  // namespace cnpu

@@ -1,7 +1,6 @@
 #include "core/evaluator.h"
 
 #include <algorithm>
-#include <cmath>
 #include <stdexcept>
 
 namespace cnpu {
@@ -19,13 +18,11 @@ double gather_hops(const PackageConfig& pkg, const Placement& from,
   return hops;
 }
 
+// Fractional hops: rounding the fraction-weighted mean would zero the NoP
+// cost of any sharded producer whose mean hop count is below 0.5.
 NopCost edge_cost(const PackageConfig& pkg, double bytes, double hops) {
-  return nop_transfer(pkg.nop(), bytes, static_cast<int>(std::lround(hops)));
+  return nop_transfer(pkg.nop(), bytes, hops);
 }
-
-struct ItemCost {
-  double latency_s = 0.0;
-};
 
 }  // namespace
 
@@ -154,7 +151,7 @@ ScheduleMetrics evaluate_schedule(const Schedule& s) {
           const Placement& nxt = s.placement(items[li + 1]);
           const double hops = gather_hops(pkg, cur, nxt);
           if (hops > 0.0) {
-            const double bytes = s.item(idx).desc->output_elems();
+            const double bytes = s.item(idx).desc->output_bytes();
             const NopCost hop = edge_cost(pkg, bytes, hops);
             sm.nop += hop;
             chain += hop.latency_s;

@@ -58,6 +58,10 @@ double LayerDesc::output_elems() const {
          static_cast<double>(x);
 }
 
+double LayerDesc::output_bytes() const {
+  return output_elems() * static_cast<double>(kActivationBytesPerElem);
+}
+
 double LayerDesc::input_elems() const {
   switch (kind) {
     case OpKind::kConv2D:

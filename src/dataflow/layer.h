@@ -15,6 +15,10 @@
 
 namespace cnpu {
 
+// Activation dtype width. The whole pipeline runs int8 inference, so one
+// element is one byte; NoP byte counts derive from this single constant.
+inline constexpr int kActivationBytesPerElem = 1;
+
 enum class OpKind {
   kConv2D,          // dense convolution
   kDepthwiseConv,   // per-channel convolution (C = 1 reduction per output ch)
@@ -51,6 +55,9 @@ struct LayerDesc {
   double output_elems() const;
   double input_elems() const;
   double weight_elems() const;
+  // Output tensor footprint in bytes (elems x dtype width) - the unit every
+  // NoP transfer consumes, consistent with Model::output_bytes().
+  double output_bytes() const;
   // Average kernel taps contributing to one output (R*S, except transposed
   // conv where only R*S/stride^2 input positions are populated).
   double effective_taps() const;

@@ -1,7 +1,6 @@
 #include "sim/event_sim.h"
 
 #include <algorithm>
-#include <cmath>
 #include <limits>
 #include <map>
 #include <queue>
@@ -34,8 +33,8 @@ double edge_delay(const PackageConfig& pkg, const Placement& from,
   for (const auto& s : from.shards) {
     hops += s.fraction * pkg.hops_between(s.chiplet_id, dst);
   }
-  return nop_transfer(pkg.nop(), bytes, static_cast<int>(std::lround(hops)))
-      .latency_s;
+  // Fractional hops, matching evaluate_schedule's edge cost.
+  return nop_transfer(pkg.nop(), bytes, hops).latency_s;
 }
 
 Program build_program(const Schedule& sched, bool model_nop) {
@@ -74,7 +73,7 @@ Program build_program(const Schedule& sched, bool model_nop) {
       // Intra-model chain.
       for (std::size_t li = 1; li < items.size(); ++li) {
         add_dep(items[li], items[li - 1],
-                sm.model.layers[li - 1].output_elems());
+                sm.model.layers[li - 1].output_bytes());
       }
       // Stage prefix -> parallel models.
       if (!sm.prefix) {

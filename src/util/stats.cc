@@ -23,12 +23,28 @@ double geomean(const std::vector<double>& xs) {
   return std::exp(log_sum / static_cast<double>(xs.size()));
 }
 
-double stddev(const std::vector<double>& xs) {
-  if (xs.size() < 2) return 0.0;
+namespace {
+
+// Sum of squared deviations from the mean, clamped at 0: the two-pass form
+// is non-negative in exact arithmetic but can round to a tiny negative for
+// near-constant inputs, and sqrt of that would be NaN.
+double sum_sq_dev(const std::vector<double>& xs) {
   const double m = mean(xs);
   double acc = 0.0;
   for (double x : xs) acc += (x - m) * (x - m);
-  return std::sqrt(acc / static_cast<double>(xs.size()));
+  return std::max(acc, 0.0);
+}
+
+}  // namespace
+
+double stddev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  return std::sqrt(sum_sq_dev(xs) / static_cast<double>(xs.size()));
+}
+
+double sample_stddev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  return std::sqrt(sum_sq_dev(xs) / static_cast<double>(xs.size() - 1));
 }
 
 double min_of(const std::vector<double>& xs) {

@@ -9,7 +9,14 @@ namespace cnpu {
 double mean(const std::vector<double>& xs);
 // Geometric mean; requires all positive entries (returns 0 otherwise).
 double geomean(const std::vector<double>& xs);
-double stddev(const std::vector<double>& xs);  // population stddev
+// Standard deviation convention: `stddev` is the POPULATION stddev
+// (divides by N) - benches report spread over a fixed, fully-enumerated set
+// of configurations, not a sample of a larger population. Use
+// `sample_stddev` (divides by N-1, Bessel-corrected) when the inputs are a
+// sample, e.g. repeated timing measurements. Both return 0 for fewer than
+// two values and clamp negative round-off variance to 0.
+double stddev(const std::vector<double>& xs);
+double sample_stddev(const std::vector<double>& xs);
 double min_of(const std::vector<double>& xs);
 double max_of(const std::vector<double>& xs);
 double sum(const std::vector<double>& xs);

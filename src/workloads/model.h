@@ -17,10 +17,10 @@ struct Model {
   std::vector<LayerDesc> layers;
 
   double macs() const { return total_macs(layers); }
-  // Elements (== bytes, int8) produced by the final layer; what the NoP
-  // carries to the next consumer.
+  // Bytes produced by the final layer; what the NoP carries to the next
+  // consumer.
   double output_bytes() const {
-    return layers.empty() ? 0.0 : layers.back().output_elems();
+    return layers.empty() ? 0.0 : layers.back().output_bytes();
   }
   int num_layers() const { return static_cast<int>(layers.size()); }
 };

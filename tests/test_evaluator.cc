@@ -103,6 +103,73 @@ TEST_F(EvaluatorTest, NopEdgesAppearAcrossChiplets) {
   EXPECT_LT(m2.stages[0].nop.energy_j, m.stages[0].nop.energy_j);
 }
 
+// Regression: the intra-model chain edge must be priced in bytes
+// (LayerDesc::output_bytes), the unit nop_transfer expects, not raw element
+// counts. Isolate the edge as the stage-0 NoP delta between a co-located and
+// a split chain and pin it to the cost model's prediction.
+TEST_F(EvaluatorTest, IntraChainEdgeCarriesOutputBytes) {
+  const auto& chain = sched_.items_of_model(0, 0);
+  sched_.assign(chain[0], 0);
+  sched_.assign(sched_.items_of_model(1, 0)[0], 1);
+  sched_.assign(sched_.items_of_model(1, 1)[0], 2);
+
+  sched_.assign(chain[1], 0);
+  const double colocated = evaluate_schedule(sched_).stages[0].nop.energy_j;
+  sched_.assign(chain[1], 3);
+  const double split = evaluate_schedule(sched_).stages[0].nop.energy_j;
+
+  const LayerDesc& producer = *sched_.item(chain[0]).desc;
+  const NopCost edge = nop_transfer(pkg_.nop(), producer.output_bytes(),
+                                    pkg_.hops_between(0, 3));
+  EXPECT_GT(edge.energy_j, 0.0);
+  EXPECT_NEAR(split - colocated, edge.energy_j, edge.energy_j * 1e-9);
+}
+
+// Regression: NoP totals must grow strictly with producer shard spread (the
+// fraction-weighted mean hop count grows with every added chiplet). The old
+// lround()-based edge cost plateaued whenever two spreads rounded to the
+// same integer hop count.
+TEST_F(EvaluatorTest, NopStrictlyIncreasesWithShardSpread) {
+  const auto& chain = sched_.items_of_model(0, 0);
+  sched_.assign(chain[0], 0);
+  sched_.assign(sched_.items_of_model(1, 0)[0], 0);
+  sched_.assign(sched_.items_of_model(1, 1)[0], 0);
+
+  double prev = 0.0;
+  bool first = true;
+  for (const auto& spread :
+       std::vector<std::vector<int>>{{0}, {0, 1}, {0, 1, 2}, {0, 1, 2, 3}}) {
+    sched_.assign_sharded(chain[1], spread);
+    const ScheduleMetrics m = evaluate_schedule(sched_);
+    if (!first) {
+      EXPECT_GT(m.nop.latency_s, prev) << "spread size " << spread.size();
+      EXPECT_GT(m.nop.energy_j, 0.0);
+    }
+    first = false;
+    prev = m.nop.latency_s;
+  }
+}
+
+// Regression: a sharded producer whose mean hop count is below 0.5 must
+// still pay its fractional NoP share; lround() used to zero it out.
+TEST_F(EvaluatorTest, SubHalfHopMeanStillPaysNop) {
+  const auto& chain = sched_.items_of_model(0, 0);
+  sched_.assign(chain[0], 0);
+  // 80% of C2 stays with the consumers; 20% sits one hop away.
+  sched_.assign_weighted(chain[1], {{0, 0.8}, {1, 0.2}});
+  sched_.assign(sched_.items_of_model(1, 0)[0], 0);
+  sched_.assign(sched_.items_of_model(1, 1)[0], 0);
+
+  const ScheduleMetrics m = evaluate_schedule(sched_);
+  const double bytes = pipe_.stages[0].models[0].model.output_bytes();
+  const double mean_hops = 0.2 * pkg_.hops_between(1, 0);
+  const NopCost edge = nop_transfer(pkg_.nop(), bytes, mean_hops);
+  EXPECT_GT(m.stages[1].nop.latency_s, 0.0);
+  // Two consumers (models A and B) each gather the same sharded output.
+  EXPECT_NEAR(m.stages[1].nop.energy_j, 2.0 * edge.energy_j,
+              edge.energy_j * 1e-9);
+}
+
 TEST_F(EvaluatorTest, EnergyIndependentOfPlacementComputePart) {
   // Compute energy is placement-invariant on a homogeneous package.
   for (int i = 0; i < sched_.num_items(); ++i) sched_.assign(i, 0);

@@ -18,6 +18,12 @@ TEST(Conv2d, TensorFootprints) {
   EXPECT_DOUBLE_EQ(l.weight_elems(), 64.0 * 3 * 49);
 }
 
+TEST(Conv2d, OutputBytesScalesElemsByDtypeWidth) {
+  const LayerDesc l = conv2d("c", 3, 64, 360, 640, 7, 2);
+  EXPECT_DOUBLE_EQ(l.output_bytes(),
+                   l.output_elems() * kActivationBytesPerElem);
+}
+
 TEST(Pointwise, IsOneByOneConv) {
   const LayerDesc l = pointwise("p", 128, 256, 20, 80);
   EXPECT_EQ(l.r, 1);

@@ -28,6 +28,29 @@ TEST(Stddev, Population) {
   EXPECT_DOUBLE_EQ(stddev({3}), 0.0);
 }
 
+TEST(Stddev, SampleUsesBesselCorrection) {
+  // Same data as Population: sum of squared deviations 32 over N-1 = 7.
+  EXPECT_NEAR(sample_stddev({2, 4, 4, 4, 5, 5, 7, 9}), std::sqrt(32.0 / 7.0),
+              1e-12);
+  EXPECT_GT(sample_stddev({1, 2, 3}), stddev({1, 2, 3}));
+}
+
+TEST(Stddev, FewerThanTwoValuesIsZero) {
+  EXPECT_DOUBLE_EQ(stddev({}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev({3}), 0.0);
+  EXPECT_DOUBLE_EQ(sample_stddev({}), 0.0);
+  EXPECT_DOUBLE_EQ(sample_stddev({3}), 0.0);
+}
+
+TEST(Stddev, ConstantInputNeverGoesNegativeOrNan) {
+  // Large equal values stress the negative round-off variance guard: the
+  // result must be exactly 0, never sqrt of a tiny negative (NaN).
+  const std::vector<double> xs(5, 1.0e17 / 3.0);
+  EXPECT_DOUBLE_EQ(stddev(xs), 0.0);
+  EXPECT_DOUBLE_EQ(sample_stddev(xs), 0.0);
+  EXPECT_FALSE(std::isnan(stddev({1e16, 1e16, 1e16})));
+}
+
 TEST(MinMaxSum, Basics) {
   EXPECT_DOUBLE_EQ(min_of({3, 1, 2}), 1.0);
   EXPECT_DOUBLE_EQ(max_of({3, 1, 2}), 3.0);
