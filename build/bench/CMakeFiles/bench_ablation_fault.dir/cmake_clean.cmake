@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_fault.dir/bench_ablation_fault.cc.o"
+  "CMakeFiles/bench_ablation_fault.dir/bench_ablation_fault.cc.o.d"
+  "bench_ablation_fault"
+  "bench_ablation_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

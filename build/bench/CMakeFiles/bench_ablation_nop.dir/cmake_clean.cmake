@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_nop.dir/bench_ablation_nop.cc.o"
+  "CMakeFiles/bench_ablation_nop.dir/bench_ablation_nop.cc.o.d"
+  "bench_ablation_nop"
+  "bench_ablation_nop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_nop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

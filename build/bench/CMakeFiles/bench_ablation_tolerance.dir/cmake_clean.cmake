@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_tolerance.dir/bench_ablation_tolerance.cc.o"
+  "CMakeFiles/bench_ablation_tolerance.dir/bench_ablation_tolerance.cc.o.d"
+  "bench_ablation_tolerance"
+  "bench_ablation_tolerance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_tolerance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

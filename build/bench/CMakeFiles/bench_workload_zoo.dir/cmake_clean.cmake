@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_workload_zoo.dir/bench_workload_zoo.cc.o"
+  "CMakeFiles/bench_workload_zoo.dir/bench_workload_zoo.cc.o.d"
+  "bench_workload_zoo"
+  "bench_workload_zoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_workload_zoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autopilot_end_to_end.dir/autopilot_end_to_end.cc.o"
+  "CMakeFiles/autopilot_end_to_end.dir/autopilot_end_to_end.cc.o.d"
+  "autopilot_end_to_end"
+  "autopilot_end_to_end.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autopilot_end_to_end.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

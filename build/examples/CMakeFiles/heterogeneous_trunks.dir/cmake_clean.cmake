@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heterogeneous_trunks.dir/heterogeneous_trunks.cc.o"
+  "CMakeFiles/heterogeneous_trunks.dir/heterogeneous_trunks.cc.o.d"
+  "heterogeneous_trunks"
+  "heterogeneous_trunks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heterogeneous_trunks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npu_explorer.dir/npu_explorer.cc.o"
+  "CMakeFiles/npu_explorer.dir/npu_explorer.cc.o.d"
+  "npu_explorer"
+  "npu_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npu_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

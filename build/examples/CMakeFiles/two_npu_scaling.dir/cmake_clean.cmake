@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/two_npu_scaling.dir/two_npu_scaling.cc.o"
+  "CMakeFiles/two_npu_scaling.dir/two_npu_scaling.cc.o.d"
+  "two_npu_scaling"
+  "two_npu_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/two_npu_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

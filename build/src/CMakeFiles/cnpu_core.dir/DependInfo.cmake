@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/chiplet.cc" "src/CMakeFiles/cnpu_core.dir/arch/chiplet.cc.o" "gcc" "src/CMakeFiles/cnpu_core.dir/arch/chiplet.cc.o.d"
+  "/root/repo/src/arch/nop.cc" "src/CMakeFiles/cnpu_core.dir/arch/nop.cc.o" "gcc" "src/CMakeFiles/cnpu_core.dir/arch/nop.cc.o.d"
+  "/root/repo/src/arch/package.cc" "src/CMakeFiles/cnpu_core.dir/arch/package.cc.o" "gcc" "src/CMakeFiles/cnpu_core.dir/arch/package.cc.o.d"
+  "/root/repo/src/core/baselines.cc" "src/CMakeFiles/cnpu_core.dir/core/baselines.cc.o" "gcc" "src/CMakeFiles/cnpu_core.dir/core/baselines.cc.o.d"
+  "/root/repo/src/core/context_gating.cc" "src/CMakeFiles/cnpu_core.dir/core/context_gating.cc.o" "gcc" "src/CMakeFiles/cnpu_core.dir/core/context_gating.cc.o.d"
+  "/root/repo/src/core/evaluator.cc" "src/CMakeFiles/cnpu_core.dir/core/evaluator.cc.o" "gcc" "src/CMakeFiles/cnpu_core.dir/core/evaluator.cc.o.d"
+  "/root/repo/src/core/package_dse.cc" "src/CMakeFiles/cnpu_core.dir/core/package_dse.cc.o" "gcc" "src/CMakeFiles/cnpu_core.dir/core/package_dse.cc.o.d"
+  "/root/repo/src/core/partition.cc" "src/CMakeFiles/cnpu_core.dir/core/partition.cc.o" "gcc" "src/CMakeFiles/cnpu_core.dir/core/partition.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/CMakeFiles/cnpu_core.dir/core/report.cc.o" "gcc" "src/CMakeFiles/cnpu_core.dir/core/report.cc.o.d"
+  "/root/repo/src/core/scaling.cc" "src/CMakeFiles/cnpu_core.dir/core/scaling.cc.o" "gcc" "src/CMakeFiles/cnpu_core.dir/core/scaling.cc.o.d"
+  "/root/repo/src/core/schedule.cc" "src/CMakeFiles/cnpu_core.dir/core/schedule.cc.o" "gcc" "src/CMakeFiles/cnpu_core.dir/core/schedule.cc.o.d"
+  "/root/repo/src/core/schedule_io.cc" "src/CMakeFiles/cnpu_core.dir/core/schedule_io.cc.o" "gcc" "src/CMakeFiles/cnpu_core.dir/core/schedule_io.cc.o.d"
+  "/root/repo/src/core/throughput_matching.cc" "src/CMakeFiles/cnpu_core.dir/core/throughput_matching.cc.o" "gcc" "src/CMakeFiles/cnpu_core.dir/core/throughput_matching.cc.o.d"
+  "/root/repo/src/core/trunk_dse.cc" "src/CMakeFiles/cnpu_core.dir/core/trunk_dse.cc.o" "gcc" "src/CMakeFiles/cnpu_core.dir/core/trunk_dse.cc.o.d"
+  "/root/repo/src/dataflow/cost_model.cc" "src/CMakeFiles/cnpu_core.dir/dataflow/cost_model.cc.o" "gcc" "src/CMakeFiles/cnpu_core.dir/dataflow/cost_model.cc.o.d"
+  "/root/repo/src/dataflow/dataflow.cc" "src/CMakeFiles/cnpu_core.dir/dataflow/dataflow.cc.o" "gcc" "src/CMakeFiles/cnpu_core.dir/dataflow/dataflow.cc.o.d"
+  "/root/repo/src/dataflow/directive.cc" "src/CMakeFiles/cnpu_core.dir/dataflow/directive.cc.o" "gcc" "src/CMakeFiles/cnpu_core.dir/dataflow/directive.cc.o.d"
+  "/root/repo/src/dataflow/layer.cc" "src/CMakeFiles/cnpu_core.dir/dataflow/layer.cc.o" "gcc" "src/CMakeFiles/cnpu_core.dir/dataflow/layer.cc.o.d"
+  "/root/repo/src/dataflow/mapping_analysis.cc" "src/CMakeFiles/cnpu_core.dir/dataflow/mapping_analysis.cc.o" "gcc" "src/CMakeFiles/cnpu_core.dir/dataflow/mapping_analysis.cc.o.d"
+  "/root/repo/src/sim/event_sim.cc" "src/CMakeFiles/cnpu_core.dir/sim/event_sim.cc.o" "gcc" "src/CMakeFiles/cnpu_core.dir/sim/event_sim.cc.o.d"
+  "/root/repo/src/util/csv.cc" "src/CMakeFiles/cnpu_core.dir/util/csv.cc.o" "gcc" "src/CMakeFiles/cnpu_core.dir/util/csv.cc.o.d"
+  "/root/repo/src/util/json.cc" "src/CMakeFiles/cnpu_core.dir/util/json.cc.o" "gcc" "src/CMakeFiles/cnpu_core.dir/util/json.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/cnpu_core.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/cnpu_core.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/stats.cc" "src/CMakeFiles/cnpu_core.dir/util/stats.cc.o" "gcc" "src/CMakeFiles/cnpu_core.dir/util/stats.cc.o.d"
+  "/root/repo/src/util/strings.cc" "src/CMakeFiles/cnpu_core.dir/util/strings.cc.o" "gcc" "src/CMakeFiles/cnpu_core.dir/util/strings.cc.o.d"
+  "/root/repo/src/util/table.cc" "src/CMakeFiles/cnpu_core.dir/util/table.cc.o" "gcc" "src/CMakeFiles/cnpu_core.dir/util/table.cc.o.d"
+  "/root/repo/src/workloads/attention.cc" "src/CMakeFiles/cnpu_core.dir/workloads/attention.cc.o" "gcc" "src/CMakeFiles/cnpu_core.dir/workloads/attention.cc.o.d"
+  "/root/repo/src/workloads/autopilot.cc" "src/CMakeFiles/cnpu_core.dir/workloads/autopilot.cc.o" "gcc" "src/CMakeFiles/cnpu_core.dir/workloads/autopilot.cc.o.d"
+  "/root/repo/src/workloads/bifpn.cc" "src/CMakeFiles/cnpu_core.dir/workloads/bifpn.cc.o" "gcc" "src/CMakeFiles/cnpu_core.dir/workloads/bifpn.cc.o.d"
+  "/root/repo/src/workloads/fusion.cc" "src/CMakeFiles/cnpu_core.dir/workloads/fusion.cc.o" "gcc" "src/CMakeFiles/cnpu_core.dir/workloads/fusion.cc.o.d"
+  "/root/repo/src/workloads/model.cc" "src/CMakeFiles/cnpu_core.dir/workloads/model.cc.o" "gcc" "src/CMakeFiles/cnpu_core.dir/workloads/model.cc.o.d"
+  "/root/repo/src/workloads/resnet.cc" "src/CMakeFiles/cnpu_core.dir/workloads/resnet.cc.o" "gcc" "src/CMakeFiles/cnpu_core.dir/workloads/resnet.cc.o.d"
+  "/root/repo/src/workloads/trunks.cc" "src/CMakeFiles/cnpu_core.dir/workloads/trunks.cc.o" "gcc" "src/CMakeFiles/cnpu_core.dir/workloads/trunks.cc.o.d"
+  "/root/repo/src/workloads/zoo.cc" "src/CMakeFiles/cnpu_core.dir/workloads/zoo.cc.o" "gcc" "src/CMakeFiles/cnpu_core.dir/workloads/zoo.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

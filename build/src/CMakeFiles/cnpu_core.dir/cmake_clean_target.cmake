@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcnpu_core.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_context_gating.dir/test_context_gating.cc.o"
+  "CMakeFiles/test_context_gating.dir/test_context_gating.cc.o.d"
+  "test_context_gating"
+  "test_context_gating.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_context_gating.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

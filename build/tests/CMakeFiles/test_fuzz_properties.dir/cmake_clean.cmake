@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuzz_properties.dir/test_fuzz_properties.cc.o"
+  "CMakeFiles/test_fuzz_properties.dir/test_fuzz_properties.cc.o.d"
+  "test_fuzz_properties"
+  "test_fuzz_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuzz_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

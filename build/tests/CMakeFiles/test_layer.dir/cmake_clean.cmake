@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_layer.dir/test_layer.cc.o"
+  "CMakeFiles/test_layer.dir/test_layer.cc.o.d"
+  "test_layer"
+  "test_layer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_layer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

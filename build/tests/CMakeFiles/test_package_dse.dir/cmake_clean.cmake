@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_package_dse.dir/test_package_dse.cc.o"
+  "CMakeFiles/test_package_dse.dir/test_package_dse.cc.o.d"
+  "test_package_dse"
+  "test_package_dse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_package_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

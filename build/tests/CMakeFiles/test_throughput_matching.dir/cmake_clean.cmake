@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_throughput_matching.dir/test_throughput_matching.cc.o"
+  "CMakeFiles/test_throughput_matching.dir/test_throughput_matching.cc.o.d"
+  "test_throughput_matching"
+  "test_throughput_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_throughput_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

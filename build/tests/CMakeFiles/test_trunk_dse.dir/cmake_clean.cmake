@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trunk_dse.dir/test_trunk_dse.cc.o"
+  "CMakeFiles/test_trunk_dse.dir/test_trunk_dse.cc.o.d"
+  "test_trunk_dse"
+  "test_trunk_dse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trunk_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
