@@ -6,7 +6,10 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+
+#include "exp/sweep_runner.h"
 
 namespace cnpu::bench {
 
@@ -15,6 +18,21 @@ inline void print_header(const std::string& what, const std::string& paper_ref) 
   std::printf("%s\n", what.c_str());
   std::printf("reproduces: %s\n", paper_ref.c_str());
   std::printf("================================================================\n");
+}
+
+// Benches want fail-fast sweeps: a failed point means the reproduction is
+// wrong, so surface the captured per-point error and abort instead of
+// rendering a table with holes.
+inline void require_all_ok(const SweepResult& sweep) {
+  if (sweep.num_failed() == 0) return;
+  for (const SweepPointResult& p : sweep.points) {
+    if (!p.ok) {
+      std::fprintf(stderr, "sweep '%s' point %d (%s) failed: %s\n",
+                   sweep.name.c_str(), p.point.index, p.point.label().c_str(),
+                   p.error.c_str());
+    }
+  }
+  std::exit(1);
 }
 
 // Prints tables first, then runs registered google-benchmark timings.

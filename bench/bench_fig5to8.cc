@@ -1,9 +1,18 @@
 // Figs. 5-8: the throughput-matched mapping of the four perception stages
 // onto the 6x6 MCM quadrants, with the per-stage E2E / pipe / energy / EDP
 // scores the paper annotates on each figure.
+//
+// Also hosts the sweep-engine acceptance check: a tolerance x cameras x
+// queue-depth grid around the Fig. 5-8 operating point is evaluated twice
+// through SweepRunner - serial (threads=1) and parallel (all cores) - and
+// the emitted records are compared bitwise before reporting the wall-clock
+// speedup.
+#include <chrono>
+
 #include "bench_common.h"
 #include "core/report.h"
 #include "core/throughput_matching.h"
+#include "exp/sweep_runner.h"
 #include "util/strings.h"
 #include "util/table.h"
 #include "workloads/autopilot.h"
@@ -15,6 +24,74 @@ MatchResult matched() {
   static const PerceptionPipeline pipe = build_autopilot_pipeline();
   static const PackageConfig pkg = make_simba_package();
   return throughput_matching(pipe, pkg);
+}
+
+// The acceptance grid: full-pipeline matchings across matching tolerance,
+// camera count, and temporal queue depth (90 points around the paper's
+// operating point tolerance=0.10, cameras=8, queue=12).
+SweepSpec acceptance_spec() {
+  return SweepSpec("fig5to8_grid")
+      .axis("tolerance", {0.02, 0.05, 0.10, 0.15, 0.20, 0.30})
+      .axis("cameras", {4, 6, 8, 10, 12})
+      .axis("queue", {6, 12, 18});
+}
+
+SweepRecord acceptance_point(const SweepPoint& p) {
+  AutopilotConfig cfg;
+  cfg.num_cameras = static_cast<int>(p.int_at("cameras"));
+  cfg.fusion.num_cameras = cfg.num_cameras;
+  cfg.fusion.queue_frames = static_cast<int>(p.int_at("queue"));
+  MatchOptions opt;
+  opt.tolerance = p.double_at("tolerance");
+  const PerceptionPipeline pipe = build_autopilot_pipeline(cfg);
+  const PackageConfig pkg = make_simba_package();
+  const MatchResult r = throughput_matching(pipe, pkg, opt);
+  SweepRecord rec;
+  rec.set("pipe_ms", r.metrics.pipe_s * 1e3)
+      .set("e2e_ms", r.metrics.e2e_s * 1e3)
+      .set("energy_j", r.metrics.energy_j())
+      .set("edp_j_ms", r.metrics.edp_j_ms())
+      .set("converged", r.converged ? 1.0 : 0.0);
+  return rec;
+}
+
+void print_sweep_comparison() {
+  using clock = std::chrono::steady_clock;
+  const SweepSpec spec = acceptance_spec();
+
+  const auto t0 = clock::now();
+  const SweepResult serial =
+      SweepRunner(SweepOptions{1}).run(spec, acceptance_point);
+  const auto t1 = clock::now();
+  const SweepResult parallel = SweepRunner().run(spec, acceptance_point);
+  const auto t2 = clock::now();
+
+  const double serial_ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  const double parallel_ms =
+      std::chrono::duration<double, std::milli>(t2 - t1).count();
+  // A point failure or a serial/parallel mismatch must fail the binary, not
+  // just annotate the table — this is the engine's acceptance check.
+  bench::require_all_ok(serial);
+  bench::require_all_ok(parallel);
+  const bool identical = serial.to_csv() == parallel.to_csv() &&
+                         serial.to_json() == parallel.to_json();
+
+  std::printf("sweep engine check (%d-point tolerance x cameras x queue grid "
+              "via SweepRunner):\n",
+              spec.num_points());
+  std::printf("  serial   (threads=1) : %8.1f ms\n", serial_ms);
+  std::printf("  parallel (threads=%-2d): %8.1f ms\n",
+              SweepRunner().threads(), parallel_ms);
+  std::printf("  speedup: %.2fx on %d hardware threads, emitted metrics "
+              "identical: %s\n\n",
+              serial_ms / parallel_ms, ThreadPool::recommended_threads(),
+              identical ? "yes" : "NO - BUG");
+  if (!identical) {
+    std::fprintf(stderr, "sweep engine check failed: parallel sweep emitted "
+                         "different metrics than serial\n");
+    std::exit(1);
+  }
 }
 
 void print_tables() {
@@ -60,6 +137,7 @@ void print_tables() {
   std::printf("(stage tags: 0=FE_BFPN 1=S_FUSE 2=T_FUSE 3=TRUNKS)\n");
   std::printf("algorithm steps: %zu, converged: %s, Latbase: %.2f ms\n\n",
               r.trace.size(), r.converged ? "yes" : "no", r.latbase_s * 1e3);
+  print_sweep_comparison();
 }
 
 void BM_ThroughputMatching(benchmark::State& state) {

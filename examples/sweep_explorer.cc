@@ -1,0 +1,125 @@
+// sweep_explorer: declarative design-space sweeps with the exp/ engine.
+//
+//   ./sweep_explorer [--threads N] [--out DIR]
+//     --threads N   worker threads (default: all cores; 1 = serial)
+//     --out DIR     also write sweep artifacts (CSV + JSON) into DIR
+//
+// Two sweeps, both fanned across cores by SweepRunner with results in
+// deterministic point order:
+//  1. Package-geometry DSE over square AND rectangular meshes at the 9,216-PE
+//     budget (run_package_dse with rect_meshes — Table II extended).
+//  2. A custom SweepSpec: NoP energy-per-bit x camera count over the full
+//     pipeline, the kind of packaging-technology question (UCIe-class links
+//     vs. camera load) the paper's Sec. IV-D cost model enables.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/package_dse.h"
+#include "core/throughput_matching.h"
+#include "exp/sweep_runner.h"
+#include "util/strings.h"
+#include "util/table.h"
+#include "workloads/autopilot.h"
+
+using namespace cnpu;
+
+int main(int argc, char** argv) {
+  int threads = 0;
+  std::string out_dir;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threads" && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_dir = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: sweep_explorer [--threads N] [--out DIR]\n");
+      return 1;
+    }
+  }
+
+  // --- Sweep 1: chiplet geometry, squares + rectangles, fixed PE budget ---
+  const PerceptionPipeline front = build_autopilot_front();
+  PackageDseOptions dse;
+  dse.mesh_sizes = {1, 2, 4, 6};
+  dse.rect_meshes = {{2, 4}, {3, 6}, {4, 6}, {2, 6}, {6, 8}, {4, 12}};
+  dse.threads = threads;
+  const PackageDseResult geo = run_package_dse(front, dse);
+
+  Table t("geometry DSE at 9,216 PEs (squares + rectangles)");
+  t.set_header({"Mesh", "Pipe Lat(ms)", "E2E Lat(ms)", "Energy(J)",
+                "EDP(ms*J)", "Converged"});
+  for (const GeometryPoint& p : geo.points) {
+    t.add_row({p.label(), format_fixed(p.metrics.pipe_s * 1e3, 2),
+               format_fixed(p.metrics.e2e_s * 1e3, 1),
+               format_fixed(p.metrics.energy_j(), 3),
+               format_fixed(p.metrics.edp_j_ms(), 1),
+               p.converged ? "yes" : "no"});
+  }
+  std::printf("%s", t.to_string().c_str());
+  if (geo.best_edp >= 0) {
+    std::printf("EDP-optimal geometry: %s\n\n",
+                geo.points[static_cast<std::size_t>(geo.best_edp)]
+                    .label()
+                    .c_str());
+  }
+
+  // --- Sweep 2: NoP energy-per-bit x cameras through a raw SweepSpec ---
+  const SweepSpec spec =
+      SweepSpec("nop_energy_x_cameras")
+          .axis("nop_pj_per_bit", {0.5, 1.0, 2.04, 4.0})
+          .axis("cameras", {4, 8, 12});
+  const SweepRunner runner(SweepOptions{threads});
+  const SweepResult sweep = runner.run(spec, [](const SweepPoint& p) {
+    AutopilotConfig cfg;
+    cfg.num_cameras = static_cast<int>(p.int_at("cameras"));
+    cfg.fusion.num_cameras = cfg.num_cameras;
+    const PerceptionPipeline pipe = build_autopilot_pipeline(cfg);
+    PackageConfig pkg = make_simba_package();
+    NopParams nop = pkg.nop();
+    nop.energy_per_bit_pj = p.double_at("nop_pj_per_bit");
+    pkg.set_nop(nop);
+    const ScheduleMetrics m = throughput_matching(pipe, pkg).metrics;
+    SweepRecord rec;
+    rec.set("pipe_ms", m.pipe_s * 1e3)
+        .set("energy_j", m.energy_j())
+        .set("nop_energy_j", m.nop.energy_j)
+        .set("edp_j_ms", m.edp_j_ms());
+    return rec;
+  });
+
+  Table n("NoP energy-per-bit x cameras (full pipeline, matched)");
+  n.set_header({"pJ/bit", "Cameras", "Pipe Lat(ms)", "Energy(J)", "NoP E(J)",
+                "EDP(ms*J)"});
+  for (const SweepPointResult& p : sweep.points) {
+    if (!p.ok) {
+      n.add_row({p.point.at("nop_pj_per_bit").to_string(),
+                 p.point.at("cameras").to_string(), "failed: " + p.error, "",
+                 "", ""});
+      continue;
+    }
+    n.add_row({p.point.at("nop_pj_per_bit").to_string(),
+               p.point.at("cameras").to_string(),
+               format_fixed(p.record.get("pipe_ms"), 2),
+               format_fixed(p.record.get("energy_j"), 3),
+               format_fixed(p.record.get("nop_energy_j"), 3),
+               format_fixed(p.record.get("edp_j_ms"), 1)});
+  }
+  std::printf("%s", n.to_string().c_str());
+  std::printf("(%d points on %d threads, %d failed)\n", spec.num_points(),
+              runner.threads(), sweep.num_failed());
+
+  if (!out_dir.empty()) {
+    const std::string base = out_dir + "/" + spec.name();
+    if (sweep.write_csv(base + ".csv") && sweep.write_json(base + ".json")) {
+      std::printf("artifacts: %s.csv, %s.json\n", base.c_str(), base.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write artifacts under %s\n",
+                   out_dir.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -1,5 +1,7 @@
 #include "core/package_dse.h"
 
+#include "exp/sweep_runner.h"
+
 namespace cnpu {
 
 std::string GeometryPoint::label() const {
@@ -9,27 +11,45 @@ std::string GeometryPoint::label() const {
 
 PackageDseResult run_package_dse(const PerceptionPipeline& pipeline,
                                  const PackageDseOptions& options) {
-  PackageDseResult result;
-  for (int n : options.mesh_sizes) {
-    const std::int64_t chips = static_cast<std::int64_t>(n) * n;
-    if (chips <= 0 || options.total_pes % chips != 0) continue;
+  // Enumerate the admissible geometries first (cheap), then fan the
+  // expensive Algorithm-1 matchings across the runner.
+  std::vector<std::pair<int, int>> meshes;
+  for (int n : options.mesh_sizes) meshes.emplace_back(n, n);
+  meshes.insert(meshes.end(), options.rect_meshes.begin(),
+                options.rect_meshes.end());
+
+  struct Geometry {
+    int rows;
+    int cols;
+    std::int64_t pes;
+  };
+  std::vector<Geometry> admissible;
+  for (const auto& [rows, cols] : meshes) {
+    const std::int64_t chips = static_cast<std::int64_t>(rows) * cols;
+    if (rows <= 0 || cols <= 0 || options.total_pes % chips != 0) continue;
     const std::int64_t pes = options.total_pes / chips;
     if (pes < 16) continue;  // below any sensible PE array
-
-    const PackageConfig pkg = make_simba_package(n, n,
-                                                 DataflowKind::kOutputStationary,
-                                                 pes);
-    const MatchResult match =
-        throughput_matching(pipeline, pkg, options.match);
-
-    GeometryPoint p;
-    p.rows = n;
-    p.cols = n;
-    p.pes_per_chiplet = pes;
-    p.metrics = match.metrics;
-    p.converged = match.converged;
-    result.points.push_back(std::move(p));
+    admissible.push_back({rows, cols, pes});
   }
+
+  SweepRunner runner(SweepOptions{options.threads});
+  PackageDseResult result;
+  result.points = runner.map(
+      static_cast<int>(admissible.size()), [&](int i) {
+        const Geometry& g = admissible[static_cast<std::size_t>(i)];
+        const PackageConfig pkg = make_simba_package(
+            g.rows, g.cols, DataflowKind::kOutputStationary, g.pes);
+        const MatchResult match =
+            throughput_matching(pipeline, pkg, options.match);
+
+        GeometryPoint p;
+        p.rows = g.rows;
+        p.cols = g.cols;
+        p.pes_per_chiplet = g.pes;
+        p.metrics = match.metrics;
+        p.converged = match.converged;
+        return p;
+      });
 
   for (int i = 0; i < static_cast<int>(result.points.size()); ++i) {
     const GeometryPoint& p = result.points[static_cast<std::size_t>(i)];

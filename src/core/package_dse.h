@@ -2,15 +2,21 @@
 // which chiplet granularity should an automaker build?
 //
 // Extends Table II from four hand-picked points into a search: square meshes
-// from one monolithic die down to fine-grained chiplets, each scheduled with
-// Algorithm 1 and scored on pipe latency / energy / EDP. Captures the
-// paper's central trade-off: finer chiplets raise mapping utilization and
-// pipelining depth but pay NoP energy and lose per-chiplet tile size once
-// chiplets shrink below the dataflow's native 16x16 tile.
+// from one monolithic die down to fine-grained chiplets — plus any explicit
+// rectangular `rows x cols` grids — each scheduled with Algorithm 1 and
+// scored on pipe latency / energy / EDP. Captures the paper's central
+// trade-off: finer chiplets raise mapping utilization and pipelining depth
+// but pay NoP energy and lose per-chiplet tile size once chiplets shrink
+// below the dataflow's native 16x16 tile.
+//
+// Points are independent, so the search fans across a SweepRunner; results
+// keep enumeration order (squares first, then rect_meshes) for any thread
+// count.
 #pragma once
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/throughput_matching.h"
@@ -32,6 +38,12 @@ struct PackageDseOptions {
   std::int64_t total_pes = 9216;
   // Square mesh sizes to evaluate (chiplet PEs = total / (n*n)).
   std::vector<int> mesh_sizes{1, 2, 3, 4, 6, 8, 12};
+  // Additional rectangular meshes as (rows, cols), evaluated after the
+  // squares. Non-divisible budgets and sub-16-PE chiplets are skipped, same
+  // as for squares.
+  std::vector<std::pair<int, int>> rect_meshes;
+  // Worker threads for the geometry sweep: 0 = all cores, 1 = serial.
+  int threads = 0;
   MatchOptions match;
 };
 

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <vector>
+
+#include "exp/sweep_runner.h"
 
 namespace cnpu {
 namespace {
@@ -114,10 +117,6 @@ TrunkDseResult run_trunk_dse(const TrunkDseOptions& options) {
   constexpr int kDet0 = 3;
   constexpr int kNumDet = 3;
 
-  Candidate best;
-  Candidate best_any;  // ignores the constraint (pure-WS reference row)
-  int evaluated = 0;
-
   const int max_ws_assist = static_cast<int>(ws_ids.size());
   // Encode WS assistance as base-4 digits: chiplet w assists head (code-1),
   // or is idle (code 0). Pure-WS configs skip assistance entirely.
@@ -125,6 +124,17 @@ TrunkDseResult run_trunk_dse(const TrunkDseOptions& options) {
       os_ids.empty() ? 1
                      : static_cast<int>(std::pow(4.0, max_ws_assist) + 0.5);
 
+  // Enumerate the admissible candidate encodings up front (nested-loop
+  // order), then score them in parallel; the final reduction walks the
+  // results in enumeration order, so ties break exactly like the original
+  // serial loop did.
+  struct CandidateSpec {
+    int occ_split;
+    int lane_split;
+    int det_split;
+    int assist;
+  };
+  std::vector<CandidateSpec> specs;
   for (int occ_split = 1; occ_split <= 3; ++occ_split) {
     for (int lane_split = 1; lane_split <= 3; ++lane_split) {
      for (int det_split = 1; det_split <= 3; ++det_split) {
@@ -138,106 +148,132 @@ TrunkDseResult run_trunk_dse(const TrunkDseOptions& options) {
       if (needed > static_cast<int>(base_ids.size())) continue;
       for (int assist = 0; assist < assist_space; ++assist) {
         if (det_split >= 2 && assist != 0) continue;  // moves are exclusive
-        auto sched =
-            std::make_unique<Schedule>(*result.pipeline, *result.package);
-        // Allocate base chiplets in order: occ segments, lane segments, dets.
-        int cursor = 0;
-        auto take = [&]() { return base_ids[static_cast<std::size_t>(cursor++)]; };
-
-        // Occupancy chain (+ preamble riding on the first occ chiplet).
-        std::vector<int> occ_chiplets;
-        for (int i = 0; i < occ_split; ++i) occ_chiplets.push_back(take());
-        for (int idx : sched->items_of_model(0, kPre)) {
-          sched->assign(idx, occ_chiplets.front());
-        }
-        const auto occ_segments =
-            chain_partition(*sched, sched->items_of_model(0, kOcc), occ_split);
-        for (int seg = 0; seg < occ_split; ++seg) {
-          for (int idx : occ_segments[static_cast<std::size_t>(seg)]) {
-            sched->assign(idx, occ_chiplets[static_cast<std::size_t>(seg)]);
-          }
-        }
-
-        // Lane chain.
-        std::vector<int> lane_chiplets;
-        for (int i = 0; i < lane_split; ++i) lane_chiplets.push_back(take());
-        const auto lane_segments =
-            chain_partition(*sched, sched->items_of_model(0, kLane), lane_split);
-        for (int seg = 0; seg < lane_split; ++seg) {
-          for (int idx : lane_segments[static_cast<std::size_t>(seg)]) {
-            sched->assign(idx, lane_chiplets[static_cast<std::size_t>(seg)]);
-          }
-        }
-
-        // Detector heads, with optional WS co-sharding of their convs.
-        int code = assist;
-        std::vector<std::vector<int>> helpers(kNumDet);
-        for (int w = 0; w < max_ws_assist; ++w) {
-          const int digit = code % 4;
-          code /= 4;
-          if (digit > 0) {
-            helpers[static_cast<std::size_t>(digit - 1)].push_back(
-                ws_ids[static_cast<std::size_t>(w)]);
-          }
-        }
-        const int shared_home = det_split == 3 ? take() : -1;
-        for (int d = 0; d < kNumDet; ++d) {
-          const int home = det_split == 3 ? shared_home : take();
-          const int box_host =
-              det_split >= 2 && d < static_cast<int>(ws_ids.size())
-                  ? ws_ids[static_cast<std::size_t>(d)]
-                  : home;
-          for (int idx : sched->items_of_model(0, kDet0 + d)) {
-            const LayerDesc& l = *sched->item(idx).desc;
-            const bool box_net = l.name.find("_BOX_") != std::string::npos;
-            const int host = box_net ? box_host : home;
-            const auto& assist_ids = helpers[static_cast<std::size_t>(d)];
-            if (l.kind == OpKind::kConv2D && !assist_ids.empty()) {
-              std::vector<ShardAssignment> shards;
-              shards.push_back(
-                  {host, analyze_layer(l, result.package->chiplet(host).array).rate});
-              for (int ws : assist_ids) {
-                shards.push_back(
-                    {ws, analyze_layer(l, result.package->chiplet(ws).array).rate});
-              }
-              sched->assign_weighted(idx, std::move(shards));
-            } else {
-              sched->assign(idx, host);
-            }
-          }
-        }
-
-        const ScheduleMetrics m = evaluate_schedule(*sched);
-        ++evaluated;
-        const bool feasible = max_chiplet_busy(m) <= options.lcstr_s;
-        const double score = -m.edp_j_ms();
-        const std::string desc =
-            "occ/" + std::to_string(occ_split) + " lane/" +
-            std::to_string(lane_split) + " det/" + std::to_string(det_split) +
-            " ws-assist=" + std::to_string(assist);
-        auto consider = [&](Candidate& slot, bool require_feasible) {
-          if (require_feasible && !feasible) return;
-          if (score > slot.score) {
-            slot.score = score;
-            slot.feasible = feasible;
-            slot.metrics = m;
-            slot.desc = desc;
-            slot.schedule = std::make_unique<Schedule>(*sched);
-          }
-        };
-        consider(best, true);
-        consider(best_any, false);
+        specs.push_back({occ_split, lane_split, det_split, assist});
       }
      }
     }
   }
 
-  Candidate& chosen = best.schedule ? best : best_any;
-  result.schedule = std::move(chosen.schedule);
-  result.metrics = chosen.metrics;
-  result.feasible = chosen.feasible;
-  result.config_desc = chosen.desc;
-  result.evaluated = evaluated;
+  auto score_candidate = [&](const CandidateSpec& spec) {
+    const int occ_split = spec.occ_split;
+    const int lane_split = spec.lane_split;
+    const int det_split = spec.det_split;
+    const int assist = spec.assist;
+    auto sched =
+        std::make_unique<Schedule>(*result.pipeline, *result.package);
+    // Allocate base chiplets in order: occ segments, lane segments, dets.
+    int cursor = 0;
+    auto take = [&]() { return base_ids[static_cast<std::size_t>(cursor++)]; };
+
+    // Occupancy chain (+ preamble riding on the first occ chiplet).
+    std::vector<int> occ_chiplets;
+    for (int i = 0; i < occ_split; ++i) occ_chiplets.push_back(take());
+    for (int idx : sched->items_of_model(0, kPre)) {
+      sched->assign(idx, occ_chiplets.front());
+    }
+    const auto occ_segments =
+        chain_partition(*sched, sched->items_of_model(0, kOcc), occ_split);
+    for (int seg = 0; seg < occ_split; ++seg) {
+      for (int idx : occ_segments[static_cast<std::size_t>(seg)]) {
+        sched->assign(idx, occ_chiplets[static_cast<std::size_t>(seg)]);
+      }
+    }
+
+    // Lane chain.
+    std::vector<int> lane_chiplets;
+    for (int i = 0; i < lane_split; ++i) lane_chiplets.push_back(take());
+    const auto lane_segments =
+        chain_partition(*sched, sched->items_of_model(0, kLane), lane_split);
+    for (int seg = 0; seg < lane_split; ++seg) {
+      for (int idx : lane_segments[static_cast<std::size_t>(seg)]) {
+        sched->assign(idx, lane_chiplets[static_cast<std::size_t>(seg)]);
+      }
+    }
+
+    // Detector heads, with optional WS co-sharding of their convs.
+    int code = assist;
+    std::vector<std::vector<int>> helpers(kNumDet);
+    for (int w = 0; w < max_ws_assist; ++w) {
+      const int digit = code % 4;
+      code /= 4;
+      if (digit > 0) {
+        helpers[static_cast<std::size_t>(digit - 1)].push_back(
+            ws_ids[static_cast<std::size_t>(w)]);
+      }
+    }
+    const int shared_home = det_split == 3 ? take() : -1;
+    for (int d = 0; d < kNumDet; ++d) {
+      const int home = det_split == 3 ? shared_home : take();
+      const int box_host =
+          det_split >= 2 && d < static_cast<int>(ws_ids.size())
+              ? ws_ids[static_cast<std::size_t>(d)]
+              : home;
+      for (int idx : sched->items_of_model(0, kDet0 + d)) {
+        const LayerDesc& l = *sched->item(idx).desc;
+        const bool box_net = l.name.find("_BOX_") != std::string::npos;
+        const int host = box_net ? box_host : home;
+        const auto& assist_ids = helpers[static_cast<std::size_t>(d)];
+        if (l.kind == OpKind::kConv2D && !assist_ids.empty()) {
+          std::vector<ShardAssignment> shards;
+          shards.push_back(
+              {host, analyze_layer(l, result.package->chiplet(host).array).rate});
+          for (int ws : assist_ids) {
+            shards.push_back(
+                {ws, analyze_layer(l, result.package->chiplet(ws).array).rate});
+          }
+          sched->assign_weighted(idx, std::move(shards));
+        } else {
+          sched->assign(idx, host);
+        }
+      }
+    }
+
+    const ScheduleMetrics m = evaluate_schedule(*sched);
+    Candidate c;
+    c.score = -m.edp_j_ms();
+    c.feasible = max_chiplet_busy(m) <= options.lcstr_s;
+    c.metrics = m;
+    c.desc = "occ/" + std::to_string(occ_split) + " lane/" +
+             std::to_string(lane_split) + " det/" +
+             std::to_string(det_split) +
+             " ws-assist=" + std::to_string(assist);
+    c.schedule = std::move(sched);
+    return c;
+  };
+
+  // Score in parallel but drop each candidate's Schedule immediately — only
+  // scores ride back, so peak memory stays flat over thousands of specs. The
+  // single winning schedule is rebuilt deterministically afterwards.
+  SweepRunner runner(SweepOptions{options.threads});
+  std::vector<Candidate> candidates =
+      runner.map(static_cast<int>(specs.size()), [&](int i) {
+        Candidate c = score_candidate(specs[static_cast<std::size_t>(i)]);
+        c.schedule.reset();
+        return c;
+      });
+
+  // Reduction in enumeration order (strict > keeps the serial tie-breaking).
+  int best_idx = -1;
+  int best_any_idx = -1;  // ignores the constraint (pure-WS reference row)
+  for (int i = 0; i < static_cast<int>(candidates.size()); ++i) {
+    const Candidate& c = candidates[static_cast<std::size_t>(i)];
+    const auto better = [&](int slot) {
+      return slot < 0 ||
+             c.score > candidates[static_cast<std::size_t>(slot)].score;
+    };
+    if (c.feasible && better(best_idx)) best_idx = i;
+    if (better(best_any_idx)) best_any_idx = i;
+  }
+
+  const int chosen_idx = best_idx >= 0 ? best_idx : best_any_idx;
+  if (chosen_idx >= 0) {
+    Candidate chosen = score_candidate(specs[static_cast<std::size_t>(chosen_idx)]);
+    result.schedule = std::move(chosen.schedule);
+    result.metrics = chosen.metrics;
+    result.feasible = chosen.feasible;
+    result.config_desc = chosen.desc;
+  }
+  result.evaluated = static_cast<int>(candidates.size());
   return result;
 }
 

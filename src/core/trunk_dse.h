@@ -25,6 +25,10 @@ struct TrunkDseOptions {
   double lcstr_s = 0.085;    // pipelining latency constraint
   int ws_chiplets = 0;       // 0 = OS only, 2 = Het(2), 4 = Het(4), 9 = WS only
   double lane_context = 0.6; // lane gating operating point
+  // Worker threads for candidate evaluation: 0 = all cores, 1 = serial. The
+  // chosen candidate is identical for any value (ties break by candidate
+  // enumeration order).
+  int threads = 0;
   TrunkConfig trunks;
 };
 

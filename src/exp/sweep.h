@@ -1,0 +1,122 @@
+// Declarative sweep specifications for design-space exploration.
+//
+// A SweepSpec names the axes of an experiment (chiplet geometry, NoP
+// parameters, workload knobs, ...) and the grid of values each axis takes.
+// Axes combine either as a cartesian product (every combination, nested-loop
+// order with the first axis slowest) or zipped (all axes advance together,
+// like Python's zip). The spec is pure data: enumerating point `i` is O(axes)
+// and needs no evaluation, so a SweepRunner can fan points across threads
+// while keeping results in point-index order.
+//
+// Usage:
+//   SweepSpec spec = SweepSpec("geometry")
+//                        .axis("rows", {1, 2, 3})
+//                        .axis("cols", {1, 2, 3});
+//   for (int i = 0; i < spec.num_points(); ++i) {
+//     SweepPoint p = spec.point(i);
+//     use(p.int_at("rows"), p.int_at("cols"));
+//   }
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cnpu {
+
+// One sweep-axis value: an integer, a real, or a string (e.g. a mode name).
+// Numeric kinds interconvert (int_value() of a double truncates); asking a
+// string for a number (or vice versa) throws std::logic_error.
+class ParamValue {
+ public:
+  enum class Kind { kInt, kDouble, kString };
+
+  ParamValue(int v) : kind_(Kind::kInt), int_(v) {}                // NOLINT
+  ParamValue(std::int64_t v) : kind_(Kind::kInt), int_(v) {}       // NOLINT
+  ParamValue(double v) : kind_(Kind::kDouble), double_(v) {}       // NOLINT
+  ParamValue(std::string v)                                        // NOLINT
+      : kind_(Kind::kString), string_(std::move(v)) {}
+  ParamValue(const char* v) : kind_(Kind::kString), string_(v) {}  // NOLINT
+
+  Kind kind() const { return kind_; }
+  bool is_number() const { return kind_ != Kind::kString; }
+
+  // Numeric accessors (throw std::logic_error on a string value).
+  std::int64_t int_value() const;
+  double double_value() const;
+  // String accessor (throws std::logic_error on a numeric value).
+  const std::string& string_value() const;
+
+  // Human/CSV rendering: integers bare, doubles shortest round-trip-ish
+  // ("%.12g"), strings verbatim.
+  std::string to_string() const;
+
+  bool operator==(const ParamValue& o) const;
+
+ private:
+  Kind kind_;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+};
+
+// A named axis and the grid of values it sweeps over.
+struct SweepAxis {
+  std::string name;
+  std::vector<ParamValue> values;
+};
+
+// One enumerated point of a sweep: the point index plus each axis' value,
+// in axis-declaration order.
+struct SweepPoint {
+  int index = 0;
+  std::vector<std::pair<std::string, ParamValue>> params;
+
+  // Value of axis `name`; throws std::out_of_range when the axis is unknown.
+  const ParamValue& at(const std::string& name) const;
+  // Typed shorthands over at().
+  std::int64_t int_at(const std::string& name) const;
+  double double_at(const std::string& name) const;
+  const std::string& str_at(const std::string& name) const;
+
+  // "rows=2 cols=3 mode=stagewise" — stable across runs, used in artifacts.
+  std::string label() const;
+};
+
+// How a spec's axes combine into points.
+enum class SweepCombine {
+  kCartesian,  // every combination; first axis varies slowest
+  kZipped,     // point i takes value i of every axis (equal lengths required)
+};
+
+class SweepSpec {
+ public:
+  explicit SweepSpec(std::string name = "sweep",
+                     SweepCombine combine = SweepCombine::kCartesian)
+      : name_(std::move(name)), combine_(combine) {}
+
+  // Appends an axis; returns *this for chaining. An empty value list makes
+  // the cartesian product empty (num_points() == 0).
+  SweepSpec& axis(std::string name, std::vector<ParamValue> values);
+
+  const std::string& name() const { return name_; }
+  SweepCombine combine() const { return combine_; }
+  const std::vector<SweepAxis>& axes() const { return axes_; }
+
+  // Total number of points. Cartesian: product of axis sizes. Zipped: the
+  // common axis length (throws std::logic_error when lengths differ).
+  int num_points() const;
+
+  // Enumerates point `index` in [0, num_points()); throws std::out_of_range
+  // outside that range.
+  SweepPoint point(int index) const;
+
+ private:
+  std::string name_;
+  SweepCombine combine_;
+  std::vector<SweepAxis> axes_;
+};
+
+}  // namespace cnpu

@@ -1,0 +1,192 @@
+#include "exp/sweep_runner.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/csv.h"
+#include "util/json.h"
+
+namespace cnpu {
+
+SweepRecord& SweepRecord::set(const std::string& name, double value) {
+  for (auto& [n, v] : metrics) {
+    if (n == name) {
+      v = value;
+      return *this;
+    }
+  }
+  metrics.emplace_back(name, value);
+  return *this;
+}
+
+double SweepRecord::get(const std::string& name) const {
+  for (const auto& [n, v] : metrics) {
+    if (n == name) return v;
+  }
+  throw std::out_of_range("SweepRecord: no metric named \"" + name + "\"");
+}
+
+int SweepResult::num_failed() const {
+  int failed = 0;
+  for (const auto& p : points) {
+    if (!p.ok) ++failed;
+  }
+  return failed;
+}
+
+namespace {
+
+// Metric-column schema: the first successful point's record order.
+const SweepRecord* schema_record(const std::vector<SweepPointResult>& points) {
+  for (const auto& p : points) {
+    if (p.ok) return &p.record;
+  }
+  return nullptr;
+}
+
+std::string format_metric(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
+// Renders the sweep into the shared CsvWriter (one row per point).
+CsvWriter build_csv(const SweepResult& result) {
+  const std::vector<SweepPointResult>& points = result.points;
+  CsvWriter csv;
+  const SweepRecord* schema = schema_record(points);
+  std::vector<std::string> header{"point"};
+  if (!points.empty()) {
+    for (const auto& [axis, value] : points.front().point.params) {
+      (void)value;
+      header.push_back(axis);
+    }
+  }
+  if (schema != nullptr) {
+    for (const auto& [name, value] : schema->metrics) {
+      (void)value;
+      header.push_back(name);
+    }
+  }
+  header.push_back("error");
+  csv.set_header(std::move(header));
+
+  for (const auto& p : points) {
+    std::vector<std::string> row{std::to_string(p.point.index)};
+    for (const auto& [axis, value] : p.point.params) {
+      (void)axis;
+      row.push_back(value.to_string());
+    }
+    if (schema != nullptr) {
+      for (const auto& [name, value] : schema->metrics) {
+        (void)value;
+        // Missing metric (failed point, or a record that diverged from the
+        // schema) degrades to an empty cell — never discard the artifact.
+        const std::pair<std::string, double>* found = nullptr;
+        if (p.ok) {
+          for (const auto& m : p.record.metrics) {
+            if (m.first == name) {
+              found = &m;
+              break;
+            }
+          }
+        }
+        row.push_back(found != nullptr ? format_metric(found->second)
+                                       : std::string());
+      }
+    }
+    row.push_back(p.error);
+    csv.add_row(std::move(row));
+  }
+  return csv;
+}
+
+}  // namespace
+
+std::string SweepResult::to_csv() const { return build_csv(*this).to_string(); }
+
+std::string SweepResult::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("sweep").value(name);
+  w.key("points").begin_array();
+  for (const auto& p : points) {
+    w.begin_object();
+    w.key("point").value(p.point.index);
+    w.key("params").begin_object();
+    for (const auto& [axis, value] : p.point.params) {
+      w.key(axis);
+      if (value.is_number()) {
+        w.value(value.double_value());
+      } else {
+        w.value(value.string_value());
+      }
+    }
+    w.end_object();
+    w.key("metrics").begin_object();
+    if (p.ok) {
+      for (const auto& [metric, value] : p.record.metrics) {
+        w.key(metric).value(value);
+      }
+    }
+    w.end_object();
+    w.key("ok").value(p.ok);
+    if (!p.ok) w.key("error").value(p.error);
+    if (!p.record.note.empty()) w.key("note").value(p.record.note);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+bool SweepResult::write_csv(const std::string& path) const {
+  return build_csv(*this).write_file(path);
+}
+
+bool SweepResult::write_json(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) return false;
+  file << to_json() << '\n';
+  return static_cast<bool>(file);
+}
+
+int SweepRunner::threads() const {
+  return options_.threads > 0 ? options_.threads
+                              : ThreadPool::recommended_threads();
+}
+
+SweepResult SweepRunner::run(const SweepSpec& spec, const SweepFn& fn) const {
+  SweepResult result;
+  result.name = spec.name();
+  const int n = spec.num_points();  // validates zipped axis lengths up front
+  result.points.resize(static_cast<std::size_t>(n));
+
+  auto evaluate_into = [&](int i) {
+    SweepPointResult& slot = result.points[static_cast<std::size_t>(i)];
+    slot.point = spec.point(i);
+    try {
+      slot.record = fn(slot.point);
+      slot.ok = true;
+    } catch (const std::exception& e) {
+      slot.error = e.what();
+    } catch (...) {
+      slot.error = "unknown exception";
+    }
+  };
+
+  if (threads() <= 1 || n <= 1) {
+    for (int i = 0; i < n; ++i) evaluate_into(i);
+    return result;
+  }
+  ThreadPool pool(std::min(threads(), n));
+  for (int i = 0; i < n; ++i) {
+    pool.submit([&evaluate_into, i] { evaluate_into(i); });
+  }
+  pool.wait_idle();
+  return result;
+}
+
+}  // namespace cnpu

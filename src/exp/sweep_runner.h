@@ -1,0 +1,136 @@
+// SweepRunner: fans sweep-point evaluations across a ThreadPool with
+// deterministic result ordering.
+//
+// Results land in a preallocated vector slot keyed by point index, so the
+// output is identical for any thread count (1, 2, N) and any completion
+// order — parallel runs are bitwise-equal to a serial reference. A point
+// evaluation that throws is captured as that point's error string; the rest
+// of the sweep still completes. SweepResult renders the sweep as a table of
+// axes + metrics and writes CSV/JSON artifacts through the util writers.
+//
+// Usage:
+//   SweepRunner runner({.threads = 0});              // 0 = all cores
+//   SweepResult r = runner.run(spec, [](const SweepPoint& p) {
+//     SweepRecord rec;
+//     rec.set("pipe_ms", evaluate(p).pipe_s * 1e3);
+//     return rec;
+//   });
+//   r.write_csv("sweep.csv");
+#pragma once
+
+#include <exception>
+#include <functional>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "exp/sweep.h"
+#include "exp/thread_pool.h"
+
+namespace cnpu {
+
+struct SweepOptions {
+  // Worker threads: 0 = ThreadPool::recommended_threads(); 1 = run inline on
+  // the calling thread (the serial reference path — no pool is created).
+  int threads = 0;
+};
+
+// The metrics one evaluation emits: ordered (name, value) pairs plus an
+// optional freeform note (e.g. the chosen configuration description).
+struct SweepRecord {
+  std::vector<std::pair<std::string, double>> metrics;
+  std::string note;
+
+  // Appends (overwrites on repeat name) and returns *this for chaining.
+  SweepRecord& set(const std::string& name, double value);
+  // Value of metric `name`; throws std::out_of_range when absent.
+  double get(const std::string& name) const;
+};
+
+// Outcome of one sweep point: the enumerated point, its record when `ok`,
+// or the captured exception message when not.
+struct SweepPointResult {
+  SweepPoint point;
+  SweepRecord record;
+  bool ok = false;
+  std::string error;
+};
+
+struct SweepResult {
+  std::string name;                      // spec name, threaded into artifacts
+  std::vector<SweepPointResult> points;  // ordered by point index
+
+  int num_failed() const;
+
+  // CSV: header "point,<axes...>,<metrics...>,error"; metric columns follow
+  // the first successful point's record (sweeps emit a uniform schema).
+  // Failed points leave metric cells empty and fill `error`.
+  std::string to_csv() const;
+  // JSON: {"sweep": name, "points": [{"point": i, "params": {...},
+  // "metrics": {...}, "ok": bool, "error"?: str, "note"?: str}, ...]}.
+  std::string to_json() const;
+  // Artifact writers; false on I/O failure.
+  bool write_csv(const std::string& path) const;
+  bool write_json(const std::string& path) const;
+};
+
+// Evaluates one sweep point into its record. May throw; the runner captures.
+using SweepFn = std::function<SweepRecord(const SweepPoint&)>;
+
+class SweepRunner {
+ public:
+  explicit SweepRunner(SweepOptions options = {}) : options_(options) {}
+
+  // Worker threads a run will use (resolves the 0 default).
+  int threads() const;
+
+  // Evaluates every point of `spec`, capturing per-point errors. The points
+  // vector of the result is always num_points() long and index-ordered.
+  SweepResult run(const SweepSpec& spec, const SweepFn& fn) const;
+
+  // Typed fan-out for callers that want their own result structs: applies
+  // `fn` to indices [0, n) and returns results by index. Exceptions are NOT
+  // captured per-point here — the lowest-index exception is rethrown after
+  // all points finish (deterministic regardless of completion order).
+  template <typename Fn>
+  auto map(int n, Fn&& fn) const
+      -> std::vector<decltype(fn(0))> {
+    using R = decltype(fn(0));
+    // std::vector<bool> packs bits into shared words, so concurrent writes
+    // to distinct indices would race; return int/char instead.
+    static_assert(!std::is_same_v<R, bool>,
+                  "SweepRunner::map cannot return bool");
+    std::vector<R> results(static_cast<std::size_t>(n > 0 ? n : 0));
+    std::vector<std::exception_ptr> errors(results.size());
+    if (n <= 0) return results;
+    auto eval = [&](int i) {
+      try {
+        results[static_cast<std::size_t>(i)] = fn(i);
+      } catch (...) {
+        errors[static_cast<std::size_t>(i)] = std::current_exception();
+      }
+    };
+    if (threads() <= 1 || n <= 1) {
+      // Same contract as the parallel path: every point runs, then the
+      // lowest-index exception (if any) is rethrown.
+      for (int i = 0; i < n; ++i) eval(i);
+    } else {
+      // Never spawn more workers than there are points.
+      ThreadPool pool(threads() < n ? threads() : n);
+      for (int i = 0; i < n; ++i) {
+        pool.submit([&eval, i] { eval(i); });
+      }
+      pool.wait_idle();
+    }
+    for (const auto& e : errors) {
+      if (e) std::rethrow_exception(e);
+    }
+    return results;
+  }
+
+ private:
+  SweepOptions options_;
+};
+
+}  // namespace cnpu

@@ -1,0 +1,70 @@
+// Work-stealing thread pool for coarse-grained sweep evaluations.
+//
+// Each worker owns a deque: submit() deals tasks round-robin across the
+// deques, a worker pops from the front of its own deque, and when that runs
+// dry it steals from the back of a sibling's. Sweep points are milliseconds
+// to seconds of work, so a single mutex/condvar pair guards all deques —
+// contention is negligible at that granularity and keeps the invariants
+// simple. Workers are std::jthread: the destructor requests stop, drains
+// tasks already queued, and joins.
+//
+// The pool makes no ordering promises between tasks; callers that need
+// deterministic output (SweepRunner) write results into preallocated slots
+// keyed by task index.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cnpu {
+
+class ThreadPool {
+ public:
+  // `threads` <= 0 selects recommended_threads(). The workers start
+  // immediately and idle until work arrives.
+  explicit ThreadPool(int threads = 0);
+  // Requests stop, wakes all workers, joins. Workers drain tasks already
+  // queued before exiting, so destruction after submit() without wait_idle()
+  // still runs everything exactly once.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+
+  // Enqueues `task` for execution on some worker. Tasks must not throw —
+  // wrap evaluations that can fail and capture the error (SweepRunner does).
+  void submit(std::function<void()> task);
+
+  // Blocks until every submitted task has finished (queue empty AND no task
+  // in flight). Safe to call repeatedly; submit/wait_idle cycles compose.
+  void wait_idle();
+
+  // std::thread::hardware_concurrency(), floored at 1 (the call may
+  // legitimately return 0 on exotic platforms).
+  static int recommended_threads();
+
+ private:
+  void worker_loop(std::stop_token stop, std::size_t self);
+  // True when any worker deque holds a task. Caller holds mu_.
+  bool any_queued() const;
+  // Pops the next task for worker `self` (own front first, then steal from
+  // the back of the busiest sibling). Caller holds mu_.
+  bool try_pop(std::size_t self, std::function<void()>& out);
+
+  std::vector<std::deque<std::function<void()>>> queues_;
+  std::mutex mu_;
+  std::condition_variable_any work_cv_;  // _any: waits with a stop_token
+  std::condition_variable idle_cv_;
+  std::size_t unfinished_ = 0;  // queued + running tasks
+  std::size_t next_queue_ = 0;  // round-robin submit cursor
+  std::vector<std::jthread> threads_;
+};
+
+}  // namespace cnpu

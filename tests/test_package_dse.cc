@@ -66,5 +66,46 @@ TEST(PackageDseOptionsTest, SkipsNonDivisibleAndTinyChips) {
   EXPECT_EQ(r.points.size(), 2u);
 }
 
+TEST(PackageDseOptionsTest, RectangularMeshesFollowSquares) {
+  const PerceptionPipeline front = build_autopilot_front();
+  PackageDseOptions opt;
+  opt.mesh_sizes = {1};
+  // (2,4) -> 1152 PE, (3,6) -> 512 PE; (5,7) doesn't divide 9216, skipped.
+  opt.rect_meshes = {{2, 4}, {3, 6}, {5, 7}};
+  const PackageDseResult r = run_package_dse(front, opt);
+  ASSERT_EQ(r.points.size(), 3u);
+  EXPECT_EQ(r.points[0].label(), "1x1 x 9216PE");
+  EXPECT_EQ(r.points[1].label(), "2x4 x 1152PE");
+  EXPECT_EQ(r.points[2].label(), "3x6 x 512PE");
+  for (const auto& p : r.points) {
+    EXPECT_EQ(static_cast<std::int64_t>(p.rows) * p.cols * p.pes_per_chiplet,
+              9216);
+  }
+}
+
+TEST(PackageDseOptionsTest, ParallelSweepMatchesSerial) {
+  const PerceptionPipeline front = build_autopilot_front();
+  PackageDseOptions opt;
+  opt.mesh_sizes = {2, 4, 6};
+  opt.rect_meshes = {{3, 6}};
+  opt.threads = 1;
+  const PackageDseResult serial = run_package_dse(front, opt);
+  opt.threads = 4;
+  const PackageDseResult parallel = run_package_dse(front, opt);
+
+  ASSERT_EQ(parallel.points.size(), serial.points.size());
+  EXPECT_EQ(parallel.best_edp, serial.best_edp);
+  EXPECT_EQ(parallel.best_pipe, serial.best_pipe);
+  for (std::size_t i = 0; i < serial.points.size(); ++i) {
+    EXPECT_EQ(parallel.points[i].label(), serial.points[i].label());
+    // Bitwise equality: the parallel fan-out must not change the math.
+    EXPECT_EQ(parallel.points[i].metrics.pipe_s, serial.points[i].metrics.pipe_s);
+    EXPECT_EQ(parallel.points[i].metrics.e2e_s, serial.points[i].metrics.e2e_s);
+    EXPECT_EQ(parallel.points[i].metrics.energy_j(),
+              serial.points[i].metrics.energy_j());
+    EXPECT_EQ(parallel.points[i].converged, serial.points[i].converged);
+  }
+}
+
 }  // namespace
 }  // namespace cnpu
