@@ -7,12 +7,15 @@
 // through SweepRunner - serial (threads=1) and parallel (all cores) - and
 // the emitted records are compared bitwise before reporting the wall-clock
 // speedup.
+#include <algorithm>
 #include <chrono>
+#include <limits>
 
 #include "bench_common.h"
 #include "core/report.h"
 #include "core/throughput_matching.h"
 #include "exp/sweep_runner.h"
+#include "sim/event_sim.h"
 #include "util/strings.h"
 #include "util/table.h"
 #include "workloads/autopilot.h"
@@ -44,14 +47,34 @@ SweepRecord acceptance_point(const SweepPoint& p) {
   MatchOptions opt;
   opt.tolerance = p.double_at("tolerance");
   const PerceptionPipeline pipe = build_autopilot_pipeline(cfg);
-  const PackageConfig pkg = make_simba_package();
+  PackageConfig pkg = make_simba_package();
   const MatchResult r = throughput_matching(pipe, pkg, opt);
+
+  // Contended-fabric acceptance: with infinite link bandwidth every link
+  // occupancy is zero-width, so the contended simulator must reproduce the
+  // analytical one bitwise at every grid point.
+  NopParams inf = pkg.nop();
+  inf.bandwidth_bytes_per_s = std::numeric_limits<double>::infinity();
+  pkg.set_nop(inf);  // r.schedule points at pkg
+  SimOptions analytical;
+  analytical.frames = 6;
+  SimOptions contended = analytical;
+  contended.nop_mode = NopMode::kContended;
+  const SimResult sa = simulate_schedule(r.schedule, analytical);
+  const SimResult sc = simulate_schedule(r.schedule, contended);
+  const bool identical = sa.frame_completion_s == sc.frame_completion_s &&
+                         sa.first_frame_latency_s == sc.first_frame_latency_s &&
+                         sa.steady_interval_s == sc.steady_interval_s &&
+                         sa.p99_latency_s == sc.p99_latency_s &&
+                         sa.tasks_executed == sc.tasks_executed;
+
   SweepRecord rec;
   rec.set("pipe_ms", r.metrics.pipe_s * 1e3)
       .set("e2e_ms", r.metrics.e2e_s * 1e3)
       .set("energy_j", r.metrics.energy_j())
       .set("edp_j_ms", r.metrics.edp_j_ms())
-      .set("converged", r.converged ? 1.0 : 0.0);
+      .set("converged", r.converged ? 1.0 : 0.0)
+      .set("sim_identical", identical ? 1.0 : 0.0);
   return rec;
 }
 
@@ -76,6 +99,10 @@ void print_sweep_comparison() {
   bench::require_all_ok(parallel);
   const bool identical = serial.to_csv() == parallel.to_csv() &&
                          serial.to_json() == parallel.to_json();
+  int sim_mismatches = 0;
+  for (const SweepPointResult& p : serial.points) {
+    if (p.record.get("sim_identical") != 1.0) ++sim_mismatches;
+  }
 
   std::printf("sweep engine check (%d-point tolerance x cameras x queue grid "
               "via SweepRunner):\n",
@@ -84,12 +111,26 @@ void print_sweep_comparison() {
   std::printf("  parallel (threads=%-2d): %8.1f ms\n",
               SweepRunner().threads(), parallel_ms);
   std::printf("  speedup: %.2fx on %d hardware threads, emitted metrics "
-              "identical: %s\n\n",
+              "identical: %s\n",
               serial_ms / parallel_ms, ThreadPool::recommended_threads(),
               identical ? "yes" : "NO - BUG");
+  const std::string sim_verdict =
+      sim_mismatches == 0
+          ? "yes (all " + std::to_string(spec.num_points()) + " points)"
+          : "NO - BUG (" + std::to_string(sim_mismatches) +
+                " mismatching points)";
+  std::printf("  contended sim bitwise == analytical at infinite link "
+              "bandwidth: %s\n\n",
+              sim_verdict.c_str());
   if (!identical) {
     std::fprintf(stderr, "sweep engine check failed: parallel sweep emitted "
                          "different metrics than serial\n");
+    std::exit(1);
+  }
+  if (sim_mismatches != 0) {
+    std::fprintf(stderr, "contended-NoP check failed: %d grid points diverge "
+                         "from analytical mode at infinite bandwidth\n",
+                 sim_mismatches);
     std::exit(1);
   }
 }
@@ -137,6 +178,24 @@ void print_tables() {
   std::printf("(stage tags: 0=FE_BFPN 1=S_FUSE 2=T_FUSE 3=TRUNKS)\n");
   std::printf("algorithm steps: %zu, converged: %s, Latbase: %.2f ms\n\n",
               r.trace.size(), r.converged ? "yes" : "no", r.latbase_s * 1e3);
+
+  // Contended column: replay the matched schedule through the link-level
+  // simulator at the paper-default 100 GB/s. The matched mapping keeps
+  // per-link load far below saturation, so congestion barely moves it -
+  // exactly the paper's operating point (contrast: bench_contention).
+  SimOptions analytical;
+  analytical.frames = 12;
+  SimOptions contended = analytical;
+  contended.nop_mode = NopMode::kContended;
+  const SimResult sim_a = simulate_schedule(r.schedule, analytical);
+  const SimResult sim_c = simulate_schedule(r.schedule, contended);
+  const LinkStats* hot = hottest_link(sim_c.link_stats);
+  const double max_util = hot != nullptr ? hot->utilization : 0.0;
+  std::printf("event-sim steady interval: analytical %.2f ms, contended "
+              "%.2f ms (p99 %.1f / %.1f ms, peak link util %.1f%%)\n\n",
+              sim_a.steady_interval_s * 1e3, sim_c.steady_interval_s * 1e3,
+              sim_a.p99_latency_s * 1e3, sim_c.p99_latency_s * 1e3,
+              max_util * 100.0);
   print_sweep_comparison();
 }
 

@@ -6,6 +6,8 @@
 // The 2 pipelining modes x 3 baseline arrangements form a declarative
 // SweepSpec evaluated through SweepRunner; the table is assembled from the
 // index-ordered sweep records.
+#include <algorithm>
+
 #include "bench_common.h"
 #include "core/baselines.h"
 #include "core/report.h"
@@ -121,10 +123,21 @@ void print_tables() {
   std::printf("  energy overhead     : %s  (paper: +10.9%%)\n",
               delta_percent(mcm.metrics.energy_j(), mono.get("energy_j")).c_str());
 
-  // Cross-validate the analytic pipe latency with the event simulator.
+  // Cross-validate the analytic pipe latency with the event simulator, in
+  // both NoP modes: the contended column shows what FIFO link arbitration
+  // at 100 GB/s adds on top of the closed-form prediction.
   const SimResult sim = simulate_schedule(mcm.schedule, SimOptions{10, true});
-  std::printf("  event-sim steady interval: %.2f ms vs analytic pipe %.2f ms\n\n",
+  std::printf("  event-sim steady interval: %.2f ms vs analytic pipe %.2f ms\n",
               sim.steady_interval_s * 1e3, mcm.metrics.pipe_s * 1e3);
+  SimOptions contended_opt{10, true};
+  contended_opt.nop_mode = NopMode::kContended;
+  const SimResult contended = simulate_schedule(mcm.schedule, contended_opt);
+  const LinkStats* hot = hottest_link(contended.link_stats);
+  const double max_util = hot != nullptr ? hot->utilization : 0.0;
+  std::printf("  contended NoP column:      %.2f ms steady, %.2f ms p99, "
+              "peak link util %.1f%%\n\n",
+              contended.steady_interval_s * 1e3, contended.p99_latency_s * 1e3,
+              max_util * 100.0);
 }
 
 void BM_BaselineEvaluation(benchmark::State& state) {

@@ -1,0 +1,60 @@
+// Link saturation: watching a NoP link become the bottleneck.
+//
+//   $ ./link_saturation
+//
+// The analytical evaluator prices every transfer independently, as if the
+// fabric were infinitely parallel. The contended simulator routes every
+// transfer over its XY links and arbitrates each directed link FIFO at
+// 100 GB/s. This example grows a multi-camera fan-in (N producers on one
+// mesh row feeding a single fusion chiplet at the east end) and prints the
+// point where the shared eastward link saturates: measured steady-state
+// interval detaches from the analytical prediction and tail latency blows
+// up, while the analytical model keeps promising camera-count-independent
+// throughput.
+#include <cstdio>
+#include <string>
+
+#include "core/baselines.h"
+#include "sim/event_sim.h"
+#include "util/strings.h"
+#include "workloads/zoo.h"
+
+using namespace cnpu;
+
+int main() {
+  std::printf("multi-camera fan-in on a mesh row: analytical vs contended "
+              "NoP (100 GB/s directed links)\n\n");
+  std::printf("%7s  %18s  %18s  %8s  %12s  %s\n", "cameras",
+              "steady an/ct", "p99 an/ct", "slowdown", "hot-link util",
+              "hot link");
+
+  for (const int cameras : {2, 4, 6, 8, 10, 12}) {
+    const PerceptionPipeline pipe = build_fanin_pipeline(cameras);
+    const PackageConfig pkg = make_simba_package(1, cameras + 1);
+    const Schedule sched = build_fanin_schedule(pipe, pkg);
+
+    SimOptions analytical;
+    analytical.frames = 48;
+    SimOptions contended = analytical;
+    contended.nop_mode = NopMode::kContended;
+    const SimResult a = simulate_schedule(sched, analytical);
+    const SimResult c = simulate_schedule(sched, contended);
+
+    const LinkStats* hot = hottest_link(c.link_stats);
+    std::printf("%7d  %8s/%8s  %8s/%8s  %7.2fx  %11.0f%%  %s\n", cameras,
+                format_seconds(a.steady_interval_s).c_str(),
+                format_seconds(c.steady_interval_s).c_str(),
+                format_seconds(a.p99_latency_s).c_str(),
+                format_seconds(c.p99_latency_s).c_str(),
+                c.steady_interval_s / a.steady_interval_s,
+                (hot != nullptr ? hot->utilization : 0.0) * 100.0,
+                hot != nullptr ? hot->link.describe().c_str() : "-");
+  }
+
+  std::printf(
+      "\nreading it: below saturation the two models agree; once the shared\n"
+      "eastward link's per-frame load exceeds the producers' compute time,\n"
+      "the contended steady interval detaches while the analytical model\n"
+      "still predicts camera-count-independent throughput.\n");
+  return 0;
+}

@@ -1,7 +1,9 @@
 #include "arch/package.h"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
+#include <tuple>
 
 #include "util/strings.h"
 
@@ -35,19 +37,114 @@ int PackageConfig::hops_between(int chiplet_a, int chiplet_b) const {
   if (chiplet_a == chiplet_b) return 0;
   const ChipletSpec& a = chiplet(chiplet_a);
   const ChipletSpec& b = chiplet(chiplet_b);
-  int hops = mesh_hops(a.coord, b.coord);
-  if (a.npu != b.npu) hops += inter_npu_hops_;
-  return hops;
+  // Substrate cost is linear in NPU boundaries crossed, matching
+  // hops_from_io's `npu * inter_npu_hops` charge (the substrate is a chain
+  // of adjacent-NPU channels, not a dedicated all-pairs crossbar).
+  return mesh_hops(a.coord, b.coord) +
+         std::abs(a.npu - b.npu) * inter_npu_hops_;
+}
+
+GridCoord PackageConfig::io_coord() const {
+  // The I/O port (camera interface / DRAM controller) sits one hop west of
+  // the mesh's middle-left chiplet.
+  int max_row = 0;
+  for (const auto& spec : chiplets_) max_row = std::max(max_row, spec.coord.row);
+  return GridCoord{max_row / 2, -1};
 }
 
 int PackageConfig::hops_from_io(int chiplet_id) const {
-  // The I/O port (camera interface / DRAM controller) sits one hop west of
-  // the mesh's middle-left chiplet.
   const ChipletSpec& c = chiplet(chiplet_id);
-  int max_row = 0;
-  for (const auto& spec : chiplets_) max_row = std::max(max_row, spec.coord.row);
-  const GridCoord io{max_row / 2, -1};
-  return mesh_hops(io, c.coord) + c.npu * inter_npu_hops_;
+  return mesh_hops(io_coord(), c.coord) + c.npu * inter_npu_hops_;
+}
+
+namespace {
+
+// Appends the XY (column-first) walk from `from` to `to` as directed mesh
+// links of `npu`'s mesh. Step count is the Manhattan distance, so routes
+// stay consistent with mesh_hops().
+void append_xy_walk(std::vector<NopLink>& route, int npu, GridCoord from,
+                    const GridCoord& to) {
+  auto push = [&](const GridCoord& next) {
+    NopLink link;
+    link.kind = NopLink::Kind::kMesh;
+    link.npu = npu;
+    link.npu_to = npu;
+    link.from = from;
+    link.to = next;
+    route.push_back(link);
+    from = next;
+  };
+  while (from.col != to.col) {
+    push(GridCoord{from.row, from.col + (to.col > from.col ? 1 : -1)});
+  }
+  while (from.row != to.row) {
+    push(GridCoord{from.row + (to.row > from.row ? 1 : -1), from.col});
+  }
+}
+
+// The substrate is a chain of adjacent-NPU channels: crossing from
+// `npu_from` to `npu_to` traverses `hops_per_boundary` links per boundary,
+// each keyed by its directed adjacent pair — so ingress and peer traffic
+// crossing the same boundary contend on the same FIFO resources.
+void append_substrate(std::vector<NopLink>& route, int npu_from, int npu_to,
+                      int hops_per_boundary) {
+  const int dir = npu_to > npu_from ? 1 : -1;
+  for (int npu = npu_from; npu != npu_to; npu += dir) {
+    for (int step = 0; step < hops_per_boundary; ++step) {
+      NopLink link;
+      link.kind = NopLink::Kind::kSubstrate;
+      link.npu = npu;
+      link.npu_to = npu + dir;
+      link.substrate_step = step;
+      route.push_back(link);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<NopLink> PackageConfig::route_between(int chiplet_a,
+                                                  int chiplet_b) const {
+  std::vector<NopLink> route;
+  if (chiplet_a == chiplet_b) return route;
+  const ChipletSpec& a = chiplet(chiplet_a);
+  const ChipletSpec& b = chiplet(chiplet_b);
+  append_xy_walk(route, a.npu, a.coord, b.coord);
+  if (a.npu != b.npu) append_substrate(route, a.npu, b.npu, inter_npu_hops_);
+  return route;
+}
+
+std::vector<NopLink> PackageConfig::route_from_io(int chiplet_id) const {
+  const ChipletSpec& c = chiplet(chiplet_id);
+  std::vector<NopLink> route;
+  // The physical sensor/DRAM port sits on NPU 0's west edge: every ingress
+  // walks NPU 0's mesh first (so all camera traffic shares the one port
+  // link), then crosses the substrate into the chiplet's NPU. Lengths
+  // mirror hops_from_io's `mesh_hops + npu * inter_npu_hops` charge.
+  append_xy_walk(route, 0, io_coord(), c.coord);
+  append_substrate(route, 0, c.npu, inter_npu_hops_);
+  return route;
+}
+
+std::string NopLink::describe() const {
+  if (kind == Kind::kSubstrate) {
+    return "sub[" + std::to_string(npu) + "->" + std::to_string(npu_to) +
+           "]#" + std::to_string(substrate_step);
+  }
+  const std::string src = is_io_port()
+                              ? "io"
+                              : "(" + std::to_string(from.row) + "," +
+                                    std::to_string(from.col) + ")";
+  return "npu" + std::to_string(npu) + ":" + src + "->(" +
+         std::to_string(to.row) + "," + std::to_string(to.col) + ")";
+}
+
+bool operator<(const NopLink& a, const NopLink& b) {
+  const auto key = [](const NopLink& l) {
+    return std::tuple(static_cast<int>(l.kind), l.npu, l.npu_to, l.from.row,
+                      l.from.col, l.to.row, l.to.col, l.substrate_step);
+  };
+  return key(a) < key(b);
 }
 
 NopCost PackageConfig::transfer_cost(int from_chiplet, int to_chiplet,

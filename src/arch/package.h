@@ -16,6 +16,31 @@
 
 namespace cnpu {
 
+// One directed link of the package fabric, the unit of contention in the
+// link-level NoP simulator (src/sim/nop_sim.h):
+//  * kMesh     - a hop between adjacent grid coordinates of one NPU's mesh.
+//    The west-edge I/O port link (sensor/DRAM ingress) is the mesh link
+//    whose source column is -1; every camera frame crosses it.
+//  * kSubstrate- one of the `inter_npu_hops` substrate hops between NPUs.
+// Links are directed: (a -> b) and (b -> a) are distinct resources, as in a
+// full-duplex mesh.
+struct NopLink {
+  enum class Kind { kMesh, kSubstrate };
+  Kind kind = Kind::kMesh;
+  int npu = 0;     // mesh: owning NPU; substrate: source NPU
+  int npu_to = 0;  // substrate: destination NPU (== npu for mesh links)
+  GridCoord from;  // mesh endpoints (unused for substrate links)
+  GridCoord to;
+  int substrate_step = 0;  // which of the inter_npu_hops substrate hops
+
+  bool is_io_port() const { return kind == Kind::kMesh && from.col < 0; }
+  std::string describe() const;
+  bool operator==(const NopLink&) const = default;
+};
+
+// Strict weak order so links can key associative containers.
+bool operator<(const NopLink& a, const NopLink& b);
+
 class PackageConfig {
  public:
   PackageConfig() = default;
@@ -32,11 +57,29 @@ class PackageConfig {
   std::optional<int> find_chiplet_at(const GridCoord& coord, int npu = 0) const;
 
   // Mesh hops between two chiplets (XY routing); crossing NPU packages adds
-  // `inter_npu_hops` substrate hops.
+  // `inter_npu_hops` substrate hops per NPU boundary crossed (the substrate
+  // is a chain of adjacent-NPU channels — consistent with hops_from_io's
+  // linear charge).
   int hops_between(int chiplet_a, int chiplet_b) const;
   // Hops from the package I/O port (sensor/DRAM entry at the west edge) to a
   // chiplet.
   int hops_from_io(int chiplet_id) const;
+
+  // The ordered directed-link list a transfer from `chiplet_a` to
+  // `chiplet_b` traverses under XY (column-first) routing. The mesh segment
+  // is attributed to the source chiplet's NPU; crossing NPUs appends
+  // `inter_npu_hops` substrate links per adjacent NPU boundary, keyed by
+  // the directed boundary pair so all flows crossing a boundary share the
+  // same FIFO resources. Empty when a == b. The list length always equals
+  // hops_between(a, b), so the contended simulator and the analytical hop
+  // count can never disagree on route length.
+  std::vector<NopLink> route_between(int chiplet_a, int chiplet_b) const;
+  // Route of a sensor/DRAM ingress transfer: the XY path from the single
+  // physical west-edge I/O port across NPU 0's mesh (its first link is the
+  // shared ingress bottleneck every camera frame crosses, whatever the
+  // destination NPU), then substrate crossings into the chiplet's NPU.
+  // Length equals hops_from_io(chiplet_id).
+  std::vector<NopLink> route_from_io(int chiplet_id) const;
 
   // Cost of moving `bytes` between two chiplets (or from IO when
   // `from_chiplet` is negative).
@@ -55,6 +98,10 @@ class PackageConfig {
   std::string describe() const;
 
  private:
+  // The sensor/DRAM port position: one hop west of NPU 0's middle-left
+  // chiplet. Single source for hops_from_io and route_from_io.
+  GridCoord io_coord() const;
+
   std::vector<ChipletSpec> chiplets_;
   NopParams nop_;
   int inter_npu_hops_ = 4;

@@ -79,4 +79,15 @@ BaselineRow run_baseline(const PerceptionPipeline& pipeline,
   return BaselineRow{label, evaluate_schedule(sched)};
 }
 
+Schedule build_fanin_schedule(const PerceptionPipeline& pipeline,
+                              const PackageConfig& package) {
+  // Producers are stage 0's models (one item each); the fusion model's item
+  // comes last, placed one chiplet east of the last producer.
+  const int cameras = pipeline.stages.front().num_models();
+  Schedule sched(pipeline, package);
+  for (int i = 0; i < cameras; ++i) sched.assign(i, i);
+  sched.assign(cameras, cameras);
+  return sched;
+}
+
 }  // namespace cnpu

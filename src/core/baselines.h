@@ -32,4 +32,13 @@ BaselineRow run_baseline(const PerceptionPipeline& pipeline,
                          const PackageConfig& package, PipelineMode mode,
                          const std::string& label);
 
+// Canonical placement for workloads/zoo's build_fanin_pipeline on a
+// 1 x (cameras+1) row mesh: producer model i -> chiplet i, the fusion model
+// -> chiplet `cameras` at the east end, so every producer output funnels
+// through the last eastward link. Shared by bench_contention,
+// examples/link_saturation, and the contention regression tests so the
+// three can never drift apart.
+Schedule build_fanin_schedule(const PerceptionPipeline& pipeline,
+                              const PackageConfig& package);
+
 }  // namespace cnpu

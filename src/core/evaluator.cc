@@ -6,8 +6,14 @@
 namespace cnpu {
 namespace {
 
-// Hops for a tensor produced by `from` (possibly sharded) and consumed by
-// the primary chiplet of `to`: fraction-weighted mean over producer shards.
+// Fractional hops: rounding the fraction-weighted mean would zero the NoP
+// cost of any sharded producer whose mean hop count is below 0.5.
+NopCost edge_cost(const PackageConfig& pkg, double bytes, double hops) {
+  return nop_transfer(pkg.nop(), bytes, hops);
+}
+
+}  // namespace
+
 double gather_hops(const PackageConfig& pkg, const Placement& from,
                    const Placement& to) {
   const int dst = to.primary_chiplet();
@@ -18,13 +24,14 @@ double gather_hops(const PackageConfig& pkg, const Placement& from,
   return hops;
 }
 
-// Fractional hops: rounding the fraction-weighted mean would zero the NoP
-// cost of any sharded producer whose mean hop count is below 0.5.
-NopCost edge_cost(const PackageConfig& pkg, double bytes, double hops) {
-  return nop_transfer(pkg.nop(), bytes, hops);
+NopCost nop_gather_cost(const PackageConfig& pkg, const Placement& from,
+                        const Placement& to, double bytes) {
+  return edge_cost(pkg, bytes, gather_hops(pkg, from, to));
 }
 
-}  // namespace
+NopCost nop_ingress_cost(const PackageConfig& pkg, int chiplet_id) {
+  return edge_cost(pkg, kCameraInputBytes, pkg.hops_from_io(chiplet_id));
+}
 
 double item_latency_s(const Schedule& s, int item_idx) {
   const Schedule::Item& it = s.item(item_idx);
@@ -88,7 +95,6 @@ ScheduleMetrics evaluate_schedule(const Schedule& s) {
   }
 
   // Pass 2: chain E2Es + NoP edges.
-  const double input_bytes_per_camera = 3.0 * 720.0 * 1280.0;
   double pipeline_e2e = 0.0;
   for (int st = 0; st < num_stages; ++st) {
     const Stage& stage = pipe.stages[static_cast<std::size_t>(st)];
@@ -107,9 +113,7 @@ ScheduleMetrics evaluate_schedule(const Schedule& s) {
       // Input edge(s) into this model's first layer.
       const Placement& first = s.placement(items.front());
       if (st == 0) {
-        const NopCost in = edge_cost(
-            pkg, input_bytes_per_camera,
-            pkg.hops_from_io(first.primary_chiplet()));
+        const NopCost in = nop_ingress_cost(pkg, first.primary_chiplet());
         sm.nop += in;
         max_input_edge = std::max(max_input_edge, in.latency_s);
       } else if (!model.prefix) {
@@ -123,7 +127,7 @@ ScheduleMetrics evaluate_schedule(const Schedule& s) {
           const Placement& src = s.placement(prev_items.back());
           const double bytes =
               prev.models[static_cast<std::size_t>(pm)].model.output_bytes();
-          const NopCost in = edge_cost(pkg, bytes, gather_hops(pkg, src, first));
+          const NopCost in = nop_gather_cost(pkg, src, first, bytes);
           sm.nop += in;
           max_input_edge = std::max(max_input_edge, in.latency_s);
         }
@@ -137,7 +141,7 @@ ScheduleMetrics evaluate_schedule(const Schedule& s) {
           const Placement& src = s.placement(pre_items.back());
           const double bytes =
               stage.models[static_cast<std::size_t>(pm)].model.output_bytes();
-          sm.nop += edge_cost(pkg, bytes, gather_hops(pkg, src, first));
+          sm.nop += nop_gather_cost(pkg, src, first, bytes);
         }
       }
 
@@ -149,13 +153,10 @@ ScheduleMetrics evaluate_schedule(const Schedule& s) {
         if (li + 1 < items.size()) {
           const Placement& cur = s.placement(idx);
           const Placement& nxt = s.placement(items[li + 1]);
-          const double hops = gather_hops(pkg, cur, nxt);
-          if (hops > 0.0) {
-            const double bytes = s.item(idx).desc->output_bytes();
-            const NopCost hop = edge_cost(pkg, bytes, hops);
-            sm.nop += hop;
-            chain += hop.latency_s;
-          }
+          const NopCost hop =
+              nop_gather_cost(pkg, cur, nxt, s.item(idx).desc->output_bytes());
+          sm.nop += hop;
+          chain += hop.latency_s;
         }
       }
       if (model.prefix) {

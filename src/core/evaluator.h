@@ -60,6 +60,30 @@ struct ScheduleMetrics {
   int chiplets_used() const;
 };
 
+// Bytes one camera frame injects at the package I/O port (3 x 720 x 1280
+// int8). Priced on every stage-0 ingress edge by both evaluate_schedule and
+// simulate_schedule.
+inline constexpr double kCameraInputBytes = 3.0 * 720.0 * 1280.0;
+
+// Fraction-weighted mean NoP hops for a tensor produced by `from` (possibly
+// sharded) and gathered by the primary chiplet of `to`. Never rounded: a
+// sub-half-hop mean pays its proportional share (see docs/METRICS.md).
+double gather_hops(const PackageConfig& pkg, const Placement& from,
+                   const Placement& to);
+
+// Cost of one schedule edge: `bytes` moved over the fractional gather hop
+// count. The single shared implementation of the edge-delay formula — the
+// analytical evaluator and the event simulator both call it, so the two
+// can never drift apart again (PR 1 fixed a units bug that had diverged
+// between their former private copies).
+NopCost nop_gather_cost(const PackageConfig& pkg, const Placement& from,
+                        const Placement& to, double bytes);
+
+// Cost of one camera frame's ingress edge: kCameraInputBytes moved from the
+// package I/O port to `chiplet_id`. Shared by the evaluator and the event
+// simulator for the same never-drift-apart reason as nop_gather_cost.
+NopCost nop_ingress_cost(const PackageConfig& pkg, int chiplet_id);
+
 // Latency of one item under its placement (max across shards), seconds.
 double item_latency_s(const Schedule& s, int item_idx);
 

@@ -1,67 +1,101 @@
 #include "sim/event_sim.h"
 
 #include <algorithm>
-#include <limits>
-#include <map>
 #include <queue>
-#include <set>
+#include <stdexcept>
+#include <vector>
 
 #include "core/evaluator.h"
+#include "util/stats.h"
 
 namespace cnpu {
 namespace {
 
+constexpr double kTimeEps = 1e-15;
+
 struct ShardTask {
-  int item = 0;
-  int shard = 0;
-  int chiplet = -1;
+  int chiplet = -1;  // dense package-order index
   double service_s = 0.0;
+};
+
+// One producer shard's message on a contended edge: its share of the tensor
+// routed from that shard's chiplet to the consumer.
+struct EdgeMsg {
+  std::vector<int> route;  // dense link indices, traversal order
+  double bytes = 0.0;
+};
+
+struct Edge {
+  int producer = 0;
+  // Analytical (fraction-weighted mean hop) edge delay via nop_gather_cost —
+  // the same formula evaluate_schedule prices, so the modes cross-validate.
+  double delay_s = 0.0;
+  std::vector<EdgeMsg> msgs;  // contended mode: one message per producer shard
+};
+
+struct Ingress {
+  int item = 0;
+  double delay_s = 0.0;
+  EdgeMsg msg;  // contended mode: the camera tensor's route from the I/O port
 };
 
 // Static (frame-independent) view of the schedule.
 struct Program {
   std::vector<std::vector<ShardTask>> shards_of_item;
-  // deps[i] = {(producer item, NoP delay)}
-  std::vector<std::vector<std::pair<int, double>>> deps;
-  std::vector<int> chiplet_ids;
+  std::vector<std::vector<Edge>> deps;  // deps[consumer] = producer edges
+  std::vector<Ingress> ingress;         // stage-0 camera edges, model order
+  std::vector<int> base_deps;           // producer edges + ingress, per item
+  int num_chiplets = 0;
 };
 
-double edge_delay(const PackageConfig& pkg, const Placement& from,
-                  const Placement& to, double bytes) {
-  const int dst = to.primary_chiplet();
-  double hops = 0.0;
-  for (const auto& s : from.shards) {
-    hops += s.fraction * pkg.hops_between(s.chiplet_id, dst);
-  }
-  // Fractional hops, matching evaluate_schedule's edge cost.
-  return nop_transfer(pkg.nop(), bytes, hops).latency_s;
-}
-
-Program build_program(const Schedule& sched, bool model_nop) {
+Program build_program(const Schedule& sched, const SimOptions& options,
+                      NopFabric& fabric) {
   const PerceptionPipeline& pipe = sched.pipeline();
   const PackageConfig& pkg = sched.package();
+  const bool nop = options.model_nop_delays;
+  const bool contended = nop && options.nop_mode == NopMode::kContended;
+
   Program prog;
+  prog.num_chiplets = pkg.num_chiplets();
   prog.shards_of_item.resize(static_cast<std::size_t>(sched.num_items()));
   prog.deps.resize(static_cast<std::size_t>(sched.num_items()));
-  for (const auto& c : pkg.chiplets()) prog.chiplet_ids.push_back(c.id);
+
+  const auto dense_of = [&](int chiplet_id) {
+    const auto& specs = pkg.chiplets();
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      if (specs[i].id == chiplet_id) return static_cast<int>(i);
+    }
+    throw std::out_of_range("chiplet id not in package");
+  };
 
   for (int i = 0; i < sched.num_items(); ++i) {
     const Placement& p = sched.placement(i);
-    int shard_no = 0;
+    if (!p.assigned()) {
+      throw std::logic_error("unassigned layer: " + sched.item(i).desc->name);
+    }
     for (const auto& sh : p.shards) {
       const LayerDesc piece = shard_fraction(*sched.item(i).desc, sh.fraction);
       const CostReport r = analyze_layer(piece, pkg.chiplet(sh.chiplet_id).array);
       prog.shards_of_item[static_cast<std::size_t>(i)].push_back(
-          ShardTask{i, shard_no++, sh.chiplet_id, r.latency_s});
+          ShardTask{dense_of(sh.chiplet_id), r.latency_s});
     }
   }
 
   auto add_dep = [&](int consumer, int producer, double bytes) {
-    const double delay =
-        model_nop ? edge_delay(pkg, sched.placement(producer),
-                               sched.placement(consumer), bytes)
-                  : 0.0;
-    prog.deps[static_cast<std::size_t>(consumer)].push_back({producer, delay});
+    const Placement& from = sched.placement(producer);
+    const Placement& to = sched.placement(consumer);
+    Edge e;
+    e.producer = producer;
+    e.delay_s = nop ? nop_gather_cost(pkg, from, to, bytes).latency_s : 0.0;
+    if (contended) {
+      for (const auto& sh : from.shards) {
+        std::vector<NopLink> route =
+            pkg.route_between(sh.chiplet_id, to.primary_chiplet());
+        if (route.empty()) continue;
+        e.msgs.push_back(EdgeMsg{fabric.resolve(route), sh.fraction * bytes});
+      }
+    }
+    prog.deps[static_cast<std::size_t>(consumer)].push_back(std::move(e));
   };
 
   for (int st = 0; st < pipe.num_stages(); ++st) {
@@ -70,6 +104,22 @@ Program build_program(const Schedule& sched, bool model_nop) {
       const StageModel& sm = stage.models[static_cast<std::size_t>(mod)];
       const std::vector<int>& items = sched.items_of_model(st, mod);
       if (items.empty()) continue;
+      // Camera ingress into every stage-0 model (the edge evaluate_schedule
+      // prices as nop_transfer(kCameraInputBytes, hops_from_io)).
+      if (st == 0) {
+        const Placement& first = sched.placement(items.front());
+        Ingress in;
+        in.item = items.front();
+        in.delay_s =
+            nop ? nop_ingress_cost(pkg, first.primary_chiplet()).latency_s
+                : 0.0;
+        if (contended) {
+          in.msg = EdgeMsg{
+              fabric.resolve(pkg.route_from_io(first.primary_chiplet())),
+              kCameraInputBytes};
+        }
+        prog.ingress.push_back(std::move(in));
+      }
       // Intra-model chain.
       for (std::size_t li = 1; li < items.size(); ++li) {
         add_dep(items[li], items[li - 1],
@@ -103,145 +153,239 @@ Program build_program(const Schedule& sched, bool model_nop) {
       }
     }
   }
+
+  prog.base_deps.resize(static_cast<std::size_t>(sched.num_items()), 0);
+  for (int i = 0; i < sched.num_items(); ++i) {
+    prog.base_deps[static_cast<std::size_t>(i)] =
+        static_cast<int>(prog.deps[static_cast<std::size_t>(i)].size());
+  }
+  for (const Ingress& in : prog.ingress) {
+    ++prog.base_deps[static_cast<std::size_t>(in.item)];
+  }
   return prog;
 }
+
+// Event kinds, in tie-break order at equal timestamps: frame admissions
+// first (so ingress messages claim links before same-instant completions),
+// then shard finishes (so freed dependents are visible), then dispatches.
+enum EvKind : int { kAdmit = 0, kFinish = 1, kDispatch = 2 };
+
+struct Ev {
+  double time;
+  int kind;
+  int a;  // admit: frame; finish: frame; dispatch: dense chiplet
+  int b;  // finish: item
+};
+
+struct EvAfter {
+  bool operator()(const Ev& x, const Ev& y) const {
+    if (x.time != y.time) return x.time > y.time;
+    if (x.kind != y.kind) return x.kind > y.kind;
+    if (x.a != y.a) return x.a > y.a;
+    return x.b > y.b;
+  }
+};
+
+// A shard waiting for its ready time on a chiplet's calendar.
+struct PendingShard {
+  double ready;
+  int frame;
+  int item;
+  int shard;
+};
+
+struct PendingAfter {
+  bool operator()(const PendingShard& a, const PendingShard& b) const {
+    if (a.ready != b.ready) return a.ready > b.ready;
+    if (a.frame != b.frame) return a.frame > b.frame;
+    if (a.item != b.item) return a.item > b.item;
+    return a.shard > b.shard;
+  }
+};
+
+// A shard eligible to start now; dispatch priority is FIFO by frame, then
+// program order — the same policy the former O(queue) linear scan encoded.
+struct ReadyShard {
+  int frame;
+  int item;
+  int shard;
+};
+
+struct ReadyAfter {
+  bool operator()(const ReadyShard& a, const ReadyShard& b) const {
+    if (a.frame != b.frame) return a.frame > b.frame;
+    if (a.item != b.item) return a.item > b.item;
+    return a.shard > b.shard;
+  }
+};
 
 }  // namespace
 
 SimResult simulate_schedule(const Schedule& schedule, const SimOptions& options) {
-  const Program prog = build_program(schedule, options.model_nop_delays);
+  if (schedule.num_items() == 0) {
+    throw std::invalid_argument(
+        "simulate_schedule: schedule has no items (empty pipeline)");
+  }
+  const bool contended =
+      options.model_nop_delays && options.nop_mode == NopMode::kContended;
+  NopFabric fabric(schedule.package().nop());
+  const Program prog = build_program(schedule, options, fabric);
   const int items = schedule.num_items();
   const int frames = std::max(options.frames, 1);
+  const double interval = std::max(options.frame_interval_s, 0.0);
+  const int nc = prog.num_chiplets;
 
   // Per-(frame, item) bookkeeping.
-  auto idx = [&](int frame, int item) { return frame * items + item; };
+  auto idx = [&](int frame, int item) {
+    return static_cast<std::size_t>(frame) * static_cast<std::size_t>(items) +
+           static_cast<std::size_t>(item);
+  };
   std::vector<int> deps_left(static_cast<std::size_t>(frames * items), 0);
   std::vector<double> ready_time(static_cast<std::size_t>(frames * items), 0.0);
   std::vector<int> shards_left(static_cast<std::size_t>(frames * items), 0);
-  std::vector<double> item_done(static_cast<std::size_t>(frames * items), 0.0);
   std::vector<int> frame_items_left(static_cast<std::size_t>(frames), items);
-
   for (int f = 0; f < frames; ++f) {
     for (int i = 0; i < items; ++i) {
-      deps_left[static_cast<std::size_t>(idx(f, i))] =
-          static_cast<int>(prog.deps[static_cast<std::size_t>(i)].size());
-      shards_left[static_cast<std::size_t>(idx(f, i))] =
+      deps_left[idx(f, i)] = prog.base_deps[static_cast<std::size_t>(i)];
+      shards_left[idx(f, i)] =
           static_cast<int>(prog.shards_of_item[static_cast<std::size_t>(i)].size());
     }
   }
 
-  // Per-chiplet queues of ready shards, ordered (frame, item, shard).
-  struct QueuedShard {
-    int frame;
-    int item;
-    int shard;
-    double ready;
-    bool operator<(const QueuedShard& o) const {
-      if (frame != o.frame) return frame < o.frame;
-      if (item != o.item) return item < o.item;
-      return shard < o.shard;
-    }
-  };
-  std::map<int, std::set<QueuedShard>> queues;
-  std::map<int, double> chiplet_free;
-  std::map<int, double> chiplet_busy;
-  for (int id : prog.chiplet_ids) {
-    queues[id];
-    chiplet_free[id] = 0.0;
-    chiplet_busy[id] = 0.0;
-  }
+  // Dense per-chiplet calendars (package order): a ready-time min-heap
+  // feeding a dispatch-priority min-heap. Replaces the former
+  // std::map<int, std::set<QueuedShard>> whose dispatch did an O(queue)
+  // linear ready-scan per event (7.7 s for a 36-chiplet x 64-frame stream;
+  // see bench_contention's microbench for the current figure).
+  std::vector<std::priority_queue<PendingShard, std::vector<PendingShard>,
+                                  PendingAfter>>
+      pending(static_cast<std::size_t>(nc));
+  std::vector<std::priority_queue<ReadyShard, std::vector<ReadyShard>,
+                                  ReadyAfter>>
+      ready(static_cast<std::size_t>(nc));
+  std::vector<double> chiplet_free(static_cast<std::size_t>(nc), 0.0);
+  std::vector<double> chiplet_busy(static_cast<std::size_t>(nc), 0.0);
 
-  // Event heap: (time, chiplet) dispatch checks; (time, -1) unused.
-  using Event = std::pair<double, int>;
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
+  std::priority_queue<Ev, std::vector<Ev>, EvAfter> events;
 
   SimResult result;
   result.frame_completion_s.assign(static_cast<std::size_t>(frames), 0.0);
 
   auto enqueue_item_shards = [&](int frame, int item, double at) {
-    for (const ShardTask& t :
-         prog.shards_of_item[static_cast<std::size_t>(item)]) {
-      queues[t.chiplet].insert(QueuedShard{frame, item, t.shard, at});
-      events.push({at, t.chiplet});
+    const auto& shards = prog.shards_of_item[static_cast<std::size_t>(item)];
+    for (int s = 0; s < static_cast<int>(shards.size()); ++s) {
+      const int c = shards[static_cast<std::size_t>(s)].chiplet;
+      pending[static_cast<std::size_t>(c)].push(
+          PendingShard{at, frame, item, s});
+      events.push(Ev{at, kDispatch, c, 0});
     }
   };
 
-  // Seed: all frames admitted at t=0 (back-to-back stream).
-  for (int f = 0; f < frames; ++f) {
-    for (int i = 0; i < items; ++i) {
-      if (deps_left[static_cast<std::size_t>(idx(f, i))] == 0) {
-        enqueue_item_shards(f, i, 0.0);
-      }
-    }
-  }
-
-  std::vector<std::vector<int>> consumers(static_cast<std::size_t>(items));
-  std::vector<std::vector<double>> consumer_delay(static_cast<std::size_t>(items));
+  // Reverse adjacency for completion fan-out.
+  struct OutEdge {
+    int consumer;
+    const Edge* edge;
+  };
+  std::vector<std::vector<OutEdge>> outs(static_cast<std::size_t>(items));
   for (int i = 0; i < items; ++i) {
-    for (const auto& [producer, delay] : prog.deps[static_cast<std::size_t>(i)]) {
-      consumers[static_cast<std::size_t>(producer)].push_back(i);
-      consumer_delay[static_cast<std::size_t>(producer)].push_back(delay);
+    for (const Edge& e : prog.deps[static_cast<std::size_t>(i)]) {
+      outs[static_cast<std::size_t>(e.producer)].push_back(OutEdge{i, &e});
     }
   }
 
-  auto service_of = [&](int item, int shard) {
-    return prog.shards_of_item[static_cast<std::size_t>(item)]
-        [static_cast<std::size_t>(shard)].service_s;
+  // Deliver an edge/ingress arrival to (frame, item): in contended mode the
+  // message walks its links first, adding the FIFO queueing wait on top of
+  // the analytical delay (wait is exactly 0.0 on an idle fabric, keeping
+  // the two modes bitwise-identical there).
+  auto deliver = [&](int frame, int item, double arrival) {
+    const std::size_t key = idx(frame, item);
+    if (arrival > ready_time[key]) ready_time[key] = arrival;
+    if (--deps_left[key] == 0) {
+      enqueue_item_shards(frame, item, ready_time[key]);
+    }
   };
+
+  for (int f = 0; f < frames; ++f) {
+    events.push(Ev{static_cast<double>(f) * interval, kAdmit, f, 0});
+  }
 
   while (!events.empty()) {
-    const auto [now, chiplet] = events.top();
+    const Ev ev = events.top();
     events.pop();
-    auto& queue = queues[chiplet];
-    if (queue.empty()) continue;
-    if (chiplet_free[chiplet] > now + 1e-15) {
-      events.push({chiplet_free[chiplet], chiplet});
-      continue;
-    }
-    // Pick the highest-priority shard that is ready now; otherwise sleep
-    // until the earliest becomes ready.
-    auto pick = queue.end();
-    double min_ready = std::numeric_limits<double>::infinity();
-    for (auto it = queue.begin(); it != queue.end(); ++it) {
-      if (it->ready <= now + 1e-15) {
-        pick = it;
+    const double now = ev.time;
+    switch (ev.kind) {
+      case kAdmit: {
+        const int f = ev.a;
+        for (const Ingress& in : prog.ingress) {
+          double arrival = now + in.delay_s;
+          if (contended && !in.msg.route.empty()) {
+            arrival = now + in.delay_s +
+                      fabric.inject(in.msg.route, in.msg.bytes, now);
+          }
+          deliver(f, in.item, arrival);
+        }
+        for (int i = 0; i < items; ++i) {
+          if (prog.base_deps[static_cast<std::size_t>(i)] == 0) {
+            enqueue_item_shards(f, i, now);
+          }
+        }
         break;
       }
-      min_ready = std::min(min_ready, it->ready);
-    }
-    if (pick == queue.end()) {
-      events.push({min_ready, chiplet});
-      continue;
-    }
-    const QueuedShard task = *pick;
-    queue.erase(pick);
-    const double service = service_of(task.item, task.shard);
-    const double done = now + service;
-    chiplet_free[chiplet] = done;
-    chiplet_busy[chiplet] += service;
-    ++result.tasks_executed;
-    events.push({done, chiplet});
-
-    // Shard completion -> item completion -> successors.
-    const int key = idx(task.frame, task.item);
-    item_done[static_cast<std::size_t>(key)] =
-        std::max(item_done[static_cast<std::size_t>(key)], done);
-    if (--shards_left[static_cast<std::size_t>(key)] == 0) {
-      const double finished = item_done[static_cast<std::size_t>(key)];
-      if (--frame_items_left[static_cast<std::size_t>(task.frame)] == 0) {
-        result.frame_completion_s[static_cast<std::size_t>(task.frame)] = finished;
-      }
-      const auto& outs = consumers[static_cast<std::size_t>(task.item)];
-      for (std::size_t k = 0; k < outs.size(); ++k) {
-        const int succ = outs[k];
-        const int skey = idx(task.frame, succ);
-        ready_time[static_cast<std::size_t>(skey)] = std::max(
-            ready_time[static_cast<std::size_t>(skey)],
-            finished + consumer_delay[static_cast<std::size_t>(task.item)][k]);
-        if (--deps_left[static_cast<std::size_t>(skey)] == 0) {
-          enqueue_item_shards(task.frame, succ,
-                              ready_time[static_cast<std::size_t>(skey)]);
+      case kFinish: {
+        const int f = ev.a;
+        const int item = ev.b;
+        const std::size_t key = idx(f, item);
+        // The last shard's finish event carries the item's completion time
+        // (events pop in nondecreasing time order).
+        if (--shards_left[key] != 0) break;
+        const double finished = now;
+        if (--frame_items_left[static_cast<std::size_t>(f)] == 0) {
+          result.frame_completion_s[static_cast<std::size_t>(f)] = finished;
         }
+        for (const OutEdge& oe : outs[static_cast<std::size_t>(item)]) {
+          double arrival = finished + oe.edge->delay_s;
+          if (contended && !oe.edge->msgs.empty()) {
+            double wait = 0.0;
+            for (const EdgeMsg& m : oe.edge->msgs) {
+              const double w = fabric.inject(m.route, m.bytes, finished);
+              if (w > wait) wait = w;
+            }
+            arrival = finished + oe.edge->delay_s + wait;
+          }
+          deliver(f, oe.consumer, arrival);
+        }
+        break;
+      }
+      case kDispatch:
+      default: {
+        const std::size_t c = static_cast<std::size_t>(ev.a);
+        // Busy: the dispatch pushed at this task's completion will re-check.
+        if (chiplet_free[c] > now + kTimeEps) break;
+        auto& pend = pending[c];
+        auto& rdy = ready[c];
+        while (!pend.empty() && pend.top().ready <= now + kTimeEps) {
+          rdy.push(ReadyShard{pend.top().frame, pend.top().item,
+                              pend.top().shard});
+          pend.pop();
+        }
+        if (rdy.empty()) {
+          if (!pend.empty()) {
+            events.push(Ev{pend.top().ready, kDispatch, ev.a, 0});
+          }
+          break;
+        }
+        const ReadyShard task = rdy.top();
+        rdy.pop();
+        const double service =
+            prog.shards_of_item[static_cast<std::size_t>(task.item)]
+                [static_cast<std::size_t>(task.shard)].service_s;
+        const double done = now + service;
+        chiplet_free[c] = done;
+        chiplet_busy[c] += service;
+        ++result.tasks_executed;
+        events.push(Ev{done, kDispatch, ev.a, 0});
+        events.push(Ev{done, kFinish, task.frame, task.item});
+        break;
       }
     }
   }
@@ -255,10 +399,22 @@ SimResult simulate_schedule(const Schedule& schedule, const SimOptions& options)
          result.frame_completion_s[static_cast<std::size_t>(half - 1)]) /
         static_cast<double>(frames - half);
   } else {
+    // Documented degradation (see SimResult): with no steady half to
+    // measure, fill latency folds into the mean and this is makespan/frames.
     result.steady_interval_s = result.makespan_s / static_cast<double>(frames);
   }
-  for (int id : prog.chiplet_ids) {
-    result.chiplet_busy_s.push_back(chiplet_busy[id]);
+  result.frame_latency_s.reserve(static_cast<std::size_t>(frames));
+  for (int f = 0; f < frames; ++f) {
+    result.frame_latency_s.push_back(
+        result.frame_completion_s[static_cast<std::size_t>(f)] -
+        static_cast<double>(f) * interval);
+  }
+  result.p50_latency_s = percentile(result.frame_latency_s, 50.0);
+  result.p95_latency_s = percentile(result.frame_latency_s, 95.0);
+  result.p99_latency_s = percentile(result.frame_latency_s, 99.0);
+  result.chiplet_busy_s.assign(chiplet_busy.begin(), chiplet_busy.end());
+  if (contended) {
+    result.link_stats = fabric.stats(result.makespan_s);
   }
   return result;
 }

@@ -9,32 +9,67 @@
 // chiplet (FIFO by frame, then program order). A task becomes ready when its
 // intra-model predecessor, cross-stage producers, and stage prefix (all of
 // the same frame) have completed, plus the NoP transfer delay on each edge.
-// Frames are admitted back-to-back, so steady-state throughput is limited by
-// the busiest chiplet - exactly the evaluator's pipe-latency claim, which
-// tests cross-validate.
+// Each frame additionally pays the sensor/DRAM ingress transfer from the
+// package I/O port into every stage-0 model — the same edge the analytical
+// evaluator prices — so sim first-frame latency cross-validates against the
+// evaluator's E2E exactly on an uncongested schedule.
+//
+// Two NoP modes:
+//  * kAnalytical — every transfer is an independent fixed delay on an
+//    infinitely-parallel fabric (the paper's closed-form assumption).
+//  * kContended — transfers are messages injected onto the directed links
+//    of their XY route; each link is a FIFO-arbitrated shared resource at
+//    NopParams::bandwidth_bytes_per_s (see src/sim/nop_sim.h). With
+//    infinite link bandwidth the two modes are bitwise-identical; with
+//    finite bandwidth, hot links queue and the measured interval can exceed
+//    the analytical prediction.
 #pragma once
 
 #include <vector>
 
 #include "core/schedule.h"
+#include "sim/nop_sim.h"
 
 namespace cnpu {
+
+enum class NopMode {
+  kAnalytical,  // fixed per-edge delays, infinitely-parallel fabric
+  kContended,   // FIFO link arbitration on the XY route of every edge
+};
 
 struct SimOptions {
   int frames = 8;
   bool model_nop_delays = true;
+  NopMode nop_mode = NopMode::kAnalytical;
+  // Seconds between camera frame admissions. 0 admits every frame at t=0
+  // (a back-to-back burst that measures the pipeline's sustained rate);
+  // > 0 models a periodic sensor, e.g. 1/30 for a 30 FPS camera.
+  double frame_interval_s = 0.0;
 };
 
 struct SimResult {
   double first_frame_latency_s = 0.0;
-  // Mean inter-completion time over the second half of the stream.
+  // Mean inter-completion time over the second half of the stream. Only
+  // meaningful with frames >= 4: shorter streams have no steady half, so
+  // the fill latency folds in and this degrades to makespan / frames.
   double steady_interval_s = 0.0;
   double makespan_s = 0.0;
   std::vector<double> frame_completion_s;  // one per frame
-  std::vector<double> chiplet_busy_s;      // indexed as package order
+  // Per-frame admission-to-completion latency (completion minus
+  // frame_interval_s * frame), and its percentiles over the stream.
+  std::vector<double> frame_latency_s;
+  double p50_latency_s = 0.0;
+  double p95_latency_s = 0.0;
+  double p99_latency_s = 0.0;
+  std::vector<double> chiplet_busy_s;  // indexed as package order
+  // Per-directed-link occupancy (kContended only; empty otherwise),
+  // utilization normalized by the makespan.
+  std::vector<LinkStats> link_stats;
   int tasks_executed = 0;
 };
 
+// Throws std::invalid_argument on a 0-item schedule and std::logic_error
+// when any item is unassigned (matching evaluate_schedule).
 SimResult simulate_schedule(const Schedule& schedule,
                             const SimOptions& options = {});
 

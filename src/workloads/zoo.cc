@@ -117,4 +117,24 @@ std::vector<ZooEntry> workload_zoo() {
   return zoo;
 }
 
+PerceptionPipeline build_fanin_pipeline(int cameras) {
+  PerceptionPipeline p;
+  p.name = "fanin_" + std::to_string(cameras);
+  Stage produce{"PRODUCE", {}};
+  for (int i = 0; i < cameras; ++i) {
+    Model m;
+    m.name = "cam" + std::to_string(i);
+    // Elementwise keeps compute per output byte minimal, so the shared
+    // eastward link saturates before the producers do.
+    m.layers = {elementwise("e" + std::to_string(i), 64, 512, 512)};
+    produce.models.push_back({m, false});
+  }
+  p.stages.push_back(produce);
+  Model fuse;
+  fuse.name = "fuse";
+  fuse.layers = {elementwise("fuse", 64, 64, 64)};
+  p.stages.push_back(Stage{"FUSE", {{fuse, false}}});
+  return p;
+}
+
 }  // namespace cnpu

@@ -31,4 +31,12 @@ Model build_unet_segmenter(std::int64_t h = 256, std::int64_t w = 256,
 // All zoo entries (for parameterized tests and the zoo bench).
 std::vector<ZooEntry> workload_zoo();
 
+// Synthetic multi-camera fan-in: `cameras` single-layer producer models in
+// stage 0 feeding one small fusion model in stage 1. Assigned producer i ->
+// chiplet i and the fusion model -> chiplet `cameras` on a 1 x (cameras+1)
+// row mesh, every producer output funnels through the last eastward link —
+// the canonical NoP hot-link workload shared by bench_contention,
+// examples/link_saturation, and the contention regression tests.
+PerceptionPipeline build_fanin_pipeline(int cameras);
+
 }  // namespace cnpu

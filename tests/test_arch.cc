@@ -102,6 +102,120 @@ TEST(MultiNpuPackage, CrossNpuHopsPenalized) {
   EXPECT_EQ(pkg.hops_between(0, 1), 1);
 }
 
+// A route must be contiguous: each mesh link starts where the previous
+// mesh link of the same NPU ended.
+void expect_contiguous(const std::vector<NopLink>& route) {
+  const NopLink* prev = nullptr;
+  for (const NopLink& link : route) {
+    if (link.kind != NopLink::Kind::kMesh) continue;
+    if (prev != nullptr && prev->npu == link.npu) {
+      EXPECT_EQ(prev->to, link.from) << prev->describe() << " -> "
+                                     << link.describe();
+    }
+    prev = &link;
+  }
+}
+
+TEST(NopRoute, LengthMatchesHopsBetween) {
+  const PackageConfig pkg = make_simba_package();
+  for (const int a : {0, 7, 35}) {
+    for (const int b : {0, 14, 21, 35}) {
+      const auto route = pkg.route_between(a, b);
+      EXPECT_EQ(static_cast<int>(route.size()), pkg.hops_between(a, b))
+          << a << "->" << b;
+      expect_contiguous(route);
+    }
+  }
+  EXPECT_TRUE(pkg.route_between(7, 7).empty());
+}
+
+TEST(NopRoute, XyRoutingIsColumnFirst) {
+  const PackageConfig pkg = make_simba_package();
+  // (0,0) -> (2,2): two eastward column links at row 0, then two south.
+  const auto route = pkg.route_between(0, 14);
+  ASSERT_EQ(route.size(), 4u);
+  EXPECT_EQ(route[0].from, (GridCoord{0, 0}));
+  EXPECT_EQ(route[0].to, (GridCoord{0, 1}));
+  EXPECT_EQ(route[1].to, (GridCoord{0, 2}));
+  EXPECT_EQ(route[2].to, (GridCoord{1, 2}));
+  EXPECT_EQ(route[3].to, (GridCoord{2, 2}));
+}
+
+TEST(NopRoute, DirectedLinksAreDistinctResources) {
+  const PackageConfig pkg = make_simba_package();
+  const auto forward = pkg.route_between(0, 1);
+  const auto backward = pkg.route_between(1, 0);
+  ASSERT_EQ(forward.size(), 1u);
+  ASSERT_EQ(backward.size(), 1u);
+  EXPECT_FALSE(forward[0] == backward[0]);
+  EXPECT_TRUE(forward[0] < backward[0] || backward[0] < forward[0]);
+}
+
+TEST(NopRoute, IoRouteStartsAtWestEdgePort) {
+  const PackageConfig pkg = make_simba_package();
+  for (const int c : {0, 12, 35}) {
+    const auto route = pkg.route_from_io(c);
+    EXPECT_EQ(static_cast<int>(route.size()), pkg.hops_from_io(c));
+    ASSERT_FALSE(route.empty());
+    EXPECT_TRUE(route.front().is_io_port()) << route.front().describe();
+    expect_contiguous(route);
+  }
+  // Every ingress shares the single west-edge port link: the contended
+  // simulator's canonical hot link.
+  EXPECT_EQ(pkg.route_from_io(0).front(), pkg.route_from_io(35).front());
+}
+
+TEST(NopRoute, CrossNpuAppendsSubstrateLinks) {
+  const PackageConfig pkg = make_multi_npu_package(2);
+  const auto route = pkg.route_between(0, 36);  // same coord, other NPU
+  ASSERT_EQ(static_cast<int>(route.size()), pkg.inter_npu_hops());
+  for (const NopLink& link : route) {
+    EXPECT_EQ(link.kind, NopLink::Kind::kSubstrate);
+    EXPECT_EQ(link.npu, 0);
+    EXPECT_EQ(link.npu_to, 1);
+  }
+  // Ingress into NPU 1 walks NPU 0's mesh from the one physical port, then
+  // crosses the substrate — so both NPUs' camera traffic shares the same
+  // west-edge port link.
+  const auto ingress = pkg.route_from_io(36);
+  EXPECT_EQ(static_cast<int>(ingress.size()), pkg.hops_from_io(36));
+  EXPECT_TRUE(ingress.front().is_io_port());
+  EXPECT_EQ(ingress.front(), pkg.route_from_io(0).front());
+  EXPECT_EQ(ingress.back().kind, NopLink::Kind::kSubstrate);
+}
+
+// The substrate is a chain of adjacent-NPU channels: a 0->2 transfer and a
+// 0->1 transfer share the (0->1) boundary links, and the analytical hop
+// count is linear in boundaries crossed — ingress and peer traffic crossing
+// the same boundary contend on the same resources.
+TEST(NopRoute, SubstrateChainsAdjacentNpuBoundaries) {
+  const PackageConfig pkg = make_multi_npu_package(3, 2, 2);
+  const int chip_npu0 = 0;
+  const int chip_npu1 = 4;  // same (0,0) coord on NPU 1
+  const int chip_npu2 = 8;  // same (0,0) coord on NPU 2
+  EXPECT_EQ(pkg.hops_between(chip_npu0, chip_npu2), 2 * pkg.inter_npu_hops());
+  const auto far = pkg.route_between(chip_npu0, chip_npu2);
+  const auto near = pkg.route_between(chip_npu0, chip_npu1);
+  ASSERT_EQ(static_cast<int>(far.size()), 2 * pkg.inter_npu_hops());
+  ASSERT_EQ(static_cast<int>(near.size()), pkg.inter_npu_hops());
+  // The far route's first boundary crossing is exactly the near route.
+  for (std::size_t i = 0; i < near.size(); ++i) {
+    EXPECT_EQ(far[i], near[i]) << i;
+  }
+  // Reverse direction uses distinct (directed) substrate links.
+  const auto back = pkg.route_between(chip_npu1, chip_npu0);
+  EXPECT_FALSE(back.front() == near.front());
+  // Ingress into NPU 2 crosses the same chained boundaries.
+  const auto ingress = pkg.route_from_io(chip_npu2);
+  EXPECT_EQ(ingress.back(), far.back());
+}
+
+TEST(NopLinkId, DescribeIsHumanReadable) {
+  const PackageConfig pkg = make_simba_package();
+  EXPECT_EQ(pkg.route_from_io(0).front().describe(), "npu0:io->(2,0)");
+  EXPECT_EQ(pkg.route_between(0, 1).front().describe(), "npu0:(0,0)->(0,1)");
+}
+
 TEST(MonolithicPackage, SplitsPeBudget) {
   const PackageConfig one = make_monolithic_package(1);
   const PackageConfig four = make_monolithic_package(4);

@@ -3,8 +3,13 @@
 // shapes, not just the perception suite.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <limits>
+
+#include "core/evaluator.h"
 #include "dataflow/cost_model.h"
 #include "dataflow/mapping_analysis.h"
+#include "sim/event_sim.h"
 
 namespace cnpu {
 namespace {
@@ -124,6 +129,105 @@ TEST_P(FuzzSeed, MappingAnalysisInvariantsHold) {
       EXPECT_GE(a.psum_recirc_elems, -1e-6) << spec.name;
       EXPECT_GE(a.staging_elems, 0.0) << spec.name;
     }
+  }
+}
+
+// Random package geometry (occasionally multi-NPU) for the NoP properties.
+PackageConfig random_package(Lcg& rng) {
+  const int rows = static_cast<int>(rng.range(1, 3));
+  const int cols = static_cast<int>(rng.range(1, 4));
+  if (rng.range(0, 3) == 0) {
+    return make_multi_npu_package(2, rows, cols);
+  }
+  return make_simba_package(rows, cols);
+}
+
+// Route enumeration must agree with the analytical hop counts for every
+// chiplet pair and every ingress, whatever the geometry.
+TEST_P(FuzzSeed, RouteLengthsMatchAnalyticalHopCounts) {
+  Lcg rng(static_cast<std::uint64_t>(GetParam()) * 9176u + 29u);
+  for (int trial = 0; trial < 6; ++trial) {
+    const PackageConfig pkg = random_package(rng);
+    for (const auto& a : pkg.chiplets()) {
+      for (const auto& b : pkg.chiplets()) {
+        EXPECT_EQ(static_cast<int>(pkg.route_between(a.id, b.id).size()),
+                  pkg.hops_between(a.id, b.id))
+            << a.id << "->" << b.id;
+      }
+      EXPECT_EQ(static_cast<int>(pkg.route_from_io(a.id).size()),
+                pkg.hops_from_io(a.id))
+          << "io->" << a.id;
+    }
+  }
+}
+
+// A random single-model chain with random (possibly sharded) placements:
+//  1. with infinite link bandwidth, contended mode is bitwise-identical to
+//     analytical mode (zero-width occupancies never queue);
+//  2. both match the evaluator's E2E on the first frame to float round-off;
+//  3. both converge to the evaluator's pipe latency in steady state.
+TEST_P(FuzzSeed, ContendedSimMatchesAnalyticalAndEvaluator) {
+  Lcg rng(static_cast<std::uint64_t>(GetParam()) * 52361u + 41u);
+  for (int trial = 0; trial < 4; ++trial) {
+    PackageConfig pkg = random_package(rng);
+    NopParams inf = pkg.nop();
+    inf.bandwidth_bytes_per_s = std::numeric_limits<double>::infinity();
+    pkg.set_nop(inf);
+
+    PerceptionPipeline pipe;
+    Model m;
+    m.name = "fuzz_chain";
+    const int layers = static_cast<int>(rng.range(2, 5));
+    for (int l = 0; l < layers; ++l) {
+      m.layers.push_back(gemm("g" + std::to_string(l),
+                              rng.range(256, 8192), rng.range(16, 256),
+                              rng.range(16, 256)));
+    }
+    pipe.stages.push_back(Stage{"S", {{m, false}}});
+
+    Schedule sched(pipe, pkg);
+    for (int i = 0; i < sched.num_items(); ++i) {
+      // Single placement or an even shard over distinct chiplets (shards of
+      // one item sharing a chiplet would serialize in the sim but max() in
+      // the evaluator — a different property than the one under test).
+      const int n = static_cast<int>(
+          rng.range(1, std::min<std::int64_t>(3, pkg.num_chiplets())));
+      std::vector<int> chosen;
+      while (static_cast<int>(chosen.size()) < n) {
+        const int c = static_cast<int>(rng.range(0, pkg.num_chiplets() - 1));
+        const int id = pkg.chiplets()[static_cast<std::size_t>(c)].id;
+        bool dup = false;
+        for (const int existing : chosen) dup = dup || existing == id;
+        if (!dup) chosen.push_back(id);
+      }
+      sched.assign_sharded(i, chosen);
+    }
+
+    const ScheduleMetrics metrics = evaluate_schedule(sched);
+    SimOptions analytical;
+    analytical.frames = 24;
+    SimOptions contended = analytical;
+    contended.nop_mode = NopMode::kContended;
+    const SimResult a = simulate_schedule(sched, analytical);
+    const SimResult c = simulate_schedule(sched, contended);
+
+    // (1) bitwise identity at infinite bandwidth.
+    ASSERT_TRUE(a.frame_completion_s == c.frame_completion_s);
+    ASSERT_EQ(a.first_frame_latency_s, c.first_frame_latency_s);
+    ASSERT_EQ(a.steady_interval_s, c.steady_interval_s);
+    ASSERT_EQ(a.p99_latency_s, c.p99_latency_s);
+
+    // (2) single-frame fill latency == analytical E2E.
+    SimOptions single = analytical;
+    single.frames = 1;
+    const SimResult first = simulate_schedule(sched, single);
+    EXPECT_NEAR(first.first_frame_latency_s, metrics.e2e_s,
+                std::max(1e-9, metrics.e2e_s * 1e-12));
+
+    // (3) steady interval converges to pipe latency (generous band: short
+    // stream + non-preemptive dispatch leave scheduling slack).
+    EXPECT_GT(a.steady_interval_s, metrics.pipe_s * 0.75);
+    EXPECT_LT(a.steady_interval_s, metrics.pipe_s * 1.25);
   }
 }
 

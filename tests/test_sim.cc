@@ -2,9 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <limits>
+
 #include "core/baselines.h"
+#include "core/evaluator.h"
 #include "core/throughput_matching.h"
 #include "workloads/autopilot.h"
+#include "workloads/zoo.h"
 
 namespace cnpu {
 namespace {
@@ -135,6 +140,164 @@ TEST(EventSim, BusyTimesMatchEvaluator) {
     EXPECT_NEAR(sim.chiplet_busy_s[c],
                 match.metrics.chiplets[c].busy_s * opt.frames, 1e-9);
   }
+}
+
+// Regression (ingress divergence bugfix): the sim now pays the sensor/DRAM
+// ingress hop the evaluator prices, so first-frame latency cross-validates
+// against the analytical E2E to within float round-off on an uncongested
+// single-model chain.
+TEST(EventSim, FirstFrameMatchesEvaluatorE2EWithIngress) {
+  PerceptionPipeline p;
+  Model m;
+  m.name = "M";
+  m.layers = {conv2d("C0", 64, 64, 90, 160, 3), gemm("G1", 4096, 64, 64),
+              gemm("G2", 4096, 64, 128)};
+  p.stages.push_back(Stage{"S", {{m, false}}});
+  const PackageConfig pkg = make_simba_package();
+  Schedule sched(p, pkg);
+  sched.assign(0, 0);
+  sched.assign(1, 7);
+  sched.assign(2, 14);
+  const ScheduleMetrics metrics = evaluate_schedule(sched);
+
+  SimOptions opt;
+  opt.frames = 1;
+  const SimResult analytical = simulate_schedule(sched, opt);
+  EXPECT_NEAR(analytical.first_frame_latency_s, metrics.e2e_s, 1e-9);
+  // A single uncongested frame never queues on a link, so contended mode
+  // agrees exactly too.
+  opt.nop_mode = NopMode::kContended;
+  const SimResult contended = simulate_schedule(sched, opt);
+  EXPECT_NEAR(contended.first_frame_latency_s, metrics.e2e_s, 1e-9);
+}
+
+// Degenerate inputs: an empty schedule must throw instead of fabricating a
+// zero first-frame latency from an unset completion vector.
+TEST(EventSim, EmptyScheduleThrows) {
+  PerceptionPipeline p;  // no stages -> no items
+  const PackageConfig pkg = make_simba_package(1, 1);
+  const Schedule sched(p, pkg);
+  EXPECT_THROW(simulate_schedule(sched), std::invalid_argument);
+}
+
+TEST(EventSim, UnassignedItemThrows) {
+  PerceptionPipeline p;
+  Model m;
+  m.name = "M";
+  m.layers = {gemm("A", 4096, 64, 64)};
+  p.stages.push_back(Stage{"S", {{m, false}}});
+  const PackageConfig pkg = make_simba_package(1, 1);
+  const Schedule sched(p, pkg);  // item 0 never assigned
+  EXPECT_THROW(simulate_schedule(sched), std::logic_error);
+}
+
+// Documented degradation: with fewer than 4 frames there is no steady half,
+// so the fill latency folds in and the interval is makespan / frames.
+TEST(EventSim, ShortStreamSteadyIntervalIsMakespanOverFrames) {
+  PerceptionPipeline p;
+  Model m;
+  m.name = "M";
+  m.layers = {gemm("A", 4096, 64, 64)};
+  p.stages.push_back(Stage{"S", {{m, false}}});
+  const PackageConfig pkg = make_simba_package(1, 1);
+  Schedule sched(p, pkg);
+  sched.assign(0, 0);
+  SimOptions opt;
+  opt.frames = 2;
+  const SimResult r = simulate_schedule(sched, opt);
+  EXPECT_DOUBLE_EQ(r.steady_interval_s, r.makespan_s / 2.0);
+}
+
+// Periodic admission: when the camera interval exceeds the pipeline's
+// service time, every frame observes the same latency and completions are
+// spaced exactly one interval apart.
+TEST(EventSim, PeriodicAdmissionSpacesFrames) {
+  PerceptionPipeline p;
+  Model m;
+  m.name = "M";
+  m.layers = {gemm("A", 4096, 64, 64), gemm("B", 4096, 64, 64)};
+  p.stages.push_back(Stage{"S", {{m, false}}});
+  const PackageConfig pkg = make_simba_package(1, 2);
+  Schedule sched(p, pkg);
+  sched.assign(0, 0);
+  sched.assign(1, 1);
+  SimOptions opt;
+  opt.frames = 8;
+  opt.frame_interval_s = 1.0;  // far above any per-frame service time
+  const SimResult r = simulate_schedule(sched, opt);
+  for (std::size_t f = 1; f < r.frame_latency_s.size(); ++f) {
+    EXPECT_NEAR(r.frame_latency_s[f], r.frame_latency_s[0], 1e-12);
+    EXPECT_NEAR(r.frame_completion_s[f] - r.frame_completion_s[f - 1], 1.0,
+                1e-12);
+  }
+  EXPECT_NEAR(r.steady_interval_s, 1.0, 1e-9);
+  EXPECT_NEAR(r.p99_latency_s, r.frame_latency_s[0], 1e-12);
+}
+
+// With infinite link bandwidth every occupancy is zero-width, so contended
+// mode must reproduce analytical mode bitwise on a full matched schedule.
+TEST(EventSim, ContendedMatchesAnalyticalBitwiseAtInfiniteBandwidth) {
+  const PerceptionPipeline pipe = build_autopilot_pipeline();
+  PackageConfig pkg = make_simba_package();
+  const MatchResult match = throughput_matching(pipe, pkg);
+  NopParams inf = pkg.nop();
+  inf.bandwidth_bytes_per_s = std::numeric_limits<double>::infinity();
+  pkg.set_nop(inf);  // match.schedule points at pkg
+
+  SimOptions analytical;
+  analytical.frames = 8;
+  SimOptions contended = analytical;
+  contended.nop_mode = NopMode::kContended;
+  const SimResult a = simulate_schedule(match.schedule, analytical);
+  const SimResult c = simulate_schedule(match.schedule, contended);
+  EXPECT_TRUE(a.frame_completion_s == c.frame_completion_s);
+  EXPECT_EQ(a.first_frame_latency_s, c.first_frame_latency_s);
+  EXPECT_EQ(a.steady_interval_s, c.steady_interval_s);
+  EXPECT_EQ(a.makespan_s, c.makespan_s);
+  EXPECT_EQ(a.p99_latency_s, c.p99_latency_s);
+  EXPECT_EQ(a.tasks_executed, c.tasks_executed);
+  // Contended mode additionally reports per-link occupancy (all idle here).
+  EXPECT_TRUE(a.link_stats.empty());
+  EXPECT_FALSE(c.link_stats.empty());
+  for (const LinkStats& l : c.link_stats) {
+    EXPECT_DOUBLE_EQ(l.busy_s, 0.0) << l.link.describe();
+    EXPECT_DOUBLE_EQ(l.max_queue_wait_s, 0.0) << l.link.describe();
+    EXPECT_GT(l.messages, 0) << l.link.describe();
+  }
+}
+
+// Fan-in hot link: many producers on one mesh row all feed an east-end
+// consumer, so every transfer funnels through the last eastward link. At
+// the paper-default 100 GB/s the offered per-frame link load exceeds the
+// producers' compute time and congestion must bite: the measured steady
+// interval exceeds the analytical prediction.
+TEST(EventSim, FanInCongestionExceedsAnalyticalPrediction) {
+  const int producers = 8;
+  const PerceptionPipeline p = build_fanin_pipeline(producers);
+  const PackageConfig pkg = make_simba_package(1, producers + 1);
+  const Schedule sched = build_fanin_schedule(p, pkg);
+
+  SimOptions analytical;
+  analytical.frames = 48;
+  SimOptions contended = analytical;
+  contended.nop_mode = NopMode::kContended;
+  const SimResult a = simulate_schedule(sched, analytical);
+  const SimResult c = simulate_schedule(sched, contended);
+
+  EXPECT_GT(c.steady_interval_s, a.steady_interval_s * 1.02);
+  EXPECT_GT(c.p99_latency_s, a.p99_latency_s);
+  // The shared east-most link is the hottest resource and actually queued.
+  double max_wait = 0.0;
+  for (const LinkStats& l : c.link_stats) {
+    max_wait = std::max(max_wait, l.max_queue_wait_s);
+  }
+  const LinkStats* hottest = hottest_link(c.link_stats);
+  ASSERT_NE(hottest, nullptr);
+  EXPECT_GT(hottest->utilization, 0.5);
+  EXPECT_GT(max_wait, 0.0);
+  EXPECT_EQ(hottest->link.describe(),
+            "npu0:(0," + std::to_string(producers - 1) + ")->(0," +
+                std::to_string(producers) + ")");
 }
 
 TEST(EventSim, FrameCompletionsMonotone) {
