@@ -126,10 +126,12 @@ void print_tables() {
   // Cross-validate the analytic pipe latency with the event simulator, in
   // both NoP modes: the contended column shows what FIFO link arbitration
   // at 100 GB/s adds on top of the closed-form prediction.
-  const SimResult sim = simulate_schedule(mcm.schedule, SimOptions{10, true});
+  SimOptions sim_opt;
+  sim_opt.frames = 10;
+  const SimResult sim = simulate_schedule(mcm.schedule, sim_opt);
   std::printf("  event-sim steady interval: %.2f ms vs analytic pipe %.2f ms\n",
               sim.steady_interval_s * 1e3, mcm.metrics.pipe_s * 1e3);
-  SimOptions contended_opt{10, true};
+  SimOptions contended_opt = sim_opt;
   contended_opt.nop_mode = NopMode::kContended;
   const SimResult contended = simulate_schedule(mcm.schedule, contended_opt);
   const LinkStats* hot = hottest_link(contended.link_stats);

@@ -1,0 +1,110 @@
+// Degraded autopilot: losing a chiplet with a camera stream in flight.
+//
+//   $ ./degraded_autopilot
+//
+// The static fault story (bench_ablation_fault) re-runs the scheduler on 35
+// chiplets and shows the best-case degraded operating point. This example
+// shows the transient the vehicle actually lives through: the matched
+// 36-chiplet autopilot schedule is replayed over a periodic camera stream,
+// the busiest chiplet dies mid-stream, in-flight frames are flushed and the
+// orphaned work is re-homed onto survivors by the online remap
+// (src/core/remap.h), latency spikes while the backlog drains, the chiplet
+// returns, and the stream settles back to its healthy latency. The
+// per-frame latency timeline is printed as an ASCII strip so the spike and
+// the recovery ramp are visible at a glance.
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "core/baselines.h"
+#include "core/throughput_matching.h"
+#include "sim/event_sim.h"
+#include "util/strings.h"
+#include "workloads/autopilot.h"
+
+using namespace cnpu;
+
+int main() {
+  const PerceptionPipeline pipe = build_autopilot_pipeline();
+  const PackageConfig pkg = make_simba_package();
+  const MatchResult match = throughput_matching(pipe, pkg);
+
+  // The victim: the busiest chiplet that does not host the I/O-port router
+  // (losing that router severs ingress entirely — a different, unrecoverable
+  // failure mode the simulator reports by throwing).
+  const int victim = busiest_non_io_chiplet(match.metrics, pkg);
+
+  const int frames = 96;
+  SimOptions opt;
+  opt.frames = frames;
+  opt.frame_interval_s = match.metrics.pipe_s * 1.25;
+  opt.deadline_s = match.metrics.e2e_s * 2.0;
+  const SimResult healthy = simulate_schedule(match.schedule, opt);
+
+  SimOptions fault = opt;
+  fault.fault.chiplet_id = victim;
+  fault.fault.fail_time_s = frames / 4 * opt.frame_interval_s;
+  fault.fault.recover_time_s = frames / 2 * opt.frame_interval_s;
+  fault.fault.reschedule_penalty_s = opt.frame_interval_s;
+  const SimResult degraded = simulate_schedule(match.schedule, fault);
+
+  std::printf("matched autopilot, %d chiplets, camera interval %s "
+              "(%.0f FPS)\n",
+              pkg.num_chiplets(), format_seconds(opt.frame_interval_s).c_str(),
+              1.0 / opt.frame_interval_s);
+  std::printf("chiplet %d dies at t=%s, recovers at t=%s, reschedule "
+              "penalty %s, deadline %s\n\n",
+              victim, format_seconds(fault.fault.fail_time_s).c_str(),
+              format_seconds(fault.fault.recover_time_s).c_str(),
+              format_seconds(fault.fault.reschedule_penalty_s).c_str(),
+              format_seconds(opt.deadline_s).c_str());
+
+  // ASCII latency strip: one column per frame, scaled to the worst frame.
+  const double peak = degraded.peak_latency_s;
+  std::printf("per-frame latency (#=degraded stream, each row a latency "
+              "band; F=fault frame, R=recovery frame, x=dropped):\n");
+  const int bands = 8;
+  for (int band = bands; band >= 1; --band) {
+    std::printf("%7.0fms |", peak * band / bands * 1e3);
+    for (int f = 0; f < frames; ++f) {
+      const double lat = degraded.frame_latency_s[static_cast<std::size_t>(f)];
+      if (std::isnan(lat)) {
+        std::printf(band == 1 ? "x" : " ");
+        continue;
+      }
+      std::printf(lat >= peak * (band - 0.5) / bands ? "#" : " ");
+    }
+    std::printf("\n");
+  }
+  std::printf("%10s +", "");
+  for (int f = 0; f < frames; ++f) {
+    std::printf(f == frames / 4 ? "F" : (f == frames / 2 ? "R" : "-"));
+  }
+  std::printf("\n\n");
+
+  std::printf("healthy : p50 %s  p99 %s  peak %s\n",
+              format_seconds(healthy.p50_latency_s).c_str(),
+              format_seconds(healthy.p99_latency_s).c_str(),
+              format_seconds(healthy.peak_latency_s).c_str());
+  std::printf("degraded: p50 %s  p99 %s  peak %s (%.2fx healthy peak)\n",
+              format_seconds(degraded.p50_latency_s).c_str(),
+              format_seconds(degraded.p99_latency_s).c_str(),
+              format_seconds(degraded.peak_latency_s).c_str(),
+              degraded.peak_latency_s / healthy.peak_latency_s);
+  std::printf("frames  : %d completed, %d dropped at the flush, %d missed "
+              "the %s deadline\n",
+              degraded.frames_completed, degraded.dropped_frames,
+              degraded.deadline_miss_frames,
+              format_seconds(opt.deadline_s).c_str());
+  std::printf("remap   : %d placements moved off chiplet %d; latency back "
+              "in band %s after the fault\n",
+              degraded.remapped_items, victim,
+              format_seconds(degraded.recovery_time_s).c_str());
+  std::printf("\ntakeaway: a chiplet loss is a transient, not an outage - "
+              "the stream degrades for ~%.0f frames and settles back to the "
+              "healthy latency; a monolithic die would have lost every "
+              "frame from t=%s on.\n",
+              degraded.recovery_time_s / opt.frame_interval_s,
+              format_seconds(fault.fault.fail_time_s).c_str());
+  return 0;
+}

@@ -119,8 +119,9 @@ int main(int argc, char** argv) {
               r.metrics.utilization * 100.0);
 
   if (opt.sim_frames > 0) {
-    const SimResult sim =
-        simulate_schedule(r.schedule, SimOptions{opt.sim_frames, true});
+    SimOptions sim_opt;
+    sim_opt.frames = opt.sim_frames;
+    const SimResult sim = simulate_schedule(r.schedule, sim_opt);
     std::printf("event-sim: steady %s vs analytic %s over %d frames\n",
                 format_seconds(sim.steady_interval_s).c_str(),
                 format_seconds(r.metrics.pipe_s).c_str(), opt.sim_frames);

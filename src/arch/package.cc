@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <deque>
+#include <map>
 #include <stdexcept>
 #include <tuple>
 
@@ -40,31 +42,177 @@ int PackageConfig::hops_between(int chiplet_a, int chiplet_b) const {
   // Substrate cost is linear in NPU boundaries crossed, matching
   // hops_from_io's `npu * inter_npu_hops` charge (the substrate is a chain
   // of adjacent-NPU channels, not a dedicated all-pairs crossbar).
-  return mesh_hops(a.coord, b.coord) +
-         std::abs(a.npu - b.npu) * inter_npu_hops_;
+  const int substrate = std::abs(a.npu - b.npu) * inter_npu_hops_;
+  if (failed_.empty()) return mesh_hops(a.coord, b.coord) + substrate;
+  // Degraded package: the mesh segment detours around failed routers, so
+  // the hop count is the actual route length, not the Manhattan distance.
+  if (a.npu == b.npu) return mesh_segment_hops(a.npu, a.coord, b.coord);
+  const int walk = cross_npu_walk_npu(a.npu, b.npu, a.coord, b.coord);
+  return mesh_segment_hops(walk, a.coord, b.coord) + substrate;
 }
 
 GridCoord PackageConfig::io_coord() const {
   // The I/O port (camera interface / DRAM controller) sits one hop west of
-  // the mesh's middle-left chiplet.
+  // the mesh's middle-left chiplet. Failed sites still count toward the
+  // geometry: a dead die does not move the physical port.
   int max_row = 0;
   for (const auto& spec : chiplets_) max_row = std::max(max_row, spec.coord.row);
+  for (const auto& site : failed_) max_row = std::max(max_row, site.coord.row);
   return GridCoord{max_row / 2, -1};
 }
 
-int PackageConfig::hops_from_io(int chiplet_id) const {
+bool PackageConfig::io_port_attached_to(int chiplet_id) const {
   const ChipletSpec& c = chiplet(chiplet_id);
-  return mesh_hops(io_coord(), c.coord) + c.npu * inter_npu_hops_;
+  const GridCoord io = io_coord();
+  return c.npu == 0 && c.coord == GridCoord{io.row, 0};
+}
+
+bool PackageConfig::site_failed(const GridCoord& coord, int npu) const {
+  for (const auto& site : failed_) {
+    if (site.coord == coord && site.npu == npu) return true;
+  }
+  return false;
 }
 
 namespace {
 
-// Appends the XY (column-first) walk from `from` to `to` as directed mesh
-// links of `npu`'s mesh. Step count is the Manhattan distance, so routes
-// stay consistent with mesh_hops().
-void append_xy_walk(std::vector<NopLink>& route, int npu, GridCoord from,
-                    const GridCoord& to) {
-  auto push = [&](const GridCoord& next) {
+// The XY (column-first) walk shared by mesh_path and mesh_segment_hops:
+// invokes `step` per coordinate visited after `from`. One implementation so
+// the route enumeration and the hop count can never drift apart.
+template <typename Fn>
+void xy_walk(const GridCoord& from, const GridCoord& to, Fn&& step) {
+  GridCoord cur = from;
+  while (cur.col != to.col) {
+    cur = GridCoord{cur.row, cur.col + (to.col > cur.col ? 1 : -1)};
+    step(cur);
+  }
+  while (cur.row != to.row) {
+    cur = GridCoord{cur.row + (to.row > cur.row ? 1 : -1), cur.col};
+    step(cur);
+  }
+}
+
+}  // namespace
+
+std::vector<GridCoord> PackageConfig::mesh_path(int npu, const GridCoord& from,
+                                                const GridCoord& to) const {
+  std::vector<GridCoord> path;
+  if (from == to) return path;
+  // A walk cannot DEPART a dead router either — relevant for the cross-NPU
+  // fallback, where the start coordinate is the source chiplet's mirror on
+  // the destination mesh and may itself have failed.
+  bool blocked = site_failed(from, npu);
+  // Straight XY walk — the healthy-package route, kept bitwise-identical
+  // to the pre-fault-routing behavior.
+  xy_walk(from, to, [&](const GridCoord& next) {
+    blocked = blocked || site_failed(next, npu);
+    path.push_back(next);
+  });
+  if (!blocked) return path;
+
+  // The XY walk crosses a failed router: take the shortest detour over the
+  // surviving routers of this NPU's mesh (BFS, column-first neighbor order
+  // so the chosen detour is deterministic).
+  const auto key = [](const GridCoord& c) { return std::pair(c.row, c.col); };
+  std::map<std::pair<int, int>, GridCoord> parent;  // visited -> predecessor
+  std::map<std::pair<int, int>, bool> live;
+  for (const auto& c : chiplets_) {
+    if (c.npu == npu) live[key(c.coord)] = true;
+  }
+  const auto unreachable = [&]() {
+    return std::runtime_error(
+        "no route around failed chiplet positions from (" +
+        std::to_string(from.row) + "," + std::to_string(from.col) + ") to (" +
+        std::to_string(to.row) + "," + std::to_string(to.col) + ") on npu " +
+        std::to_string(npu));
+  };
+  if (site_failed(from, npu) || !live.count(key(to))) throw unreachable();
+  std::deque<GridCoord> frontier{from};
+  parent[key(from)] = from;
+  while (!frontier.empty() && !parent.count(key(to))) {
+    const GridCoord c = frontier.front();
+    frontier.pop_front();
+    for (const GridCoord& next :
+         {GridCoord{c.row, c.col + 1}, GridCoord{c.row, c.col - 1},
+          GridCoord{c.row + 1, c.col}, GridCoord{c.row - 1, c.col}}) {
+      if (!live.count(key(next)) || parent.count(key(next))) continue;
+      parent[key(next)] = c;
+      frontier.push_back(next);
+    }
+  }
+  if (!parent.count(key(to))) throw unreachable();
+  path.clear();
+  for (GridCoord c = to; !(c == from); c = parent.at(key(c))) {
+    path.push_back(c);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+int PackageConfig::cross_npu_walk_npu(int src_npu, int dst_npu,
+                                      const GridCoord& from,
+                                      const GridCoord& to) const {
+  // Cross-NPU mesh segments normally run on the source mesh toward the
+  // destination's mirror coordinate (the substrate exit). When that mirror
+  // router died, cross the substrate first and walk the DESTINATION mesh
+  // instead — the pair stays connected and routability stays symmetric
+  // with the reverse direction. If the destination-side walk is impossible
+  // too, the caller's walk throws the documented disconnection error.
+  try {
+    (void)mesh_segment_hops(src_npu, from, to);
+    return src_npu;
+  } catch (const std::runtime_error&) {
+    return dst_npu;
+  }
+}
+
+int PackageConfig::mesh_segment_hops(int npu, const GridCoord& from,
+                                     const GridCoord& to) const {
+  // Counting replay of mesh_path's XY walk: no vector, no BFS bookkeeping
+  // unless a failed site actually blocks the straight walk.
+  bool blocked = site_failed(from, npu) && !(from == to);
+  int hops = 0;
+  xy_walk(from, to, [&](const GridCoord& next) {
+    blocked = blocked || site_failed(next, npu);
+    ++hops;
+  });
+  if (!blocked) return hops;
+  return static_cast<int>(mesh_path(npu, from, to).size());
+}
+
+GridCoord PackageConfig::io_entry_or_throw() const {
+  const GridCoord io = io_coord();
+  const GridCoord entry{io.row, 0};
+  if (site_failed(entry, 0)) {
+    throw std::runtime_error(
+        "the router the I/O port attaches to, (" + std::to_string(entry.row) +
+        ",0) on npu 0, was removed - no ingress route exists");
+  }
+  return entry;
+}
+
+int PackageConfig::hops_from_io(int chiplet_id) const {
+  const ChipletSpec& c = chiplet(chiplet_id);
+  if (failed_.empty()) {
+    return mesh_hops(io_coord(), c.coord) + c.npu * inter_npu_hops_;
+  }
+  const GridCoord entry = io_entry_or_throw();
+  // One hop across the port link, then the (possibly detoured) mesh walk —
+  // with the shared cross-substrate fallback when the destination's mirror
+  // on npu 0 died.
+  const int walk =
+      c.npu == 0 ? 0 : cross_npu_walk_npu(0, c.npu, entry, c.coord);
+  return 1 + mesh_segment_hops(walk, entry, c.coord) +
+         c.npu * inter_npu_hops_;
+}
+
+namespace {
+
+// Appends `path` (the coordinate walk produced by mesh_path) as directed
+// mesh links of `npu`'s mesh, starting from `from`.
+void append_mesh_links(std::vector<NopLink>& route, int npu, GridCoord from,
+                       const std::vector<GridCoord>& path) {
+  for (const GridCoord& next : path) {
     NopLink link;
     link.kind = NopLink::Kind::kMesh;
     link.npu = npu;
@@ -73,12 +221,6 @@ void append_xy_walk(std::vector<NopLink>& route, int npu, GridCoord from,
     link.to = next;
     route.push_back(link);
     from = next;
-  };
-  while (from.col != to.col) {
-    push(GridCoord{from.row, from.col + (to.col > from.col ? 1 : -1)});
-  }
-  while (from.row != to.row) {
-    push(GridCoord{from.row + (to.row > from.row ? 1 : -1), from.col});
   }
 }
 
@@ -109,8 +251,22 @@ std::vector<NopLink> PackageConfig::route_between(int chiplet_a,
   if (chiplet_a == chiplet_b) return route;
   const ChipletSpec& a = chiplet(chiplet_a);
   const ChipletSpec& b = chiplet(chiplet_b);
-  append_xy_walk(route, a.npu, a.coord, b.coord);
-  if (a.npu != b.npu) append_substrate(route, a.npu, b.npu, inter_npu_hops_);
+  if (a.npu == b.npu) {
+    append_mesh_links(route, a.npu, a.coord,
+                      mesh_path(a.npu, a.coord, b.coord));
+    return route;
+  }
+  // Cross-NPU: source mesh then substrate normally; substrate first then
+  // destination mesh when cross_npu_walk_npu picked the fallback.
+  const int walk = cross_npu_walk_npu(a.npu, b.npu, a.coord, b.coord);
+  const std::vector<GridCoord> path = mesh_path(walk, a.coord, b.coord);
+  if (walk == a.npu) {
+    append_mesh_links(route, walk, a.coord, path);
+    append_substrate(route, a.npu, b.npu, inter_npu_hops_);
+  } else {
+    append_substrate(route, a.npu, b.npu, inter_npu_hops_);
+    append_mesh_links(route, walk, a.coord, path);
+  }
   return route;
 }
 
@@ -120,9 +276,23 @@ std::vector<NopLink> PackageConfig::route_from_io(int chiplet_id) const {
   // The physical sensor/DRAM port sits on NPU 0's west edge: every ingress
   // walks NPU 0's mesh first (so all camera traffic shares the one port
   // link), then crosses the substrate into the chiplet's NPU. Lengths
-  // mirror hops_from_io's `mesh_hops + npu * inter_npu_hops` charge.
-  append_xy_walk(route, 0, io_coord(), c.coord);
-  append_substrate(route, 0, c.npu, inter_npu_hops_);
+  // mirror hops_from_io's charge, including any detour around failed
+  // routers and the cross-substrate fallback (the port link itself has a
+  // fixed attachment; io_entry_or_throw refuses when that router died).
+  const GridCoord io = io_coord();
+  const GridCoord entry =
+      failed_.empty() ? GridCoord{io.row, 0} : io_entry_or_throw();
+  append_mesh_links(route, 0, io, {entry});
+  const int walk =
+      c.npu == 0 ? 0 : cross_npu_walk_npu(0, c.npu, entry, c.coord);
+  const std::vector<GridCoord> path = mesh_path(walk, entry, c.coord);
+  if (walk == 0) {
+    append_mesh_links(route, 0, entry, path);
+    append_substrate(route, 0, c.npu, inter_npu_hops_);
+  } else {
+    append_substrate(route, 0, c.npu, inter_npu_hops_);
+    append_mesh_links(route, walk, entry, path);
+  }
   return route;
 }
 
@@ -168,9 +338,11 @@ PackageConfig PackageConfig::without_chiplet(int id) const {
   std::vector<ChipletSpec> remaining;
   remaining.reserve(chiplets_.size());
   bool found = false;
+  FailedSite site;
   for (const auto& c : chiplets_) {
     if (c.id == id) {
       found = true;
+      site = FailedSite{c.id, c.coord, c.npu};
       continue;
     }
     remaining.push_back(c);
@@ -178,6 +350,8 @@ PackageConfig PackageConfig::without_chiplet(int id) const {
   if (!found) throw std::out_of_range("no chiplet with id " + std::to_string(id));
   PackageConfig out(std::move(remaining), nop_);
   out.inter_npu_hops_ = inter_npu_hops_;
+  out.failed_ = failed_;
+  out.failed_.push_back(site);
   return out;
 }
 
@@ -187,9 +361,14 @@ std::string PackageConfig::describe() const {
   for (const auto& c : chiplets_) {
     (c.dataflow() == DataflowKind::kOutputStationary ? os : ws) += 1;
   }
-  return std::to_string(chiplets_.size()) + " chiplets (" + std::to_string(os) +
-         " OS, " + std::to_string(ws) + " WS), " + format_si(static_cast<double>(total_pes()), 3) +
-         " PEs total";
+  std::string out = std::to_string(chiplets_.size()) + " chiplets (" +
+                    std::to_string(os) + " OS, " + std::to_string(ws) +
+                    " WS), " + format_si(static_cast<double>(total_pes()), 3) +
+                    " PEs total";
+  if (!failed_.empty()) {
+    out += ", " + std::to_string(failed_.size()) + " failed";
+  }
+  return out;
 }
 
 PackageConfig make_simba_package(int rows, int cols, DataflowKind kind,

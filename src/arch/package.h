@@ -41,6 +41,17 @@ struct NopLink {
 // Strict weak order so links can key associative containers.
 bool operator<(const NopLink& a, const NopLink& b);
 
+// A grid position whose chiplet was removed by without_chiplet. The
+// position's mesh router dies with its chiplet (there is no standalone
+// router die on the package), so routes must detour around it.
+struct FailedSite {
+  int chiplet_id = -1;
+  GridCoord coord;
+  int npu = 0;
+
+  bool operator==(const FailedSite&) const = default;
+};
+
 class PackageConfig {
  public:
   PackageConfig() = default;
@@ -59,7 +70,12 @@ class PackageConfig {
   // Mesh hops between two chiplets (XY routing); crossing NPU packages adds
   // `inter_npu_hops` substrate hops per NPU boundary crossed (the substrate
   // is a chain of adjacent-NPU channels — consistent with hops_from_io's
-  // linear charge).
+  // linear charge). On a degraded package (see without_chiplet) the mesh
+  // segment is the shortest detour around the failed positions, so hop
+  // counts can exceed the Manhattan distance; a cross-NPU pair whose
+  // substrate exit-mirror router died walks the destination NPU's mesh
+  // after the crossing instead (routability stays symmetric); throws
+  // std::runtime_error when failures genuinely disconnect the pair.
   int hops_between(int chiplet_a, int chiplet_b) const;
   // Hops from the package I/O port (sensor/DRAM entry at the west edge) to a
   // chiplet.
@@ -72,7 +88,11 @@ class PackageConfig {
   // the directed boundary pair so all flows crossing a boundary share the
   // same FIFO resources. Empty when a == b. The list length always equals
   // hops_between(a, b), so the contended simulator and the analytical hop
-  // count can never disagree on route length.
+  // count can never disagree on route length. On a degraded package the
+  // route never touches a failed position: when the straight XY walk would
+  // cross one, a shortest detour (BFS over the surviving routers,
+  // column-first neighbor order for determinism) is taken instead; throws
+  // std::runtime_error when no detour exists.
   std::vector<NopLink> route_between(int chiplet_a, int chiplet_b) const;
   // Route of a sensor/DRAM ingress transfer: the XY path from the single
   // physical west-edge I/O port across NPU 0's mesh (its first link is the
@@ -92,17 +112,60 @@ class PackageConfig {
   void set_chiplet_dataflow(int id, DataflowKind kind);
 
   // A copy of this package with one chiplet removed (fault isolation /
-  // yield-degraded parts - a key modularity argument for chiplets).
+  // yield-degraded parts - a key modularity argument for chiplets). The
+  // removed position is recorded as a FailedSite: its router dies with the
+  // chiplet, so hops_between / route_between / route_from_io detour around
+  // it on the returned package. The I/O port keeps its original position
+  // (package geometry does not change when a die fails); if the router the
+  // port attaches to is itself removed, route_from_io throws.
   PackageConfig without_chiplet(int id) const;
+
+  // Positions removed by without_chiplet, in removal order. Empty for a
+  // healthy package.
+  const std::vector<FailedSite>& failed_sites() const { return failed_; }
+
+  // Whether this chiplet's router is the one the west-edge I/O port is
+  // physically bonded to. Removing it severs ingress (route_from_io
+  // throws), so fault studies pick their victims elsewhere.
+  bool io_port_attached_to(int chiplet_id) const;
 
   std::string describe() const;
 
  private:
   // The sensor/DRAM port position: one hop west of NPU 0's middle-left
-  // chiplet. Single source for hops_from_io and route_from_io.
+  // chiplet. Single source for hops_from_io and route_from_io. Failed
+  // sites still count toward the geometry — a dead die does not move the
+  // physical port.
   GridCoord io_coord() const;
 
+  bool site_failed(const GridCoord& coord, int npu) const;
+  // The npu-0 router the I/O port is bonded to; throws std::runtime_error
+  // when that router was removed (ingress is severed — the port cannot be
+  // rebonded). Single source for the guard shared by hops_from_io and
+  // route_from_io.
+  GridCoord io_entry_or_throw() const;
+  // Which NPU's mesh carries the mesh segment of a cross-NPU transfer from
+  // `from` (on `src_npu`) to `to` (on `dst_npu`): the source mesh normally;
+  // the destination mesh — substrate crossed first — when the exit-mirror
+  // router on the source NPU died. Single source of the fallback policy for
+  // hops_between / hops_from_io / route_between / route_from_io, so the
+  // analytical hop count and the enumerated route cannot diverge.
+  int cross_npu_walk_npu(int src_npu, int dst_npu, const GridCoord& from,
+                         const GridCoord& to) const;
+  // The coordinate walk of the mesh segment from `from` to `to` on `npu`'s
+  // mesh (coords visited after `from`; length == mesh hop count). Straight
+  // XY walk when it avoids every failed site, shortest BFS detour
+  // otherwise; throws std::runtime_error when disconnected.
+  std::vector<GridCoord> mesh_path(int npu, const GridCoord& from,
+                                   const GridCoord& to) const;
+  // Length of mesh_path without materializing it: allocation-free on the
+  // (common) unblocked walk, so degraded-package hop queries stay cheap in
+  // DSE/evaluator hot loops; BFS only when the XY walk is blocked.
+  int mesh_segment_hops(int npu, const GridCoord& from,
+                        const GridCoord& to) const;
+
   std::vector<ChipletSpec> chiplets_;
+  std::vector<FailedSite> failed_;
   NopParams nop_;
   int inter_npu_hops_ = 4;
 };

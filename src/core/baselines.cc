@@ -90,4 +90,38 @@ Schedule build_fanin_schedule(const PerceptionPipeline& pipeline,
   return sched;
 }
 
+Schedule build_chainwise_schedule(const PerceptionPipeline& pipeline,
+                                  const PackageConfig& package) {
+  Schedule sched(pipeline, package);
+  const auto& chiplets = package.chiplets();
+  int k = 0;
+  for (int st = 0; st < pipeline.num_stages(); ++st) {
+    for (int mod = 0; mod < pipeline.stages[static_cast<std::size_t>(st)]
+                                .num_models();
+         ++mod) {
+      const int id =
+          chiplets[static_cast<std::size_t>(k) % chiplets.size()].id;
+      for (const int item : sched.items_of_model(st, mod)) {
+        sched.assign(item, id);
+      }
+      ++k;
+    }
+  }
+  return sched;
+}
+
+int busiest_non_io_chiplet(const ScheduleMetrics& metrics,
+                           const PackageConfig& package) {
+  int best = -1;
+  double best_busy = -1.0;
+  for (const auto& cu : metrics.chiplets) {
+    if (package.io_port_attached_to(cu.chiplet_id)) continue;
+    if (cu.busy_s > best_busy) {
+      best_busy = cu.busy_s;
+      best = cu.chiplet_id;
+    }
+  }
+  return best;
+}
+
 }  // namespace cnpu

@@ -41,4 +41,21 @@ BaselineRow run_baseline(const PerceptionPipeline& pipeline,
 Schedule build_fanin_schedule(const PerceptionPipeline& pipeline,
                               const PackageConfig& package);
 
+// Canonical fault-under-load placement: whole model chains round-robin over
+// the package's chiplets in package order (the k-th model of the flattened
+// (stage, model) enumeration lands on chiplet k mod num_chiplets). With
+// workloads/zoo's build_fault_probe_pipeline on a matching-size mesh this
+// gives one chain per chiplet, so any single fault forces a remap. Shared
+// by bench_fault_dynamic, examples/degraded_autopilot, and the fault tests
+// so the three can never drift apart.
+Schedule build_chainwise_schedule(const PerceptionPipeline& pipeline,
+                                  const PackageConfig& package);
+
+// The canonical fault-study victim: the busiest chiplet of an evaluated
+// schedule that does NOT host the I/O-port router (killing that one severs
+// ingress entirely — a different, unrecoverable failure mode). Shared by
+// bench_fault_dynamic and examples/degraded_autopilot.
+int busiest_non_io_chiplet(const ScheduleMetrics& metrics,
+                           const PackageConfig& package);
+
 }  // namespace cnpu

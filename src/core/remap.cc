@@ -1,0 +1,122 @@
+#include "core/remap.h"
+
+#include <limits>
+#include <map>
+#include <set>
+#include <stdexcept>
+
+#include "core/partition.h"
+#include "dataflow/cost_model.h"
+
+namespace cnpu {
+namespace {
+
+double shard_latency_s(const Schedule& s, int item, const ShardAssignment& sh,
+                       const PackageConfig& pkg) {
+  const LayerDesc piece = shard_fraction(*s.item(item).desc, sh.fraction);
+  return analyze_layer(piece, pkg.chiplet(sh.chiplet_id).array).latency_s;
+}
+
+}  // namespace
+
+Schedule remap_schedule(const Schedule& schedule, const PackageConfig& degraded,
+                        int failed_chiplet, RemapStats* stats) {
+  bool in_original = false;
+  for (const auto& c : schedule.package().chiplets()) {
+    in_original = in_original || c.id == failed_chiplet;
+  }
+  if (!in_original) {
+    throw std::invalid_argument("remap_schedule: chiplet " +
+                                std::to_string(failed_chiplet) +
+                                " is not in the schedule's package");
+  }
+  if (degraded.num_chiplets() == 0) {
+    throw std::invalid_argument("remap_schedule: no surviving chiplets");
+  }
+  for (const auto& c : degraded.chiplets()) {
+    if (c.id == failed_chiplet) {
+      throw std::invalid_argument("remap_schedule: chiplet " +
+                                  std::to_string(failed_chiplet) +
+                                  " is still present in the degraded package");
+    }
+  }
+
+  // Tie-break preference: the failed chiplet's quadrant pool (over the
+  // ORIGINAL package, where the failed chiplet still exists) keeps moved
+  // work NoP-local to its stage when loads are equal; the actual selection
+  // is least-loaded across ALL survivors so a dying quadrant cannot pile
+  // its work onto a lone pool-mate while the rest of the mesh idles.
+  std::set<int> home_pool;
+  for (const auto& pool : partition_quadrants(schedule.package())) {
+    bool mine = false;
+    for (const int id : pool) mine = mine || id == failed_chiplet;
+    if (mine) {
+      home_pool.insert(pool.begin(), pool.end());
+      break;
+    }
+  }
+
+  // Survivor load = accumulated per-frame busy seconds, seeded with the
+  // work each survivor already holds (the evaluator's busy accounting).
+  std::map<int, double> load;
+  for (const auto& c : degraded.chiplets()) load[c.id] = 0.0;
+  for (int i = 0; i < schedule.num_items(); ++i) {
+    for (const auto& sh : schedule.placement(i).shards) {
+      if (sh.chiplet_id == failed_chiplet) continue;
+      load[sh.chiplet_id] += shard_latency_s(schedule, i, sh, degraded);
+    }
+  }
+
+  Schedule out(schedule.pipeline(), degraded);
+  for (int i = 0; i < schedule.num_items(); ++i) {
+    const Placement& p = schedule.placement(i);
+    if (!p.assigned()) continue;
+    if (!p.uses_chiplet(failed_chiplet)) {
+      out.assign_weighted(i, p.shards);
+      continue;
+    }
+    std::vector<ShardAssignment> shards;
+    for (const auto& sh : p.shards) {
+      ShardAssignment moved = sh;
+      if (sh.chiplet_id == failed_chiplet) {
+        // Least load first; on ties prefer the home quadrant pool, then the
+        // lowest id — fully deterministic.
+        int best = -1;
+        bool best_home = false;
+        double best_load = std::numeric_limits<double>::infinity();
+        for (const auto& c : degraded.chiplets()) {
+          const double l = load.at(c.id);
+          const bool home = home_pool.count(c.id) > 0;
+          const bool better =
+              l < best_load ||
+              (l == best_load && (home && !best_home)) ||
+              (l == best_load && home == best_home && c.id < best);
+          if (better) {
+            best = c.id;
+            best_home = home;
+            best_load = l;
+          }
+        }
+        moved.chiplet_id = best;
+        // Charge the re-homed work to its new host immediately so later
+        // orphans spread across survivors instead of piling onto one.
+        load[best] += shard_latency_s(schedule, i, moved, degraded);
+        if (stats != nullptr) ++stats->moved_shards;
+      }
+      bool merged = false;
+      for (auto& existing : shards) {
+        if (existing.chiplet_id == moved.chiplet_id) {
+          existing.fraction += moved.fraction;
+          merged = true;
+          break;
+        }
+      }
+      if (!merged) shards.push_back(moved);
+    }
+    if (stats != nullptr) ++stats->touched_items;
+    out.assign_weighted(i, std::move(shards));
+  }
+  return out;
+}
+
+}  // namespace cnpu

@@ -1,0 +1,36 @@
+// Online rescheduling after a chiplet fault.
+//
+// When a chiplet dies mid-stream the event simulator (src/sim/event_sim.h)
+// needs a replacement schedule on the surviving chiplets without re-running
+// the full throughput-matching search: remap_schedule keeps every placement
+// that never touched the failed chiplet and greedily re-homes the orphaned
+// shards onto the least-loaded survivors, preferring the failed chiplet's
+// own quadrant pool (reusing src/core/partition.h) so the moved work stays
+// NoP-local to its stage.
+#pragma once
+
+#include "core/schedule.h"
+
+namespace cnpu {
+
+struct RemapStats {
+  int touched_items = 0;  // items whose placement changed
+  int moved_shards = 0;   // shards re-homed off the failed chiplet
+};
+
+// Rebuilds `schedule` onto `degraded` — typically
+// `schedule.package().without_chiplet(failed_chiplet)`, which must outlive
+// the returned schedule. Placements not using the failed chiplet are copied
+// verbatim. Each orphaned shard moves to the survivor with the least
+// accumulated busy time (per-frame shard latency, the evaluator's busy
+// accounting) across the whole package; load ties prefer the failed
+// chiplet's quadrant pool (NoP locality), then the lowest chiplet id, so
+// the remap is deterministic. A shard landing on a chiplet that already
+// holds a shard of the same item merges into it (fractions add).
+//
+// Throws std::invalid_argument when `failed_chiplet` is missing from the
+// original package, still present in `degraded`, or no survivor exists.
+Schedule remap_schedule(const Schedule& schedule, const PackageConfig& degraded,
+                        int failed_chiplet, RemapStats* stats = nullptr);
+
+}  // namespace cnpu

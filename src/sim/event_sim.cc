@@ -1,17 +1,24 @@
 #include "sim/event_sim.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
+#include <optional>
 #include <queue>
 #include <stdexcept>
 #include <vector>
 
 #include "core/evaluator.h"
+#include "core/remap.h"
 #include "util/stats.h"
 
 namespace cnpu {
 namespace {
 
 constexpr double kTimeEps = 1e-15;
+// A frame counts as recovered once its latency is back inside this band
+// over the pre-fault baseline (see SimResult::recovery_time_s).
+constexpr double kRecoveryLatencyBand = 1.1;
 
 struct ShardTask {
   int chiplet = -1;  // dense package-order index
@@ -39,29 +46,42 @@ struct Ingress {
   EdgeMsg msg;  // contended mode: the camera tensor's route from the I/O port
 };
 
-// Static (frame-independent) view of the schedule.
+// Completion fan-out: one consumer edge of a finished producer.
+struct OutEdge {
+  int consumer = 0;
+  const Edge* edge = nullptr;
+};
+
+// Static (frame-independent) view of one schedule. The simulator holds up
+// to two: the primary schedule and, under a FaultPlan, the remapped
+// degraded schedule swapped in per frame while the chiplet is down.
 struct Program {
   std::vector<std::vector<ShardTask>> shards_of_item;
   std::vector<std::vector<Edge>> deps;  // deps[consumer] = producer edges
+  std::vector<std::vector<OutEdge>> outs;  // reverse adjacency of deps
   std::vector<Ingress> ingress;         // stage-0 camera edges, model order
   std::vector<int> base_deps;           // producer edges + ingress, per item
   int num_chiplets = 0;
 };
 
+// `dense_pkg` defines the dense chiplet index space (always the ORIGINAL
+// package, so the primary and degraded programs share calendars); routes
+// and costs come from the schedule's own package, which for the degraded
+// program detours around the failed router.
 Program build_program(const Schedule& sched, const SimOptions& options,
-                      NopFabric& fabric) {
+                      NopFabric& fabric, const PackageConfig& dense_pkg) {
   const PerceptionPipeline& pipe = sched.pipeline();
   const PackageConfig& pkg = sched.package();
   const bool nop = options.model_nop_delays;
   const bool contended = nop && options.nop_mode == NopMode::kContended;
 
   Program prog;
-  prog.num_chiplets = pkg.num_chiplets();
+  prog.num_chiplets = dense_pkg.num_chiplets();
   prog.shards_of_item.resize(static_cast<std::size_t>(sched.num_items()));
   prog.deps.resize(static_cast<std::size_t>(sched.num_items()));
 
   const auto dense_of = [&](int chiplet_id) {
-    const auto& specs = pkg.chiplets();
+    const auto& specs = dense_pkg.chiplets();
     for (std::size_t i = 0; i < specs.size(); ++i) {
       if (specs[i].id == chiplet_id) return static_cast<int>(i);
     }
@@ -162,19 +182,36 @@ Program build_program(const Schedule& sched, const SimOptions& options,
   for (const Ingress& in : prog.ingress) {
     ++prog.base_deps[static_cast<std::size_t>(in.item)];
   }
+  // Reverse adjacency for completion fan-out. Edge pointers stay valid when
+  // the Program is moved: they point into the deps vectors' heap storage.
+  prog.outs.resize(static_cast<std::size_t>(sched.num_items()));
+  for (int i = 0; i < sched.num_items(); ++i) {
+    for (const Edge& e : prog.deps[static_cast<std::size_t>(i)]) {
+      prog.outs[static_cast<std::size_t>(e.producer)].push_back(OutEdge{i, &e});
+    }
+  }
   return prog;
 }
 
 // Event kinds, in tie-break order at equal timestamps: frame admissions
 // first (so ingress messages claim links before same-instant completions),
-// then shard finishes (so freed dependents are visible), then dispatches.
-enum EvKind : int { kAdmit = 0, kFinish = 1, kDispatch = 2 };
+// then shard finishes (so freed dependents are visible), then dispatches,
+// then the fault flush (so same-instant work lands before the machine is
+// flushed, keeping the boundary well-defined), then recovery.
+enum EvKind : int {
+  kAdmit = 0,
+  kFinish = 1,
+  kDispatch = 2,
+  kFault = 3,
+  kRecover = 4,
+};
 
 struct Ev {
   double time;
   int kind;
   int a;  // admit: frame; finish: frame; dispatch: dense chiplet
   int b;  // finish: item
+  int c;  // finish: frame epoch at dispatch (stale-event filter)
 };
 
 struct EvAfter {
@@ -182,7 +219,8 @@ struct EvAfter {
     if (x.time != y.time) return x.time > y.time;
     if (x.kind != y.kind) return x.kind > y.kind;
     if (x.a != y.a) return x.a > y.a;
-    return x.b > y.b;
+    if (x.b != y.b) return x.b > y.b;
+    return x.c > y.c;
   }
 };
 
@@ -226,14 +264,54 @@ SimResult simulate_schedule(const Schedule& schedule, const SimOptions& options)
     throw std::invalid_argument(
         "simulate_schedule: schedule has no items (empty pipeline)");
   }
+  const FaultPlan& fault = options.fault;
+  const bool faulted = fault.active();
+  if (faulted) {
+    if (fault.fail_time_s < 0.0) {
+      throw std::invalid_argument("simulate_schedule: negative fail_time_s");
+    }
+    if (fault.recover_time_s >= 0.0 &&
+        fault.recover_time_s < fault.fail_time_s) {
+      throw std::invalid_argument(
+          "simulate_schedule: recover_time_s precedes fail_time_s");
+    }
+  }
   const bool contended =
       options.model_nop_delays && options.nop_mode == NopMode::kContended;
-  NopFabric fabric(schedule.package().nop());
-  const Program prog = build_program(schedule, options, fabric);
+  const PackageConfig& pkg = schedule.package();
+  NopFabric fabric(pkg.nop());
+  const Program primary = build_program(schedule, options, fabric, pkg);
   const int items = schedule.num_items();
   const int frames = std::max(options.frames, 1);
   const double interval = std::max(options.frame_interval_s, 0.0);
-  const int nc = prog.num_chiplets;
+  const int nc = primary.num_chiplets;
+
+  // The degraded world, built eagerly so the event loop never constructs
+  // schedules mid-flight: survivors-only package (its routes detour around
+  // the dead router), the online-remapped schedule, and its program.
+  std::optional<PackageConfig> degraded_pkg;
+  std::optional<Schedule> remapped;
+  std::optional<Program> degraded;
+  RemapStats remap_stats;
+  int dead = -1;  // dense package-order index of the failed chiplet
+  if (faulted) {
+    for (std::size_t i = 0; i < pkg.chiplets().size(); ++i) {
+      if (pkg.chiplets()[i].id == fault.chiplet_id) dead = static_cast<int>(i);
+    }
+    if (dead < 0) {
+      throw std::invalid_argument(
+          "simulate_schedule: FaultPlan chiplet " +
+          std::to_string(fault.chiplet_id) + " is not in the package");
+    }
+    degraded_pkg.emplace(pkg.without_chiplet(fault.chiplet_id));
+    remapped.emplace(
+        remap_schedule(schedule, *degraded_pkg, fault.chiplet_id, &remap_stats));
+    degraded.emplace(build_program(*remapped, options, fabric, pkg));
+  }
+  const Program* const degraded_prog = faulted ? &*degraded : nullptr;
+  // Whether any frame actually ran the remapped schedule (a fault firing
+  // after the stream drained remaps nothing).
+  bool degraded_used = false;
 
   // Per-(frame, item) bookkeeping.
   auto idx = [&](int frame, int item) {
@@ -244,13 +322,23 @@ SimResult simulate_schedule(const Schedule& schedule, const SimOptions& options)
   std::vector<double> ready_time(static_cast<std::size_t>(frames * items), 0.0);
   std::vector<int> shards_left(static_cast<std::size_t>(frames * items), 0);
   std::vector<int> frame_items_left(static_cast<std::size_t>(frames), items);
-  for (int f = 0; f < frames; ++f) {
+  std::vector<const Program*> prog_of(static_cast<std::size_t>(frames),
+                                      &primary);
+  std::vector<int> epoch_of(static_cast<std::size_t>(frames), 0);
+  std::vector<char> frame_done(static_cast<std::size_t>(frames), 0);
+  std::vector<char> frame_dropped(static_cast<std::size_t>(frames), 0);
+
+  auto init_frame = [&](int f) {
+    const Program& pr = *prog_of[static_cast<std::size_t>(f)];
     for (int i = 0; i < items; ++i) {
-      deps_left[idx(f, i)] = prog.base_deps[static_cast<std::size_t>(i)];
+      deps_left[idx(f, i)] = pr.base_deps[static_cast<std::size_t>(i)];
+      ready_time[idx(f, i)] = 0.0;
       shards_left[idx(f, i)] =
-          static_cast<int>(prog.shards_of_item[static_cast<std::size_t>(i)].size());
+          static_cast<int>(pr.shards_of_item[static_cast<std::size_t>(i)].size());
     }
-  }
+    frame_items_left[static_cast<std::size_t>(f)] = items;
+  };
+  for (int f = 0; f < frames; ++f) init_frame(f);
 
   // Dense per-chiplet calendars (package order): a ready-time min-heap
   // feeding a dispatch-priority min-heap. Replaces the former
@@ -272,26 +360,16 @@ SimResult simulate_schedule(const Schedule& schedule, const SimOptions& options)
   result.frame_completion_s.assign(static_cast<std::size_t>(frames), 0.0);
 
   auto enqueue_item_shards = [&](int frame, int item, double at) {
-    const auto& shards = prog.shards_of_item[static_cast<std::size_t>(item)];
+    const auto& shards =
+        prog_of[static_cast<std::size_t>(frame)]
+            ->shards_of_item[static_cast<std::size_t>(item)];
     for (int s = 0; s < static_cast<int>(shards.size()); ++s) {
       const int c = shards[static_cast<std::size_t>(s)].chiplet;
       pending[static_cast<std::size_t>(c)].push(
           PendingShard{at, frame, item, s});
-      events.push(Ev{at, kDispatch, c, 0});
+      events.push(Ev{at, kDispatch, c, 0, 0});
     }
   };
-
-  // Reverse adjacency for completion fan-out.
-  struct OutEdge {
-    int consumer;
-    const Edge* edge;
-  };
-  std::vector<std::vector<OutEdge>> outs(static_cast<std::size_t>(items));
-  for (int i = 0; i < items; ++i) {
-    for (const Edge& e : prog.deps[static_cast<std::size_t>(i)]) {
-      outs[static_cast<std::size_t>(e.producer)].push_back(OutEdge{i, &e});
-    }
-  }
 
   // Deliver an edge/ingress arrival to (frame, item): in contended mode the
   // message walks its links first, adding the FIFO queueing wait on top of
@@ -305,8 +383,33 @@ SimResult simulate_schedule(const Schedule& schedule, const SimOptions& options)
     }
   };
 
+  // Admit (or re-admit after a fault flush) frame `f` at time `t` under its
+  // current program: inject the camera ingress edges and release the
+  // dependency-free items.
+  auto admit_frame = [&](int f, double t) {
+    const Program& pr = *prog_of[static_cast<std::size_t>(f)];
+    for (const Ingress& in : pr.ingress) {
+      double arrival = t + in.delay_s;
+      if (contended && !in.msg.route.empty()) {
+        arrival = t + in.delay_s + fabric.inject(in.msg.route, in.msg.bytes, t);
+      }
+      deliver(f, in.item, arrival);
+    }
+    for (int i = 0; i < items; ++i) {
+      if (pr.base_deps[static_cast<std::size_t>(i)] == 0) {
+        enqueue_item_shards(f, i, t);
+      }
+    }
+  };
+
   for (int f = 0; f < frames; ++f) {
-    events.push(Ev{static_cast<double>(f) * interval, kAdmit, f, 0});
+    events.push(Ev{static_cast<double>(f) * interval, kAdmit, f, 0, 0});
+  }
+  if (faulted) {
+    events.push(Ev{fault.fail_time_s, kFault, 0, 0, 0});
+    if (fault.recover_time_s >= 0.0) {
+      events.push(Ev{fault.recover_time_s, kRecover, 0, 0, 0});
+    }
   }
 
   while (!events.empty()) {
@@ -316,33 +419,40 @@ SimResult simulate_schedule(const Schedule& schedule, const SimOptions& options)
     switch (ev.kind) {
       case kAdmit: {
         const int f = ev.a;
-        for (const Ingress& in : prog.ingress) {
-          double arrival = now + in.delay_s;
-          if (contended && !in.msg.route.empty()) {
-            arrival = now + in.delay_s +
-                      fabric.inject(in.msg.route, in.msg.bytes, now);
-          }
-          deliver(f, in.item, arrival);
+        // Frames admitted while the chiplet is down run the remapped
+        // schedule (strictly after the fault instant: an admission at the
+        // exact fail time lands primary, then the flush re-admits it).
+        if (faulted && now > fault.fail_time_s &&
+            !(fault.recover_time_s >= 0.0 && now >= fault.recover_time_s)) {
+          prog_of[static_cast<std::size_t>(f)] = degraded_prog;
+          degraded_used = true;
+          init_frame(f);
         }
-        for (int i = 0; i < items; ++i) {
-          if (prog.base_deps[static_cast<std::size_t>(i)] == 0) {
-            enqueue_item_shards(f, i, now);
-          }
-        }
+        admit_frame(f, now);
         break;
       }
       case kFinish: {
         const int f = ev.a;
         const int item = ev.b;
+        // Stale: the frame was flushed (and possibly dropped) after this
+        // task was dispatched.
+        if (ev.c != epoch_of[static_cast<std::size_t>(f)]) break;
         const std::size_t key = idx(f, item);
         // The last shard's finish event carries the item's completion time
         // (events pop in nondecreasing time order).
         if (--shards_left[key] != 0) break;
         const double finished = now;
         if (--frame_items_left[static_cast<std::size_t>(f)] == 0) {
+          if (frame_done[static_cast<std::size_t>(f)]) {
+            throw std::logic_error(
+                "simulate_schedule: frame completed twice (conservation "
+                "violated)");
+          }
+          frame_done[static_cast<std::size_t>(f)] = 1;
           result.frame_completion_s[static_cast<std::size_t>(f)] = finished;
         }
-        for (const OutEdge& oe : outs[static_cast<std::size_t>(item)]) {
+        const Program& pr = *prog_of[static_cast<std::size_t>(f)];
+        for (const OutEdge& oe : pr.outs[static_cast<std::size_t>(item)]) {
           double arrival = finished + oe.edge->delay_s;
           if (contended && !oe.edge->msgs.empty()) {
             double wait = 0.0;
@@ -354,6 +464,53 @@ SimResult simulate_schedule(const Schedule& schedule, const SimOptions& options)
           }
           deliver(f, oe.consumer, arrival);
         }
+        break;
+      }
+      case kFault: {
+        // The chiplet and its router die. Revoke every in-flight task (the
+        // unexecuted remainder is handed back; the executed slice stays in
+        // chiplet_busy as wasted work), flush all calendars, and stall
+        // dispatch until the reschedule penalty elapses.
+        const double resume = now + std::max(fault.reschedule_penalty_s, 0.0);
+        for (int c = 0; c < nc; ++c) {
+          if (chiplet_free[static_cast<std::size_t>(c)] > now) {
+            chiplet_busy[static_cast<std::size_t>(c)] -=
+                chiplet_free[static_cast<std::size_t>(c)] - now;
+          }
+          pending[static_cast<std::size_t>(c)] = {};
+          ready[static_cast<std::size_t>(c)] = {};
+          chiplet_free[static_cast<std::size_t>(c)] =
+              c == dead ? std::numeric_limits<double>::infinity() : resume;
+          if (c != dead) events.push(Ev{resume, kDispatch, c, 0, 0});
+        }
+        // Flush incomplete frames onto the remapped schedule; drop the ones
+        // whose deadline already expired.
+        for (int f = 0; f < frames; ++f) {
+          if (frame_done[static_cast<std::size_t>(f)]) continue;
+          ++epoch_of[static_cast<std::size_t>(f)];
+          const double admit_t = static_cast<double>(f) * interval;
+          if (admit_t > now) continue;  // not yet admitted
+          if (options.deadline_s > 0.0 &&
+              resume - admit_t > options.deadline_s) {
+            frame_dropped[static_cast<std::size_t>(f)] = 1;
+            continue;
+          }
+          prog_of[static_cast<std::size_t>(f)] = degraded_prog;
+          degraded_used = true;
+          init_frame(f);
+          admit_frame(f, now);
+        }
+        break;
+      }
+      case kRecover: {
+        // The chiplet rejoins; frames admitted from now on use the primary
+        // schedule again (the kAdmit regime check), frames in flight keep
+        // their degraded placement — no second flush. The dispatch kick is
+        // required: a frame admitted at this exact instant already enqueued
+        // work here (kAdmit and its kDispatch both sort before kRecover at
+        // equal timestamps) and bounced off the still-infinite calendar.
+        chiplet_free[static_cast<std::size_t>(dead)] = now;
+        events.push(Ev{now, kDispatch, dead, 0, 0});
         break;
       }
       case kDispatch:
@@ -370,48 +527,143 @@ SimResult simulate_schedule(const Schedule& schedule, const SimOptions& options)
         }
         if (rdy.empty()) {
           if (!pend.empty()) {
-            events.push(Ev{pend.top().ready, kDispatch, ev.a, 0});
+            events.push(Ev{pend.top().ready, kDispatch, ev.a, 0, 0});
           }
           break;
         }
         const ReadyShard task = rdy.top();
         rdy.pop();
         const double service =
-            prog.shards_of_item[static_cast<std::size_t>(task.item)]
+            prog_of[static_cast<std::size_t>(task.frame)]
+                ->shards_of_item[static_cast<std::size_t>(task.item)]
                 [static_cast<std::size_t>(task.shard)].service_s;
         const double done = now + service;
         chiplet_free[c] = done;
         chiplet_busy[c] += service;
         ++result.tasks_executed;
-        events.push(Ev{done, kDispatch, ev.a, 0});
-        events.push(Ev{done, kFinish, task.frame, task.item});
+        events.push(Ev{done, kDispatch, ev.a, 0, 0});
+        events.push(Ev{done, kFinish, task.frame, task.item,
+                       epoch_of[static_cast<std::size_t>(task.frame)]});
         break;
       }
     }
   }
 
-  result.first_frame_latency_s = result.frame_completion_s.front();
-  result.makespan_s = result.frame_completion_s.back();
-  if (frames >= 4) {
-    const int half = frames / 2;
-    result.steady_interval_s =
-        (result.frame_completion_s[static_cast<std::size_t>(frames - 1)] -
-         result.frame_completion_s[static_cast<std::size_t>(half - 1)]) /
-        static_cast<double>(frames - half);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  if (!faulted) {
+    // Exactly the pre-fault-subsystem reductions: with an inactive
+    // FaultPlan the result is bitwise-identical to the legacy behavior
+    // (regression-pinned in tests/test_sim.cc).
+    result.first_frame_latency_s = result.frame_completion_s.front();
+    result.makespan_s = result.frame_completion_s.back();
+    if (frames >= 4) {
+      const int half = frames / 2;
+      result.steady_interval_s =
+          (result.frame_completion_s[static_cast<std::size_t>(frames - 1)] -
+           result.frame_completion_s[static_cast<std::size_t>(half - 1)]) /
+          static_cast<double>(frames - half);
+    } else {
+      // Documented degradation (see SimResult): with no steady half to
+      // measure, fill latency folds into the mean and this is
+      // makespan / frames.
+      result.steady_interval_s =
+          result.makespan_s / static_cast<double>(frames);
+    }
+    result.frame_latency_s.reserve(static_cast<std::size_t>(frames));
+    for (int f = 0; f < frames; ++f) {
+      result.frame_latency_s.push_back(
+          result.frame_completion_s[static_cast<std::size_t>(f)] -
+          static_cast<double>(f) * interval);
+    }
+    result.p50_latency_s = percentile(result.frame_latency_s, 50.0);
+    result.p95_latency_s = percentile(result.frame_latency_s, 95.0);
+    result.p99_latency_s = percentile(result.frame_latency_s, 99.0);
+    result.frames_completed = frames;
+    result.peak_latency_s = max_of(result.frame_latency_s);
   } else {
-    // Documented degradation (see SimResult): with no steady half to
-    // measure, fill latency folds into the mean and this is makespan/frames.
-    result.steady_interval_s = result.makespan_s / static_cast<double>(frames);
+    // Fault-aware reductions: dropped frames carry NaN and are excluded
+    // from every aggregate.
+    for (int f = 0; f < frames; ++f) {
+      if (frame_dropped[static_cast<std::size_t>(f)]) {
+        result.frame_completion_s[static_cast<std::size_t>(f)] = nan;
+      } else if (!frame_done[static_cast<std::size_t>(f)]) {
+        throw std::logic_error(
+            "simulate_schedule: admitted frame neither completed nor "
+            "dropped (conservation violated)");
+      }
+    }
+    result.frame_latency_s.reserve(static_cast<std::size_t>(frames));
+    std::vector<double> finished_times;
+    std::vector<double> finished_lat;
+    for (int f = 0; f < frames; ++f) {
+      const double lat =
+          result.frame_completion_s[static_cast<std::size_t>(f)] -
+          static_cast<double>(f) * interval;
+      result.frame_latency_s.push_back(lat);
+      if (frame_done[static_cast<std::size_t>(f)]) {
+        finished_times.push_back(
+            result.frame_completion_s[static_cast<std::size_t>(f)]);
+        finished_lat.push_back(lat);
+      }
+    }
+    std::sort(finished_times.begin(), finished_times.end());
+    const int n = static_cast<int>(finished_times.size());
+    result.frames_completed = n;
+    result.dropped_frames = frames - n;
+    result.first_frame_latency_s = result.frame_latency_s.front();
+    result.makespan_s = n > 0 ? finished_times.back() : nan;
+    if (n >= 4) {
+      const int half = n / 2;
+      result.steady_interval_s =
+          (finished_times[static_cast<std::size_t>(n - 1)] -
+           finished_times[static_cast<std::size_t>(half - 1)]) /
+          static_cast<double>(n - half);
+    } else if (n > 0) {
+      result.steady_interval_s = result.makespan_s / static_cast<double>(n);
+    } else {
+      result.steady_interval_s = nan;
+    }
+    result.p50_latency_s = percentile(finished_lat, 50.0);
+    result.p95_latency_s = percentile(finished_lat, 95.0);
+    result.p99_latency_s = percentile(finished_lat, 99.0);
+    result.peak_latency_s = max_of(finished_lat);
+    result.remapped_items = degraded_used ? remap_stats.touched_items : 0;
+    // Recovery: baseline = the best completed latency observed before the
+    // fault (stream minimum when nothing completed pre-fault); the spike
+    // ends when the last elevated frame completes.
+    double baseline = std::numeric_limits<double>::infinity();
+    for (int f = 0; f < frames; ++f) {
+      if (!frame_done[static_cast<std::size_t>(f)]) continue;
+      if (result.frame_completion_s[static_cast<std::size_t>(f)] <=
+          fault.fail_time_s) {
+        baseline = std::min(baseline,
+                            result.frame_latency_s[static_cast<std::size_t>(f)]);
+      }
+    }
+    if (!std::isfinite(baseline)) baseline = min_of(finished_lat);
+    double last_elevated = -std::numeric_limits<double>::infinity();
+    for (int f = 0; f < frames; ++f) {
+      if (!frame_done[static_cast<std::size_t>(f)]) continue;
+      if (result.frame_latency_s[static_cast<std::size_t>(f)] >
+          baseline * kRecoveryLatencyBand) {
+        last_elevated = std::max(
+            last_elevated,
+            result.frame_completion_s[static_cast<std::size_t>(f)]);
+      }
+    }
+    result.recovery_time_s =
+        std::max(0.0, last_elevated - fault.fail_time_s);
+    if (!std::isfinite(result.recovery_time_s)) result.recovery_time_s = 0.0;
   }
-  result.frame_latency_s.reserve(static_cast<std::size_t>(frames));
-  for (int f = 0; f < frames; ++f) {
-    result.frame_latency_s.push_back(
-        result.frame_completion_s[static_cast<std::size_t>(f)] -
-        static_cast<double>(f) * interval);
+  if (options.deadline_s > 0.0) {
+    for (int f = 0; f < frames; ++f) {
+      if (!std::isnan(result.frame_latency_s[static_cast<std::size_t>(f)]) &&
+          result.frame_latency_s[static_cast<std::size_t>(f)] >
+              options.deadline_s) {
+        ++result.deadline_miss_frames;
+      }
+    }
   }
-  result.p50_latency_s = percentile(result.frame_latency_s, 50.0);
-  result.p95_latency_s = percentile(result.frame_latency_s, 95.0);
-  result.p99_latency_s = percentile(result.frame_latency_s, 99.0);
   result.chiplet_busy_s.assign(chiplet_busy.begin(), chiplet_busy.end());
   if (contended) {
     result.link_stats = fabric.stats(result.makespan_s);

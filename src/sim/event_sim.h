@@ -23,6 +23,29 @@
 //    infinite link bandwidth the two modes are bitwise-identical; with
 //    finite bandwidth, hot links queue and the measured interval can exceed
 //    the analytical prediction.
+//
+// Runtime fault injection (SimOptions::fault): a FaultPlan kills one
+// chiplet mid-stream and measures what the perception pipeline experiences
+// at that moment — the safety-critical scenario for AV chiplet platforms.
+// The fault model:
+//  * At fail_time_s the chiplet dies together with its mesh router.
+//    Frames already completed keep their results. Every other admitted
+//    frame is flushed: its in-flight and pending tasks are revoked
+//    (partial work is wasted — activations resident on the failed die are
+//    lost, so affected frames restart from their camera tensor), and a
+//    remapped schedule (core/remap.h onto without_chiplet) replaces the
+//    original while the chiplet is down. No chiplet dispatches work during
+//    the reconfiguration stall [fail, fail + reschedule_penalty_s).
+//  * A flushed frame whose deadline (admission + deadline_s) has already
+//    expired by the end of the stall is dropped, never re-executed: its
+//    completion and latency are NaN and it counts in dropped_frames.
+//  * Frames admitted while the chiplet is down run the remapped schedule;
+//    in contended mode their messages route against the degraded package,
+//    so no message traverses the failed chiplet's router.
+//  * At recover_time_s (optional) the chiplet rejoins: frames admitted at
+//    or after recovery run the original schedule again. Frames still in
+//    flight keep their degraded placement — recovery is non-disruptive,
+//    there is no second flush.
 #pragma once
 
 #include <vector>
@@ -37,6 +60,22 @@ enum class NopMode {
   kContended,   // FIFO link arbitration on the XY route of every edge
 };
 
+// A runtime chiplet failure. Inactive (chiplet_id < 0) by default, in which
+// case simulate_schedule behaves exactly as before the fault subsystem
+// existed (regression-pinned bitwise in tests/test_sim.cc).
+struct FaultPlan {
+  int chiplet_id = -1;     // chiplet (package id) that dies; < 0 = no fault
+  double fail_time_s = 0.0;
+  // Time the chiplet (and its router) comes back; < 0 = never recovers.
+  // Must be >= fail_time_s when non-negative.
+  double recover_time_s = -1.0;
+  // Fault detection + pipeline flush + schedule reconfiguration stall: no
+  // chiplet dispatches work for this long after the fault fires.
+  double reschedule_penalty_s = 0.0;
+
+  bool active() const { return chiplet_id >= 0; }
+};
+
 struct SimOptions {
   int frames = 8;
   bool model_nop_delays = true;
@@ -45,18 +84,29 @@ struct SimOptions {
   // (a back-to-back burst that measures the pipeline's sustained rate);
   // > 0 models a periodic sensor, e.g. 1/30 for a 30 FPS camera.
   double frame_interval_s = 0.0;
+  // Per-frame latency deadline; 0 disables deadline accounting. Completed
+  // frames over the deadline count as deadline_miss_frames; at a fault
+  // flush, frames that can no longer meet it are dropped outright.
+  double deadline_s = 0.0;
+  FaultPlan fault;
 };
 
 struct SimResult {
+  // Latency of frame 0 specifically (a per-frame value, not an aggregate):
+  // NaN when a fault flush dropped frame 0 itself.
   double first_frame_latency_s = 0.0;
   // Mean inter-completion time over the second half of the stream. Only
   // meaningful with frames >= 4: shorter streams have no steady half, so
   // the fill latency folds in and this degrades to makespan / frames.
+  // Under a fault, measured over the completed (non-dropped) frames'
+  // sorted completion times.
   double steady_interval_s = 0.0;
   double makespan_s = 0.0;
-  std::vector<double> frame_completion_s;  // one per frame
+  // One per frame; NaN for frames dropped at a fault flush.
+  std::vector<double> frame_completion_s;
   // Per-frame admission-to-completion latency (completion minus
-  // frame_interval_s * frame), and its percentiles over the stream.
+  // frame_interval_s * frame), and its percentiles over the completed
+  // frames of the stream. Dropped frames are NaN and excluded.
   std::vector<double> frame_latency_s;
   double p50_latency_s = 0.0;
   double p95_latency_s = 0.0;
@@ -65,11 +115,34 @@ struct SimResult {
   // Per-directed-link occupancy (kContended only; empty otherwise),
   // utilization normalized by the makespan.
   std::vector<LinkStats> link_stats;
+  // Tasks dispatched, including work later revoked by a fault flush.
   int tasks_executed = 0;
+
+  // --- fault / deadline accounting ---
+  int frames_completed = 0;
+  // Frames abandoned at the fault flush because their deadline had already
+  // expired (deadline_s > 0 only).
+  int dropped_frames = 0;
+  // Completed frames whose latency exceeded deadline_s (0 when disabled).
+  int deadline_miss_frames = 0;
+  // Worst completed-frame latency: the fault's latency spike.
+  double peak_latency_s = 0.0;
+  // Time from fail_time_s until the completion of the last frame whose
+  // latency exceeded 1.1x the pre-fault baseline (min completed latency
+  // before the fault; falls back to the stream minimum). 0 when no fault
+  // fired or no frame's latency was elevated.
+  double recovery_time_s = 0.0;
+  // Placements changed by the online remap (0 without a fault).
+  int remapped_items = 0;
 };
 
-// Throws std::invalid_argument on a 0-item schedule and std::logic_error
-// when any item is unassigned (matching evaluate_schedule).
+// Throws std::invalid_argument on a 0-item schedule, a FaultPlan naming a
+// chiplet not in the package (or with no survivor to remap onto), a
+// negative fail time, or recover_time_s in [0, fail_time_s); throws
+// std::logic_error when any item is unassigned (matching
+// evaluate_schedule). A fault on the chiplet whose router hosts the I/O
+// port propagates the routing layer's std::runtime_error — ingress has no
+// route around that position.
 SimResult simulate_schedule(const Schedule& schedule,
                             const SimOptions& options = {});
 

@@ -1,6 +1,7 @@
 #include "util/csv.h"
 
 #include <fstream>
+#include <stdexcept>
 
 namespace cnpu {
 namespace {
@@ -32,10 +33,29 @@ std::string encode_row(const std::vector<std::string>& row) {
 }  // namespace
 
 void CsvWriter::set_header(std::vector<std::string> header) {
+  // Same ragged-row guard as add_row, covering the header-set-last order:
+  // rows accepted against an empty header must still match the final one.
+  if (!header.empty()) {
+    for (const auto& row : rows_) {
+      if (row.size() != header.size()) {
+        throw std::invalid_argument(
+            "CsvWriter::set_header: header has " +
+            std::to_string(header.size()) +
+            " columns but an existing row has " + std::to_string(row.size()) +
+            " fields");
+      }
+    }
+  }
   header_ = std::move(header);
 }
 
 void CsvWriter::add_row(std::vector<std::string> row) {
+  if (!header_.empty() && row.size() != header_.size()) {
+    throw std::invalid_argument(
+        "CsvWriter::add_row: row has " + std::to_string(row.size()) +
+        " fields but the header has " + std::to_string(header_.size()) +
+        " columns");
+  }
   rows_.push_back(std::move(row));
 }
 

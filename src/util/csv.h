@@ -8,7 +8,12 @@ namespace cnpu {
 
 class CsvWriter {
  public:
+  // Throws std::invalid_argument when any already-added row's width does
+  // not match the new header (the add-rows-then-set-header order).
   void set_header(std::vector<std::string> header);
+  // Throws std::invalid_argument when a header is set and the row's width
+  // does not match it: a silently ragged row corrupts every downstream
+  // parse of a sweep/bench artifact. Headerless writers accept any width.
   void add_row(std::vector<std::string> row);
 
   // RFC-4180-ish encoding: fields containing comma/quote/newline are quoted.

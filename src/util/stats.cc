@@ -14,10 +14,13 @@ double mean(const std::vector<double>& xs) {
 }
 
 double geomean(const std::vector<double>& xs) {
-  if (xs.empty()) return 0.0;
+  // NaN, not 0, for empty or non-positive input (matching percentile /
+  // min_of): a silent 0 reads as "infinitely fast" in speedup tables and
+  // masks the invalid data that produced it.
+  if (xs.empty()) return std::numeric_limits<double>::quiet_NaN();
   double log_sum = 0.0;
   for (double x : xs) {
-    if (x <= 0.0) return 0.0;
+    if (x <= 0.0) return std::numeric_limits<double>::quiet_NaN();
     log_sum += std::log(x);
   }
   return std::exp(log_sum / static_cast<double>(xs.size()));

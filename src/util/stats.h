@@ -7,7 +7,10 @@
 namespace cnpu {
 
 double mean(const std::vector<double>& xs);
-// Geometric mean; requires all positive entries (returns 0 otherwise).
+// Geometric mean; requires all positive entries. Returns NaN for empty
+// input or any non-positive element (same convention as percentile/min_of)
+// so invalid data poisons downstream aggregates instead of masquerading as
+// a 0x "speedup".
 double geomean(const std::vector<double>& xs);
 // Standard deviation convention: `stddev` is the POPULATION stddev
 // (divides by N) - benches report spread over a fixed, fully-enumerated set

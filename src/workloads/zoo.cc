@@ -137,4 +137,28 @@ PerceptionPipeline build_fanin_pipeline(int cameras) {
   return p;
 }
 
+PerceptionPipeline build_fault_probe_pipeline(int cameras, int chain_layers) {
+  PerceptionPipeline p;
+  p.name = "fault_probe_" + std::to_string(cameras);
+  Stage produce{"PRODUCE", {}};
+  for (int i = 0; i < cameras; ++i) {
+    Model m;
+    m.name = "cam" + std::to_string(i);
+    for (int l = 0; l < chain_layers; ++l) {
+      // GEMMs dominated by compute, not NoP: killing the host chiplet
+      // doubles some survivor's service load rather than a link's.
+      m.layers.push_back(gemm("c" + std::to_string(i) + "_g" +
+                                  std::to_string(l),
+                              4096, 64, 64));
+    }
+    produce.models.push_back({m, false});
+  }
+  p.stages.push_back(produce);
+  Model fuse;
+  fuse.name = "fuse";
+  fuse.layers = {gemm("fuse_g0", 2048, 64, 64), gemm("fuse_g1", 2048, 64, 64)};
+  p.stages.push_back(Stage{"FUSE", {{fuse, false}}});
+  return p;
+}
+
 }  // namespace cnpu

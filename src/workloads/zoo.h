@@ -39,4 +39,15 @@ std::vector<ZooEntry> workload_zoo();
 // examples/link_saturation, and the contention regression tests.
 PerceptionPipeline build_fanin_pipeline(int cameras);
 
+// Fault-under-load scenario: `cameras` per-camera GEMM chains (depth
+// `chain_layers`) in stage 0 feeding a two-layer fusion chain in stage 1.
+// Unlike build_fanin_pipeline (tuned to saturate one link), every chain
+// carries real compute, so with one chain per chiplet
+// (build_chainwise_schedule) the loss of any single chiplet mid-stream
+// forces a visible remap: some survivor then serves two chains and the
+// steady interval degrades ~2x until recovery. Used by
+// bench_fault_dynamic, examples/degraded_autopilot, and the fault tests.
+PerceptionPipeline build_fault_probe_pipeline(int cameras,
+                                              int chain_layers = 2);
+
 }  // namespace cnpu

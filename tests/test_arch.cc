@@ -262,6 +262,151 @@ TEST(PackageConfig, WithoutChipletPreservesNop) {
   EXPECT_DOUBLE_EQ(degraded.nop().bandwidth_bytes_per_s, 50e9);
 }
 
+// --- fault routing (regression for the stale-fault-routing bug) ---
+// without_chiplet used to preserve survivors' grid coordinates while
+// route_between / route_from_io kept emitting straight XY walks through the
+// removed chiplet's position — messages silently traversed a dead router.
+// Routes now detour around recorded FailedSites and hop counts follow.
+
+// No link of any degraded route may start or end at a failed position.
+void expect_avoids(const std::vector<NopLink>& route, const GridCoord& coord,
+                   int npu) {
+  for (const NopLink& link : route) {
+    if (link.kind != NopLink::Kind::kMesh || link.npu != npu) continue;
+    EXPECT_FALSE(link.from == coord) << link.describe();
+    EXPECT_FALSE(link.to == coord) << link.describe();
+  }
+}
+
+TEST(FaultRouting, RouteDetoursAroundFailedChiplet) {
+  const PackageConfig pkg = make_simba_package();
+  const PackageConfig degraded = pkg.without_chiplet(1);  // (0,1)
+  ASSERT_EQ(degraded.failed_sites().size(), 1u);
+  EXPECT_EQ(degraded.failed_sites().front().coord, (GridCoord{0, 1}));
+  // (0,0) -> (0,2) previously went straight through (0,1); the detour adds
+  // two hops and hops_between reports the detoured length.
+  const auto route = degraded.route_between(0, 2);
+  EXPECT_EQ(static_cast<int>(route.size()), degraded.hops_between(0, 2));
+  EXPECT_EQ(route.size(), 4u);
+  expect_avoids(route, GridCoord{0, 1}, 0);
+  expect_contiguous(route);
+}
+
+TEST(FaultRouting, UnaffectedRoutesStayManhattan) {
+  const PackageConfig pkg = make_simba_package();
+  const PackageConfig degraded = pkg.without_chiplet(1);
+  // A pair far from the hole keeps its healthy XY route exactly.
+  EXPECT_EQ(degraded.route_between(24, 28), pkg.route_between(24, 28));
+  EXPECT_EQ(degraded.hops_between(24, 28), pkg.hops_between(24, 28));
+}
+
+TEST(FaultRouting, IngressDetoursAroundFailedChiplet) {
+  const PackageConfig pkg = make_simba_package();
+  // The I/O port enters at (2,0) = id 12; kill (2,1) = id 13 on the
+  // straight ingress path to (2,2) = id 14.
+  const PackageConfig degraded = pkg.without_chiplet(13);
+  const auto route = degraded.route_from_io(14);
+  EXPECT_EQ(static_cast<int>(route.size()), degraded.hops_from_io(14));
+  EXPECT_GT(route.size(), static_cast<std::size_t>(pkg.hops_from_io(14)));
+  EXPECT_TRUE(route.front().is_io_port());
+  expect_avoids(route, GridCoord{2, 1}, 0);
+  expect_contiguous(route);
+}
+
+TEST(FaultRouting, IoPortRouterRemovalThrows) {
+  const PackageConfig pkg = make_simba_package();
+  // (2,0) = id 12 hosts the west-edge I/O port link; its loss severs
+  // ingress entirely (documented policy) rather than silently rerouting a
+  // port that is physically bonded to that router.
+  const PackageConfig degraded = pkg.without_chiplet(12);
+  EXPECT_THROW(degraded.route_from_io(0), std::runtime_error);
+  EXPECT_THROW(degraded.hops_from_io(0), std::runtime_error);
+  // Chiplet-to-chiplet routing still works around the hole.
+  EXPECT_EQ(static_cast<int>(degraded.route_between(6, 18).size()),
+            degraded.hops_between(6, 18));
+}
+
+TEST(FaultRouting, DisconnectedPairThrows) {
+  // A 1x3 row mesh loses its middle chiplet: (0,0) and (0,2) have no
+  // surviving path.
+  const PackageConfig pkg = make_simba_package(1, 3);
+  const PackageConfig degraded = pkg.without_chiplet(1);
+  EXPECT_THROW(degraded.route_between(0, 2), std::runtime_error);
+  EXPECT_THROW(degraded.hops_between(0, 2), std::runtime_error);
+}
+
+TEST(FaultRouting, StackedRemovalsAccumulate) {
+  const PackageConfig degraded =
+      make_simba_package().without_chiplet(7).without_chiplet(8);
+  ASSERT_EQ(degraded.failed_sites().size(), 2u);
+  const auto route = degraded.route_between(6, 9);  // row 1 with a 2-hole
+  EXPECT_EQ(static_cast<int>(route.size()), degraded.hops_between(6, 9));
+  expect_avoids(route, GridCoord{1, 1}, 0);
+  expect_avoids(route, GridCoord{1, 2}, 0);
+  expect_contiguous(route);
+  EXPECT_NE(degraded.describe().find("2 failed"), std::string::npos);
+}
+
+TEST(FaultRouting, CrossNpuRouteSurvivesDeadExitMirrorSymmetrically) {
+  // Chiplet 7 = (1,1) on npu 0 dies. The healthy cross-NPU walk for
+  // 0 -> 43 (npu 1's (1,1)) exits npu 0's mesh AT (1,1) — with that router
+  // dead the route must cross the substrate first and walk npu 1's mesh
+  // instead, not declare two live chiplets unroutable (and not be routable
+  // in one direction only).
+  const PackageConfig pkg = make_multi_npu_package(2);
+  const PackageConfig degraded = pkg.without_chiplet(7);
+  const int forward = degraded.hops_between(0, 43);
+  const int backward = degraded.hops_between(43, 0);
+  EXPECT_EQ(forward, backward);
+  EXPECT_EQ(forward, 2 + degraded.inter_npu_hops());
+  const auto route = degraded.route_between(0, 43);
+  EXPECT_EQ(static_cast<int>(route.size()), forward);
+  expect_avoids(route, GridCoord{1, 1}, 0);  // npu 0's dead router
+  // The fallback's mesh segment runs on the destination NPU, after the
+  // substrate crossing.
+  EXPECT_EQ(route.front().kind, NopLink::Kind::kSubstrate);
+  EXPECT_EQ(route.back().kind, NopLink::Kind::kMesh);
+  EXPECT_EQ(route.back().npu, 1);
+}
+
+TEST(FaultRouting, IngressToRemoteNpuSurvivesDeadMirrorViaSubstrateFirst) {
+  // 2x 2x2 NPUs; npu 0's (1,1) = id 3 dies. Ingress to npu 1's (1,1) = id 7
+  // normally walks npu 0's mesh to (1,1) first — with that router dead it
+  // must cross the substrate and finish the walk on npu 1, matching
+  // hops_between's fallback, instead of throwing for a live chiplet.
+  const PackageConfig pkg = make_multi_npu_package(2, 2, 2);
+  const PackageConfig degraded = pkg.without_chiplet(3);
+  const auto route = degraded.route_from_io(7);
+  EXPECT_EQ(static_cast<int>(route.size()), degraded.hops_from_io(7));
+  EXPECT_TRUE(route.front().is_io_port());
+  expect_avoids(route, GridCoord{1, 1}, 0);
+  // Mesh links after the substrate crossing belong to npu 1.
+  EXPECT_EQ(route.back().kind, NopLink::Kind::kMesh);
+  EXPECT_EQ(route.back().npu, 1);
+}
+
+TEST(FaultRouting, CrossNpuFallbackRefusesDeadStartMirror) {
+  // Both mirrors dead: npu 0's (1,1) = id 3 AND npu 1's (0,0) = id 4. A
+  // route 0 -> 7 can neither exit npu 0 at (1,1) nor enter npu 1 at (0,0):
+  // the pair must be reported unroutable by BOTH the route and the hop
+  // count — never a route that silently departs a dead router.
+  const PackageConfig degraded =
+      make_multi_npu_package(2, 2, 2).without_chiplet(3).without_chiplet(4);
+  EXPECT_THROW(degraded.route_between(0, 7), std::runtime_error);
+  EXPECT_THROW(degraded.hops_between(0, 7), std::runtime_error);
+  EXPECT_THROW(degraded.route_between(7, 0), std::runtime_error);
+  EXPECT_THROW(degraded.hops_between(7, 0), std::runtime_error);
+}
+
+TEST(FaultRouting, DegradedTransferCostPaysDetourHops) {
+  const PackageConfig pkg = make_simba_package();
+  const PackageConfig degraded = pkg.without_chiplet(1);
+  // 0 -> 2 pays 4 hops instead of 2: the analytical evaluator and the
+  // contended route agree on the degraded topology.
+  EXPECT_GT(degraded.transfer_cost(0, 2, 1e6).latency_s,
+            pkg.transfer_cost(0, 2, 1e6).latency_s);
+}
+
 TEST(PackageConfig, DescribeCountsStyles) {
   PackageConfig pkg = make_simba_package(3, 3);
   pkg.set_chiplet_dataflow(0, DataflowKind::kWeightStationary);

@@ -4,7 +4,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
+#include <stdexcept>
+#include <string>
 
 #include "core/evaluator.h"
 #include "dataflow/cost_model.h"
@@ -228,6 +231,154 @@ TEST_P(FuzzSeed, ContendedSimMatchesAnalyticalAndEvaluator) {
     // stream + non-preemptive dispatch leave scheduling slack).
     EXPECT_GT(a.steady_interval_s, metrics.pipe_s * 0.75);
     EXPECT_LT(a.steady_interval_s, metrics.pipe_s * 1.25);
+  }
+}
+
+// Degraded packages: whatever chiplet is removed, any route the package
+// still returns must (a) match the analytical hop count and (b) never
+// touch the failed position; when the topology is genuinely disconnected
+// (or the mesh-walk exit position died), route and hop count must refuse
+// CONSISTENTLY — one throwing while the other returns would let the
+// contended simulator and the analytical evaluator disagree.
+TEST_P(FuzzSeed, DegradedRoutesAvoidFailedSitesOrThrowConsistently) {
+  Lcg rng(static_cast<std::uint64_t>(GetParam()) * 31013u + 7u);
+  for (int trial = 0; trial < 6; ++trial) {
+    const PackageConfig pkg = random_package(rng);
+    if (pkg.num_chiplets() < 2) continue;
+    int max_row = 0;
+    for (const auto& c : pkg.chiplets()) {
+      max_row = std::max(max_row, c.coord.row);
+    }
+    const int victim =
+        pkg.chiplets()[static_cast<std::size_t>(
+                           rng.range(0, pkg.num_chiplets() - 1))]
+            .id;
+    const ChipletSpec spec = pkg.chiplet(victim);
+    const PackageConfig degraded = pkg.without_chiplet(victim);
+    ASSERT_EQ(degraded.failed_sites().size(), 1u);
+
+    const auto check_route = [&](const std::vector<NopLink>& route, int hops) {
+      ASSERT_EQ(static_cast<int>(route.size()), hops);
+      for (const NopLink& link : route) {
+        if (link.kind != NopLink::Kind::kMesh || link.npu != spec.npu) continue;
+        EXPECT_FALSE(link.to == spec.coord) << link.describe();
+        EXPECT_FALSE(link.from == spec.coord) << link.describe();
+      }
+    };
+    for (const auto& a : degraded.chiplets()) {
+      for (const auto& b : degraded.chiplets()) {
+        try {
+          check_route(degraded.route_between(a.id, b.id),
+                      degraded.hops_between(a.id, b.id));
+        } catch (const std::runtime_error&) {
+          EXPECT_THROW(degraded.hops_between(a.id, b.id), std::runtime_error)
+              << a.id << "->" << b.id;
+        }
+      }
+      try {
+        check_route(degraded.route_from_io(a.id), degraded.hops_from_io(a.id));
+      } catch (const std::runtime_error&) {
+        EXPECT_THROW(degraded.hops_from_io(a.id), std::runtime_error)
+            << "io->" << a.id;
+      }
+    }
+  }
+}
+
+// Random mid-stream faults on random chain pipelines: repeated runs are
+// bitwise-identical, and every admitted frame either completes exactly once
+// or is dropped at the flush (conservation) — the event loop itself throws
+// std::logic_error if a frame ever completes twice.
+TEST_P(FuzzSeed, FaultInjectionDeterministicAndConservative) {
+  Lcg rng(static_cast<std::uint64_t>(GetParam()) * 77003u + 13u);
+  for (int trial = 0; trial < 3; ++trial) {
+    // >= 2x2 single-NPU meshes: removing any one chiplet keeps the mesh
+    // connected, so the degraded program always builds.
+    const int rows = static_cast<int>(rng.range(2, 3));
+    const int cols = static_cast<int>(rng.range(2, 4));
+    const PackageConfig pkg = make_simba_package(rows, cols);
+    const GridCoord io_entry{(rows - 1) / 2, 0};
+
+    PerceptionPipeline pipe;
+    Model m;
+    m.name = "fuzz_fault_chain";
+    const int layers = static_cast<int>(rng.range(2, 5));
+    for (int l = 0; l < layers; ++l) {
+      m.layers.push_back(gemm("g" + std::to_string(l), rng.range(512, 8192),
+                              rng.range(16, 128), rng.range(16, 128)));
+    }
+    pipe.stages.push_back(Stage{"S", {{m, false}}});
+    Schedule sched(pipe, pkg);
+    for (int i = 0; i < sched.num_items(); ++i) {
+      sched.assign(i, static_cast<int>(rng.range(0, pkg.num_chiplets() - 1)));
+    }
+
+    int victim = -1;
+    while (victim < 0) {
+      const int cand =
+          static_cast<int>(rng.range(0, pkg.num_chiplets() - 1));
+      if (!(pkg.chiplet(cand).coord == io_entry)) victim = cand;
+    }
+
+    SimOptions opt;
+    opt.frames = static_cast<int>(rng.range(6, 24));
+    opt.frame_interval_s = rng.range(0, 1) == 0
+                               ? 0.0
+                               : static_cast<double>(rng.range(1, 50)) * 1e-5;
+    opt.fault.chiplet_id = victim;
+    opt.fault.fail_time_s = static_cast<double>(rng.range(0, 200)) * 1e-5;
+    if (rng.range(0, 1) == 0) {
+      opt.fault.recover_time_s =
+          opt.fault.fail_time_s + static_cast<double>(rng.range(1, 100)) * 1e-5;
+    }
+    opt.fault.reschedule_penalty_s =
+        static_cast<double>(rng.range(0, 20)) * 1e-5;
+    if (rng.range(0, 1) == 0) {
+      opt.deadline_s = static_cast<double>(rng.range(1, 80)) * 1e-5;
+    }
+    if (rng.range(0, 3) == 0) opt.nop_mode = NopMode::kContended;
+
+    const SimResult a = simulate_schedule(sched, opt);
+    const SimResult b = simulate_schedule(sched, opt);
+
+    // Conservation.
+    ASSERT_EQ(a.frames_completed + a.dropped_frames, opt.frames);
+    int nan_count = 0;
+    for (int f = 0; f < opt.frames; ++f) {
+      const double comp = a.frame_completion_s[static_cast<std::size_t>(f)];
+      if (std::isnan(comp)) {
+        ++nan_count;
+      } else {
+        EXPECT_GE(comp, 0.0) << f;
+      }
+    }
+    EXPECT_EQ(nan_count, a.dropped_frames);
+    if (a.frames_completed > 0) {
+      EXPECT_TRUE(std::isfinite(a.makespan_s));
+      EXPECT_TRUE(std::isfinite(a.peak_latency_s));
+    }
+    // The dead chiplet does no work while down.
+    if (opt.fault.recover_time_s < 0.0) {
+      int dense = -1;
+      for (std::size_t i = 0; i < pkg.chiplets().size(); ++i) {
+        if (pkg.chiplets()[i].id == victim) dense = static_cast<int>(i);
+      }
+      EXPECT_LE(a.chiplet_busy_s[static_cast<std::size_t>(dense)],
+                opt.fault.fail_time_s + 1e-12);
+    }
+
+    // Determinism (NaN-aware elementwise comparison).
+    ASSERT_EQ(a.frame_completion_s.size(), b.frame_completion_s.size());
+    for (std::size_t f = 0; f < a.frame_completion_s.size(); ++f) {
+      const double x = a.frame_completion_s[f];
+      const double y = b.frame_completion_s[f];
+      ASSERT_EQ(std::isnan(x), std::isnan(y)) << f;
+      if (!std::isnan(x)) {
+        ASSERT_EQ(x, y) << f;
+      }
+    }
+    ASSERT_EQ(a.tasks_executed, b.tasks_executed);
+    ASSERT_TRUE(a.chiplet_busy_s == b.chiplet_busy_s);
   }
 }
 

@@ -3,11 +3,15 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
+#include <stdexcept>
 
 #include "core/baselines.h"
 #include "core/evaluator.h"
+#include "core/remap.h"
 #include "core/throughput_matching.h"
+#include "exp/sweep_runner.h"
 #include "workloads/autopilot.h"
 #include "workloads/zoo.h"
 
@@ -300,11 +304,335 @@ TEST(EventSim, FanInCongestionExceedsAnalyticalPrediction) {
                 std::to_string(producers) + ")");
 }
 
+// --- fault injection ---
+
+// The canonical fault-under-load scenario shared by these tests: 7 compute
+// chains + a fusion chain, one per chiplet of a 2x4 mesh, periodic
+// admission with 30% headroom over the healthy steady rate. Chiplet 5 is
+// mid-mesh, away from the I/O-port router at (0,0).
+struct FaultScenario {
+  PerceptionPipeline pipe = build_fault_probe_pipeline(7);
+  PackageConfig pkg = make_simba_package(2, 4);
+  Schedule sched = build_chainwise_schedule(pipe, pkg);
+  SimOptions healthy;
+  SimOptions faulted;
+
+  FaultScenario() {
+    healthy.frames = 64;
+    SimOptions burst;
+    burst.frames = 8;
+    healthy.frame_interval_s =
+        simulate_schedule(sched, burst).steady_interval_s * 1.3;
+    faulted = healthy;
+    faulted.fault.chiplet_id = 5;
+    faulted.fault.fail_time_s = 20 * healthy.frame_interval_s;
+    faulted.fault.recover_time_s = 32 * healthy.frame_interval_s;
+    faulted.fault.reschedule_penalty_s = 2 * healthy.frame_interval_s;
+  }
+};
+
+// Acceptance regression: with no FaultPlan the simulator's output is pinned
+// bitwise to the pre-fault-subsystem behavior. These hexfloat constants
+// were captured from the seed build (PR 3 state) on two deterministic
+// scenarios x two NoP modes; any drift in event ordering, edge pricing, or
+// reduction order changes them.
+TEST(EventSim, NoFaultOutputBitwiseIdenticalToPreFaultBehavior) {
+  {
+    const PerceptionPipeline p = build_fanin_pipeline(8);
+    const PackageConfig pkg = make_simba_package(1, 9);
+    const Schedule sched = build_fanin_schedule(p, pkg);
+    SimOptions a;
+    a.frames = 48;
+    SimOptions c = a;
+    c.nop_mode = NopMode::kContended;
+    const SimResult ra = simulate_schedule(sched, a);
+    EXPECT_EQ(ra.first_frame_latency_s, 0x1.5b184e5b4fd86p-9);
+    EXPECT_EQ(ra.steady_interval_s, 0x1.49db9116db68p-10);
+    EXPECT_EQ(ra.makespan_s, 0x1.fa2c01ff473dap-5);
+    EXPECT_EQ(ra.p99_latency_s, 0x1.f553be2fa99e4p-5);
+    EXPECT_EQ(ra.tasks_executed, 432);
+    const SimResult rc = simulate_schedule(sched, c);
+    EXPECT_EQ(rc.first_frame_latency_s, 0x1.afe8590ffeb3dp-7);
+    EXPECT_EQ(rc.steady_interval_s, 0x1.5fd7fe1796494p-10);
+    EXPECT_EQ(rc.makespan_s, 0x1.385fa9bb5235p-4);
+    EXPECT_EQ(rc.p99_latency_s, 0x1.35ca3262bf76bp-4);
+  }
+  {
+    const PerceptionPipeline pipe = build_autopilot_pipeline();
+    const PackageConfig pkg = make_simba_package();
+    const MatchResult m = throughput_matching(pipe, pkg);
+    SimOptions a;
+    a.frames = 8;
+    const SimResult ra = simulate_schedule(m.schedule, a);
+    EXPECT_EQ(ra.first_frame_latency_s, 0x1.196ad75a4fe32p-1);
+    EXPECT_EQ(ra.steady_interval_s, 0x1.51a62a958d996p-4);
+    EXPECT_EQ(ra.makespan_s, 0x1.206e1e4e95e49p+0);
+    EXPECT_EQ(ra.p99_latency_s, 0x1.1ef3f38f87fe5p+0);
+    EXPECT_EQ(ra.tasks_executed, 5328);
+    SimOptions pc = a;
+    pc.frame_interval_s = 1.0 / 600.0;
+    pc.nop_mode = NopMode::kContended;
+    const SimResult rc = simulate_schedule(m.schedule, pc);
+    EXPECT_EQ(rc.first_frame_latency_s, 0x1.19c289eb28b06p-1);
+    EXPECT_EQ(rc.steady_interval_s, 0x1.51a62a958d992p-4);
+    EXPECT_EQ(rc.makespan_s, 0x1.2099f797024b1p+0);
+    EXPECT_EQ(rc.p99_latency_s, 0x1.1c2adbffaf94bp+0);
+  }
+}
+
+TEST(EventSim, NoFaultNewFieldsAreInert) {
+  FaultScenario s;
+  const SimResult r = simulate_schedule(s.sched, s.healthy);
+  EXPECT_EQ(r.frames_completed, s.healthy.frames);
+  EXPECT_EQ(r.dropped_frames, 0);
+  EXPECT_EQ(r.deadline_miss_frames, 0);
+  EXPECT_EQ(r.remapped_items, 0);
+  EXPECT_DOUBLE_EQ(r.recovery_time_s, 0.0);
+  EXPECT_DOUBLE_EQ(r.peak_latency_s,
+                   *std::max_element(r.frame_latency_s.begin(),
+                                     r.frame_latency_s.end()));
+}
+
+TEST(EventSim, FaultSpikesThenRecovers) {
+  FaultScenario s;
+  const SimResult healthy = simulate_schedule(s.sched, s.healthy);
+  const SimResult r = simulate_schedule(s.sched, s.faulted);
+  // Conservation: every admitted frame completes (no deadline -> no drops).
+  EXPECT_EQ(r.frames_completed, s.faulted.frames);
+  EXPECT_EQ(r.dropped_frames, 0);
+  // The fault produces a real latency spike...
+  EXPECT_GT(r.peak_latency_s, healthy.peak_latency_s * 1.5);
+  EXPECT_GT(r.recovery_time_s, 0.0);
+  EXPECT_GT(r.remapped_items, 0);
+  // ...frames completed before the fault are untouched...
+  for (int f = 0; f < 10; ++f) {
+    EXPECT_DOUBLE_EQ(r.frame_latency_s[static_cast<std::size_t>(f)],
+                     healthy.frame_latency_s[static_cast<std::size_t>(f)])
+        << f;
+  }
+  // ...and the stream settles back to the healthy latency after recovery.
+  EXPECT_NEAR(r.frame_latency_s.back(), healthy.frame_latency_s.back(),
+              healthy.frame_latency_s.back() * 1e-9);
+}
+
+TEST(EventSim, FaultWithoutRecoveryIdlesDeadChipletAndDegradesSteady) {
+  FaultScenario s;
+  s.faulted.fault.recover_time_s = -1.0;
+  const SimResult healthy = simulate_schedule(s.sched, s.healthy);
+  const SimResult r = simulate_schedule(s.sched, s.faulted);
+  // The dead chiplet (dense index 5 on the 2x4) never works past the fault.
+  EXPECT_LE(r.chiplet_busy_s[5], s.faulted.fault.fail_time_s);
+  EXPECT_LT(r.chiplet_busy_s[5], healthy.chiplet_busy_s[5]);
+  // Post-fault frames run degraded: worse tail than the healthy stream.
+  EXPECT_GT(r.p99_latency_s, healthy.p99_latency_s);
+}
+
+TEST(EventSim, FaultAtTimeZeroMatchesSimulatingRemappedSchedule) {
+  FaultScenario s;
+  s.faulted.fault.fail_time_s = 0.0;
+  s.faulted.fault.recover_time_s = -1.0;
+  s.faulted.fault.reschedule_penalty_s = 0.0;
+  const SimResult r = simulate_schedule(s.sched, s.faulted);
+
+  const PackageConfig degraded = s.pkg.without_chiplet(5);
+  const Schedule remapped = remap_schedule(s.sched, degraded, 5);
+  const SimResult direct = simulate_schedule(remapped, s.healthy);
+  // A fault before any work starts is exactly "run the remapped schedule
+  // from scratch" — cross-validates the mid-stream flush machinery against
+  // the plain simulator. (The degraded program indexes chiplets in the
+  // original package order; busy vectors differ only by the dead slot.)
+  ASSERT_EQ(r.frame_completion_s.size(), direct.frame_completion_s.size());
+  for (std::size_t f = 0; f < r.frame_completion_s.size(); ++f) {
+    EXPECT_DOUBLE_EQ(r.frame_completion_s[f], direct.frame_completion_s[f])
+        << f;
+  }
+  EXPECT_DOUBLE_EQ(r.steady_interval_s, direct.steady_interval_s);
+}
+
+TEST(EventSim, FaultDeadlineDropsExpiredFramesAsNaN) {
+  FaultScenario s;
+  s.faulted.deadline_s = s.healthy.frame_interval_s * 2.5;
+  s.faulted.fault.reschedule_penalty_s = 4 * s.healthy.frame_interval_s;
+  const SimResult r = simulate_schedule(s.sched, s.faulted);
+  EXPECT_GT(r.dropped_frames, 0);
+  EXPECT_EQ(r.frames_completed + r.dropped_frames, s.faulted.frames);
+  int nan_count = 0;
+  for (int f = 0; f < s.faulted.frames; ++f) {
+    const double comp = r.frame_completion_s[static_cast<std::size_t>(f)];
+    const double lat = r.frame_latency_s[static_cast<std::size_t>(f)];
+    EXPECT_EQ(std::isnan(comp), std::isnan(lat)) << f;
+    if (std::isnan(comp)) ++nan_count;
+  }
+  EXPECT_EQ(nan_count, r.dropped_frames);
+  // Aggregates exclude the NaNs.
+  EXPECT_TRUE(std::isfinite(r.p99_latency_s));
+  EXPECT_TRUE(std::isfinite(r.makespan_s));
+  EXPECT_GT(r.deadline_miss_frames, 0);
+}
+
+TEST(EventSim, DeadlineMissesCountedWithoutFaultToo) {
+  FaultScenario s;
+  SimOptions opt = s.healthy;
+  opt.frame_interval_s = 0.0;  // burst: later frames queue far past any
+  opt.deadline_s = 1e-6;       // microsecond deadline
+  const SimResult r = simulate_schedule(s.sched, opt);
+  EXPECT_GT(r.deadline_miss_frames, 0);
+  EXPECT_EQ(r.dropped_frames, 0);  // drops only happen at a fault flush
+}
+
+TEST(EventSim, FaultRunsAreDeterministic) {
+  FaultScenario s;
+  s.faulted.deadline_s = s.healthy.frame_interval_s * 3.0;
+  const SimResult a = simulate_schedule(s.sched, s.faulted);
+  const SimResult b = simulate_schedule(s.sched, s.faulted);
+  EXPECT_TRUE(a.frame_completion_s == b.frame_completion_s ||
+              // NaN != NaN: compare patterns elementwise.
+              [&] {
+                for (std::size_t f = 0; f < a.frame_completion_s.size(); ++f) {
+                  const double x = a.frame_completion_s[f];
+                  const double y = b.frame_completion_s[f];
+                  if (std::isnan(x) != std::isnan(y)) return false;
+                  if (!std::isnan(x) && x != y) return false;
+                }
+                return true;
+              }());
+  EXPECT_EQ(a.p99_latency_s, b.p99_latency_s);
+  EXPECT_EQ(a.peak_latency_s, b.peak_latency_s);
+  EXPECT_EQ(a.recovery_time_s, b.recovery_time_s);
+  EXPECT_EQ(a.tasks_executed, b.tasks_executed);
+  EXPECT_TRUE(a.chiplet_busy_s == b.chiplet_busy_s);
+}
+
+// Same FaultPlan through the parallel sweep engine: the rendered artifact
+// must be bitwise-identical for any worker-thread count.
+TEST(EventSim, FaultSweepDeterministicAcrossThreadCounts) {
+  FaultScenario s;
+  SweepSpec spec =
+      SweepSpec("fault_det").axis("fail_frame", {8, 16, 24, 32});
+  const auto eval = [&](const SweepPoint& p) {
+    SimOptions opt = s.faulted;
+    opt.fault.fail_time_s =
+        static_cast<double>(p.int_at("fail_frame")) * s.healthy.frame_interval_s;
+    const SimResult r = simulate_schedule(s.sched, opt);
+    SweepRecord rec;
+    rec.set("peak_s", r.peak_latency_s)
+        .set("p99_s", r.p99_latency_s)
+        .set("recovery_s", r.recovery_time_s)
+        .set("completed", static_cast<double>(r.frames_completed));
+    return rec;
+  };
+  const std::string serial =
+      SweepRunner({.threads = 1}).run(spec, eval).to_csv();
+  const std::string two = SweepRunner({.threads = 2}).run(spec, eval).to_csv();
+  const std::string all = SweepRunner({.threads = 0}).run(spec, eval).to_csv();
+  EXPECT_EQ(serial, two);
+  EXPECT_EQ(serial, all);
+}
+
+TEST(EventSim, ContendedFaultAvoidsDeadRouterAndStaysDeterministic) {
+  FaultScenario s;
+  s.faulted.nop_mode = NopMode::kContended;
+  s.faulted.fault.recover_time_s = -1.0;  // never recovers
+  SimOptions healthy_contended = s.healthy;
+  healthy_contended.nop_mode = NopMode::kContended;
+  const SimResult h = simulate_schedule(s.sched, healthy_contended);
+  const SimResult a = simulate_schedule(s.sched, s.faulted);
+  const SimResult b = simulate_schedule(s.sched, s.faulted);
+  EXPECT_TRUE(a.frame_completion_s == b.frame_completion_s);
+  EXPECT_EQ(a.frames_completed, s.faulted.frames);
+  // Contended mode resolves the remapped program's routes against the
+  // degraded package, so after the flush no message touches the dead
+  // router at (1,1) = chiplet 5. Messages on links into/out of that
+  // position can only come from the primary program's pre-fault traffic:
+  // strictly fewer than the healthy run's full-stream count, but nonzero
+  // (the fault fired 20 frames in).
+  const auto dead_router_messages = [](const SimResult& r) {
+    const GridCoord dead{1, 1};
+    int msgs = 0;
+    for (const LinkStats& l : r.link_stats) {
+      if (l.link.kind != NopLink::Kind::kMesh || l.link.npu != 0) continue;
+      if (l.link.to == dead || l.link.from == dead) msgs += l.messages;
+    }
+    return msgs;
+  };
+  ASSERT_FALSE(a.link_stats.empty());
+  EXPECT_GT(dead_router_messages(a), 0);
+  EXPECT_LT(dead_router_messages(a), dead_router_messages(h));
+}
+
+// Regression: a frame admitted at the EXACT recovery instant runs the
+// primary program and enqueues on the revived chiplet while its calendar is
+// still infinity (kAdmit and its kDispatch sort before kRecover at equal
+// timestamps). Without the kRecover dispatch kick that work was stranded
+// forever and the conservation guard threw.
+TEST(EventSim, FrameAdmittedAtRecoveryInstantIsNotStranded) {
+  PerceptionPipeline p;
+  Model m;
+  m.name = "M";
+  m.layers = {gemm("A", 4096, 64, 64)};
+  p.stages.push_back(Stage{"S", {{m, false}}});
+  const PackageConfig pkg = make_simba_package(2, 2);
+  Schedule sched(p, pkg);
+  sched.assign(0, 3);  // chiplet 3 = (1,1), away from the I/O router (0,0)
+
+  SimOptions opt;
+  opt.frames = 4;
+  opt.model_nop_delays = false;
+  opt.frame_interval_s = 1.0;
+  opt.fault.chiplet_id = 3;
+  opt.fault.fail_time_s = 0.5;
+  opt.fault.recover_time_s = 3.0;  // == the last frame's admission instant
+  const SimResult r = simulate_schedule(sched, opt);
+  EXPECT_EQ(r.frames_completed, 4);
+  // The frame admitted at t=3.0 starts immediately on the recovered
+  // chiplet: same latency as a healthy periodic frame.
+  const double service = analyze_layer(m.layers[0], pkg.chiplet(3).array).latency_s;
+  EXPECT_NEAR(r.frame_latency_s.back(), service, service * 1e-9);
+}
+
+TEST(EventSim, FaultValidation) {
+  FaultScenario s;
+  SimOptions bad = s.faulted;
+  bad.fault.chiplet_id = 99;
+  EXPECT_THROW(simulate_schedule(s.sched, bad), std::invalid_argument);
+  bad = s.faulted;
+  bad.fault.fail_time_s = -1.0;
+  EXPECT_THROW(simulate_schedule(s.sched, bad), std::invalid_argument);
+  bad = s.faulted;
+  bad.fault.recover_time_s = bad.fault.fail_time_s / 2.0;
+  EXPECT_THROW(simulate_schedule(s.sched, bad), std::invalid_argument);
+}
+
+TEST(EventSim, FaultOnIoPortRouterThrows) {
+  FaultScenario s;
+  // (0,0) = chiplet 0 hosts the I/O port link on the 2x4 mesh: killing it
+  // severs ingress and the routing layer refuses to fabricate a route.
+  s.faulted.fault.chiplet_id = 0;
+  EXPECT_THROW(simulate_schedule(s.sched, s.faulted), std::runtime_error);
+}
+
+TEST(EventSim, FaultOnSingleChipletPackageThrows) {
+  PerceptionPipeline p;
+  Model m;
+  m.name = "M";
+  m.layers = {gemm("A", 4096, 64, 64)};
+  p.stages.push_back(Stage{"S", {{m, false}}});
+  const PackageConfig pkg = make_simba_package(1, 1);
+  Schedule sched(p, pkg);
+  sched.assign(0, 0);
+  SimOptions opt;
+  opt.fault.chiplet_id = 0;
+  opt.fault.fail_time_s = 1.0;
+  EXPECT_THROW(simulate_schedule(sched, opt), std::invalid_argument);
+}
+
 TEST(EventSim, FrameCompletionsMonotone) {
   const PerceptionPipeline front = build_autopilot_front();
   const PackageConfig pkg = make_simba_package();
   const MatchResult match = throughput_matching(front, pkg);
-  const SimResult sim = simulate_schedule(match.schedule, SimOptions{6, true});
+  SimOptions opt;
+  opt.frames = 6;
+  const SimResult sim = simulate_schedule(match.schedule, opt);
   for (std::size_t f = 1; f < sim.frame_completion_s.size(); ++f) {
     EXPECT_GT(sim.frame_completion_s[f], sim.frame_completion_s[f - 1]);
   }

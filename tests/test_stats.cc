@@ -18,10 +18,16 @@ TEST(Geomean, Basics) {
   EXPECT_NEAR(geomean({2, 2, 2}), 2.0, 1e-12);
 }
 
-TEST(Geomean, NonPositiveReturnsZero) {
-  EXPECT_DOUBLE_EQ(geomean({1.0, 0.0}), 0.0);
-  EXPECT_DOUBLE_EQ(geomean({1.0, -2.0}), 0.0);
+// Regression (stats masking bugfix): geomean used to return 0.0 for empty
+// or non-positive input, which reads as an "infinitely fast" speedup in any
+// table that geomeans ratios. It now poisons the result with NaN, matching
+// percentile/min_of/max_of.
+TEST(Geomean, NonPositiveIsNan) {
+  EXPECT_TRUE(std::isnan(geomean({1.0, 0.0})));
+  EXPECT_TRUE(std::isnan(geomean({1.0, -2.0})));
 }
+
+TEST(Geomean, EmptyIsNan) { EXPECT_TRUE(std::isnan(geomean({}))); }
 
 TEST(Stddev, Population) {
   EXPECT_NEAR(stddev({2, 4, 4, 4, 5, 5, 7, 9}), 2.0, 1e-12);

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "util/csv.h"
 
 namespace cnpu {
@@ -75,6 +77,33 @@ TEST(Csv, NoHeaderMeansRowsOnly) {
   CsvWriter w;
   w.add_row({"x"});
   EXPECT_EQ(w.to_string(), "x\n");
+}
+
+// Regression (ragged-row bugfix): a row narrower or wider than the header
+// used to be emitted as-is, silently corrupting sweep/bench artifacts for
+// any downstream parser that trusts the header. It now throws.
+TEST(Csv, RaggedRowAgainstHeaderThrows) {
+  CsvWriter w;
+  w.set_header({"a", "b", "c"});
+  EXPECT_THROW(w.add_row({"1", "2"}), std::invalid_argument);
+  EXPECT_THROW(w.add_row({"1", "2", "3", "4"}), std::invalid_argument);
+  w.add_row({"1", "2", "3"});  // matching width still accepted
+  EXPECT_EQ(w.to_string(), "a,b,c\n1,2,3\n");
+}
+
+TEST(Csv, HeaderlessRowsAcceptAnyWidth) {
+  CsvWriter w;
+  w.add_row({"1"});
+  w.add_row({"1", "2"});
+  EXPECT_EQ(w.to_string(), "1\n1,2\n");
+}
+
+TEST(Csv, SetHeaderAfterRowsValidatesExistingWidths) {
+  CsvWriter w;
+  w.add_row({"1", "2"});
+  EXPECT_THROW(w.set_header({"a", "b", "c"}), std::invalid_argument);
+  w.set_header({"a", "b"});  // matching header still accepted
+  EXPECT_EQ(w.to_string(), "a,b\n1,2\n");
 }
 
 TEST(Csv, WriteFileRoundTrip) {
