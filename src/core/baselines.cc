@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <numeric>
+#include <stdexcept>
+#include <string>
 
 namespace cnpu {
 namespace {
@@ -92,15 +94,34 @@ Schedule build_fanin_schedule(const PerceptionPipeline& pipeline,
 
 Schedule build_chainwise_schedule(const PerceptionPipeline& pipeline,
                                   const PackageConfig& package) {
+  std::vector<int> all;
+  all.reserve(package.chiplets().size());
+  for (const auto& c : package.chiplets()) all.push_back(c.id);
+  return build_pool_schedule(pipeline, package, all, 0);
+}
+
+Schedule build_pool_schedule(const PerceptionPipeline& pipeline,
+                             const PackageConfig& package,
+                             const std::vector<int>& pool, int offset) {
+  if (pool.empty()) {
+    throw std::invalid_argument("build_pool_schedule: empty chiplet pool");
+  }
+  for (const int id : pool) {
+    bool found = false;
+    for (const auto& c : package.chiplets()) found = found || c.id == id;
+    if (!found) {
+      throw std::invalid_argument("build_pool_schedule: chiplet " +
+                                  std::to_string(id) +
+                                  " is not in the package");
+    }
+  }
   Schedule sched(pipeline, package);
-  const auto& chiplets = package.chiplets();
-  int k = 0;
+  int k = std::max(offset, 0);
   for (int st = 0; st < pipeline.num_stages(); ++st) {
     for (int mod = 0; mod < pipeline.stages[static_cast<std::size_t>(st)]
                                 .num_models();
          ++mod) {
-      const int id =
-          chiplets[static_cast<std::size_t>(k) % chiplets.size()].id;
+      const int id = pool[static_cast<std::size_t>(k) % pool.size()];
       for (const int item : sched.items_of_model(st, mod)) {
         sched.assign(item, id);
       }

@@ -51,6 +51,18 @@ Schedule build_fanin_schedule(const PerceptionPipeline& pipeline,
 Schedule build_chainwise_schedule(const PerceptionPipeline& pipeline,
                                   const PackageConfig& package);
 
+// Pool-restricted chainwise placement: the k-th model chain of the
+// flattened (stage, model) enumeration lands on pool[(offset + k) % size].
+// build_chainwise_schedule is exactly this over all chiplets at offset 0;
+// the multi-tenant serving layer (src/sim/serving.h) uses the pool to
+// confine a tenant to its static chiplet set (`partitioned` policy) and
+// the offset to interleave tenants across the full mesh (`shared`).
+// Throws std::invalid_argument on an empty pool or a pool member not in
+// the package.
+Schedule build_pool_schedule(const PerceptionPipeline& pipeline,
+                             const PackageConfig& package,
+                             const std::vector<int>& pool, int offset = 0);
+
 // The canonical fault-study victim: the busiest chiplet of an evaluated
 // schedule that does NOT host the I/O-port router (killing that one severs
 // ingress entirely — a different, unrecoverable failure mode). Shared by

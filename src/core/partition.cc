@@ -38,6 +38,23 @@ std::vector<std::vector<int>> partition_quadrants(const PackageConfig& pkg) {
   return pools;
 }
 
+std::vector<std::vector<int>> partition_tenant_pools(const PackageConfig& pkg,
+                                                     int n) {
+  const int tenants = std::max(n, 1);
+  const std::vector<std::vector<int>> quads = partition_quadrants(pkg);
+  std::vector<std::vector<int>> pools(static_cast<std::size_t>(tenants));
+  for (std::size_t q = 0; q < quads.size(); ++q) {
+    auto& pool = pools[q % static_cast<std::size_t>(tenants)];
+    pool.insert(pool.end(), quads[q].begin(), quads[q].end());
+  }
+  // More tenants than quadrants: reuse the quadrants cyclically so every
+  // tenant has somewhere to run (static sharing, documented above).
+  for (std::size_t t = quads.size(); t < pools.size(); ++t) {
+    pools[t] = quads[t % quads.size()];
+  }
+  return pools;
+}
+
 std::vector<std::vector<int>> partition_round_robin(const PackageConfig& pkg,
                                                     int n) {
   std::vector<std::vector<int>> pools(static_cast<std::size_t>(std::max(n, 1)));

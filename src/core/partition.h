@@ -19,4 +19,14 @@ std::vector<std::vector<int>> partition_quadrants(const PackageConfig& pkg);
 std::vector<std::vector<int>> partition_round_robin(const PackageConfig& pkg,
                                                     int n);
 
+// Static chiplet sets for `n` tenants, built from the quadrant pools (the
+// serving layer's `partitioned` placement policy): quadrant q serves tenant
+// q % n, so with n <= #quadrants each tenant owns a disjoint union of
+// whole quadrants (spatial isolation), and with n > #quadrants tenants
+// share quadrants cyclically (static sharing — the mesh has fewer
+// contiguous blocks than tenants). Pools are never empty; n < 1 is treated
+// as 1.
+std::vector<std::vector<int>> partition_tenant_pools(const PackageConfig& pkg,
+                                                     int n);
+
 }  // namespace cnpu

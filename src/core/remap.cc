@@ -20,7 +20,8 @@ double shard_latency_s(const Schedule& s, int item, const ShardAssignment& sh,
 }  // namespace
 
 Schedule remap_schedule(const Schedule& schedule, const PackageConfig& degraded,
-                        int failed_chiplet, RemapStats* stats) {
+                        int failed_chiplet, RemapStats* stats,
+                        const std::vector<int>& allowed_pool) {
   bool in_original = false;
   for (const auto& c : schedule.package().chiplets()) {
     in_original = in_original || c.id == failed_chiplet;
@@ -39,6 +40,19 @@ Schedule remap_schedule(const Schedule& schedule, const PackageConfig& degraded,
                                   std::to_string(failed_chiplet) +
                                   " is still present in the degraded package");
     }
+  }
+
+  // Candidate restriction (partitioned-tenant isolation): when the caller
+  // names an allowed pool AND that pool still has a survivor, only its
+  // members may receive re-homed shards. A fully-dead pool falls back to
+  // every survivor (documented in remap.h).
+  std::set<int> allowed(allowed_pool.begin(), allowed_pool.end());
+  if (!allowed.empty()) {
+    bool any_survivor = false;
+    for (const auto& c : degraded.chiplets()) {
+      any_survivor = any_survivor || allowed.count(c.id) > 0;
+    }
+    if (!any_survivor) allowed.clear();
   }
 
   // Tie-break preference: the failed chiplet's quadrant pool (over the
@@ -85,6 +99,7 @@ Schedule remap_schedule(const Schedule& schedule, const PackageConfig& degraded,
         bool best_home = false;
         double best_load = std::numeric_limits<double>::infinity();
         for (const auto& c : degraded.chiplets()) {
+          if (!allowed.empty() && allowed.count(c.id) == 0) continue;
           const double l = load.at(c.id);
           const bool home = home_pool.count(c.id) > 0;
           const bool better =

@@ -28,9 +28,18 @@ struct RemapStats {
 // the remap is deterministic. A shard landing on a chiplet that already
 // holds a shard of the same item merges into it (fractions add).
 //
+// `allowed_pool` restricts the candidate survivors (the multi-tenant
+// serving layer passes the tenant's static chiplet set so a fault cannot
+// silently break partitioned isolation). Empty means every survivor is a
+// candidate. When the allowed pool has no survivor at all (the whole pool
+// died with the chiplet), the restriction falls back to every survivor —
+// serving continuity beats strict isolation for a pool that no longer
+// exists.
+//
 // Throws std::invalid_argument when `failed_chiplet` is missing from the
 // original package, still present in `degraded`, or no survivor exists.
 Schedule remap_schedule(const Schedule& schedule, const PackageConfig& degraded,
-                        int failed_chiplet, RemapStats* stats = nullptr);
+                        int failed_chiplet, RemapStats* stats = nullptr,
+                        const std::vector<int>& allowed_pool = {});
 
 }  // namespace cnpu

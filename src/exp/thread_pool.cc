@@ -38,6 +38,13 @@ void ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::wait_idle() {
   std::unique_lock<std::mutex> lock(mu_);
   idle_cv_.wait(lock, [this] { return unfinished_ == 0; });
+  if (first_error_) {
+    // Surface the first captured task exception exactly once; the pool
+    // stays usable for further submit/wait_idle cycles.
+    std::exception_ptr err = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
 }
 
 bool ThreadPool::any_queued() const {
@@ -69,6 +76,18 @@ bool ThreadPool::try_pop(std::size_t self, std::function<void()>& out) {
 }
 
 void ThreadPool::worker_loop(std::stop_token stop, std::size_t self) {
+  // Decrements unfinished_ on scope exit — including when the task throws —
+  // so wait_idle() can never deadlock on a lost decrement. (The former
+  // post-task decrement ran only on the non-throwing path, and the escaping
+  // exception itself would have std::terminate'd the jthread.)
+  struct TaskGuard {
+    ThreadPool* pool;
+    ~TaskGuard() {
+      std::lock_guard<std::mutex> lock(pool->mu_);
+      --pool->unfinished_;
+      if (pool->unfinished_ == 0) pool->idle_cv_.notify_all();
+    }
+  };
   for (;;) {
     std::function<void()> task;
     {
@@ -79,11 +98,14 @@ void ThreadPool::worker_loop(std::stop_token stop, std::size_t self) {
         continue;  // spurious wake or a sibling won the race
       }
     }
-    task();
     {
-      std::lock_guard<std::mutex> lock(mu_);
-      --unfinished_;
-      if (unfinished_ == 0) idle_cv_.notify_all();
+      TaskGuard guard{this};
+      try {
+        task();
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!first_error_) first_error_ = std::current_exception();
+      }
     }
   }
 }

@@ -16,6 +16,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -38,12 +39,19 @@ class ThreadPool {
 
   int num_threads() const { return static_cast<int>(threads_.size()); }
 
-  // Enqueues `task` for execution on some worker. Tasks must not throw —
-  // wrap evaluations that can fail and capture the error (SweepRunner does).
+  // Enqueues `task` for execution on some worker. A throwing task is
+  // contained: the first exception any task raises is captured and
+  // re-thrown by the next wait_idle() call (later ones are dropped — the
+  // first failure is the one worth diagnosing). Callers that need
+  // per-task error attribution still wrap and capture themselves
+  // (SweepRunner does).
   void submit(std::function<void()> task);
 
   // Blocks until every submitted task has finished (queue empty AND no task
-  // in flight). Safe to call repeatedly; submit/wait_idle cycles compose.
+  // in flight), then re-throws the first exception captured from a task
+  // since the last wait_idle (clearing it, so the pool stays usable). Safe
+  // to call repeatedly; submit/wait_idle cycles compose. An error never
+  // surfaced before destruction is dropped — the destructor must not throw.
   void wait_idle();
 
   // std::thread::hardware_concurrency(), floored at 1 (the call may
@@ -64,6 +72,8 @@ class ThreadPool {
   std::condition_variable idle_cv_;
   std::size_t unfinished_ = 0;  // queued + running tasks
   std::size_t next_queue_ = 0;  // round-robin submit cursor
+  // First exception a task threw since the last wait_idle; guarded by mu_.
+  std::exception_ptr first_error_;
   std::vector<std::jthread> threads_;
 };
 

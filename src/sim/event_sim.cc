@@ -224,10 +224,15 @@ struct EvAfter {
   }
 };
 
-// A shard waiting for its ready time on a chiplet's calendar.
+// A shard waiting for its ready time on a chiplet's calendar. `rank` is
+// the owning job's dispatch rank — equal to its frame index for a single
+// stream (preserving the legacy FIFO-by-frame policy bitwise), and the
+// policy-resolved admission order across tenants otherwise. Ranks are a
+// bijection over jobs, so (rank) alone identifies the job in comparators.
 struct PendingShard {
   double ready;
-  int frame;
+  int rank;
+  int job;
   int item;
   int shard;
 };
@@ -235,27 +240,156 @@ struct PendingShard {
 struct PendingAfter {
   bool operator()(const PendingShard& a, const PendingShard& b) const {
     if (a.ready != b.ready) return a.ready > b.ready;
-    if (a.frame != b.frame) return a.frame > b.frame;
+    if (a.rank != b.rank) return a.rank > b.rank;
     if (a.item != b.item) return a.item > b.item;
     return a.shard > b.shard;
   }
 };
 
-// A shard eligible to start now; dispatch priority is FIFO by frame, then
-// program order — the same policy the former O(queue) linear scan encoded.
+// A shard eligible to start now; dispatch priority is FIFO by job rank,
+// then program order — the same policy the former O(queue) linear scan
+// encoded, generalized from "frame" to "rank".
 struct ReadyShard {
-  int frame;
+  int rank;
+  int job;
   int item;
   int shard;
 };
 
 struct ReadyAfter {
   bool operator()(const ReadyShard& a, const ReadyShard& b) const {
-    if (a.frame != b.frame) return a.frame > b.frame;
+    if (a.rank != b.rank) return a.rank > b.rank;
     if (a.item != b.item) return a.item > b.item;
     return a.shard > b.shard;
   }
 };
+
+// One resolved tenant stream: the explicit TenantStream list, or the
+// single implicit stream described by SimOptions' top-level fields.
+struct StreamSpec {
+  const Schedule* sched = nullptr;
+  std::string name;
+  int frames = 1;
+  double interval = 0.0;
+  double deadline = 0.0;
+  int priority = 0;
+  std::vector<int> allowed;
+};
+
+// Recovery metric (see SimResult::recovery_time_s), per latency/completion
+// slice: baseline = best completed latency observed before the fault
+// (slice minimum when nothing completed pre-fault); the spike ends when
+// the last elevated frame completes. Dropped frames carry NaN and are
+// skipped.
+double recovery_after_fault(const std::vector<double>& latency,
+                            const std::vector<double>& completion,
+                            double fail_time_s) {
+  double baseline = std::numeric_limits<double>::infinity();
+  std::vector<double> finished;
+  for (std::size_t i = 0; i < latency.size(); ++i) {
+    if (std::isnan(completion[i])) continue;
+    finished.push_back(latency[i]);
+    if (completion[i] <= fail_time_s) {
+      baseline = std::min(baseline, latency[i]);
+    }
+  }
+  if (!std::isfinite(baseline)) baseline = min_of(finished);
+  double last_elevated = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < latency.size(); ++i) {
+    if (std::isnan(completion[i])) continue;
+    if (latency[i] > baseline * kRecoveryLatencyBand) {
+      last_elevated = std::max(last_elevated, completion[i]);
+    }
+  }
+  const double r = std::max(0.0, last_elevated - fail_time_s);
+  return std::isfinite(r) ? r : 0.0;
+}
+
+// Tail statistics over one completed-frames slice (NaN = dropped):
+// everything the drop-exclusion convention touches — completed count,
+// makespan, steady interval, percentiles (filter-then-rank via
+// percentile_finite: NaN latencies must not poison or UB-sort into the
+// rank), mean, peak — computed in ONE place so per-tenant slices and the
+// multi-tenant package aggregates cannot diverge. The single-stream
+// branches of simulate_schedule keep their original inline code: they are
+// bitwise-pinned to the pre-serving simulator.
+struct TailStats {
+  int completed = 0;
+  double makespan_s = 0.0;  // NaN when nothing completed
+  double steady_interval_s = 0.0;
+  double p50_s = 0.0;
+  double p95_s = 0.0;
+  double p99_s = 0.0;
+  double mean_s = 0.0;
+  double peak_s = 0.0;
+};
+
+TailStats reduce_tail(const std::vector<double>& latency,
+                      const std::vector<double>& completion) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  std::vector<double> finished_lat;
+  std::vector<double> finished_times;
+  for (std::size_t i = 0; i < completion.size(); ++i) {
+    if (std::isnan(completion[i])) continue;
+    finished_times.push_back(completion[i]);
+    finished_lat.push_back(latency[i]);
+  }
+  std::sort(finished_times.begin(), finished_times.end());
+  TailStats t;
+  const int n = static_cast<int>(finished_times.size());
+  t.completed = n;
+  t.makespan_s = n > 0 ? finished_times.back() : nan;
+  if (n >= 4) {
+    const int half = n / 2;
+    t.steady_interval_s =
+        (finished_times[static_cast<std::size_t>(n - 1)] -
+         finished_times[static_cast<std::size_t>(half - 1)]) /
+        static_cast<double>(n - half);
+  } else if (n > 0) {
+    t.steady_interval_s = t.makespan_s / static_cast<double>(n);
+  } else {
+    t.steady_interval_s = nan;
+  }
+  t.p50_s = percentile_finite(latency, 50.0);
+  t.p95_s = percentile_finite(latency, 95.0);
+  t.p99_s = percentile_finite(latency, 99.0);
+  t.mean_s = mean(finished_lat);
+  t.peak_s = max_of(finished_lat);
+  return t;
+}
+
+// Reduces one tenant's completion slice (NaN = dropped) into its
+// TenantResult.
+TenantResult reduce_tenant(const StreamSpec& stream, const double* completion,
+                           double nop_wait_s) {
+  TenantResult tr;
+  tr.name = stream.name;
+  tr.frames = stream.frames;
+  tr.nop_wait_s = nop_wait_s;
+  tr.frame_completion_s.assign(completion, completion + stream.frames);
+  tr.frame_latency_s.reserve(static_cast<std::size_t>(stream.frames));
+  for (int f = 0; f < stream.frames; ++f) {
+    tr.frame_latency_s.push_back(completion[f] -
+                                 static_cast<double>(f) * stream.interval);
+  }
+  const TailStats tail = reduce_tail(tr.frame_latency_s, tr.frame_completion_s);
+  tr.frames_completed = tail.completed;
+  tr.dropped_frames = stream.frames - tail.completed;
+  tr.p50_latency_s = tail.p50_s;
+  tr.p95_latency_s = tail.p95_s;
+  tr.p99_latency_s = tail.p99_s;
+  tr.mean_latency_s = tail.mean_s;
+  tr.peak_latency_s = tail.peak_s;
+  tr.steady_interval_s = tail.steady_interval_s;
+  if (stream.deadline > 0.0) {
+    for (const double lat : tr.frame_latency_s) {
+      if (!std::isnan(lat) && lat > stream.deadline) {
+        ++tr.deadline_miss_frames;
+      }
+    }
+  }
+  return tr;
+}
 
 }  // namespace
 
@@ -264,6 +398,36 @@ SimResult simulate_schedule(const Schedule& schedule, const SimOptions& options)
     throw std::invalid_argument(
         "simulate_schedule: schedule has no items (empty pipeline)");
   }
+  // Resolve the stream list: explicit tenants, or the single implicit
+  // stream described by the top-level options fields.
+  std::vector<StreamSpec> streams;
+  if (options.tenants.empty()) {
+    streams.push_back(StreamSpec{&schedule, "stream",
+                                 std::max(options.frames, 1),
+                                 std::max(options.frame_interval_s, 0.0),
+                                 options.deadline_s, 0, {}});
+  } else {
+    streams.reserve(options.tenants.size());
+    for (const TenantStream& t : options.tenants) {
+      const Schedule* sched = t.schedule != nullptr ? t.schedule : &schedule;
+      if (&sched->package() != &schedule.package()) {
+        throw std::invalid_argument(
+            "simulate_schedule: tenant \"" + t.name +
+            "\" is scheduled on a different package");
+      }
+      if (sched->num_items() == 0) {
+        throw std::invalid_argument("simulate_schedule: tenant \"" + t.name +
+                                    "\" has an empty schedule");
+      }
+      streams.push_back(StreamSpec{sched, t.name, std::max(t.frames, 1),
+                                   std::max(t.frame_interval_s, 0.0),
+                                   t.deadline_s, t.priority,
+                                   t.allowed_chiplets});
+    }
+  }
+  const int num_tenants = static_cast<int>(streams.size());
+  const bool multi = num_tenants > 1;
+
   const FaultPlan& fault = options.fault;
   const bool faulted = fault.active();
   if (faulted) {
@@ -280,19 +444,40 @@ SimResult simulate_schedule(const Schedule& schedule, const SimOptions& options)
       options.model_nop_delays && options.nop_mode == NopMode::kContended;
   const PackageConfig& pkg = schedule.package();
   NopFabric fabric(pkg.nop());
-  const Program primary = build_program(schedule, options, fabric, pkg);
-  const int items = schedule.num_items();
-  const int frames = std::max(options.frames, 1);
-  const double interval = std::max(options.frame_interval_s, 0.0);
-  const int nc = primary.num_chiplets;
 
-  // The degraded world, built eagerly so the event loop never constructs
-  // schedules mid-flight: survivors-only package (its routes detour around
-  // the dead router), the online-remapped schedule, and its program.
+  // Per-tenant world: primary program, and under a FaultPlan the remapped
+  // schedule + degraded program (each tenant remaps independently,
+  // restricted to its allowed pool).
+  struct TenantCtx {
+    Program primary;
+    std::optional<Schedule> remapped;
+    std::optional<Program> degraded;
+    RemapStats remap_stats;
+    // Whether any frame of this tenant actually ran the remapped schedule
+    // (a fault firing after the stream drained remaps nothing).
+    bool degraded_used = false;
+    int items = 0;
+    int job_base = 0;          // first global job id of this tenant
+    std::size_t slot_base = 0; // first per-(job, item) slot
+  };
+  std::vector<TenantCtx> ctx(static_cast<std::size_t>(num_tenants));
+  int jobs = 0;
+  std::size_t slots = 0;
+  for (int t = 0; t < num_tenants; ++t) {
+    TenantCtx& c = ctx[static_cast<std::size_t>(t)];
+    c.primary = build_program(*streams[static_cast<std::size_t>(t)].sched,
+                              options, fabric, pkg);
+    c.items = streams[static_cast<std::size_t>(t)].sched->num_items();
+    c.job_base = jobs;
+    c.slot_base = slots;
+    jobs += streams[static_cast<std::size_t>(t)].frames;
+    slots += static_cast<std::size_t>(
+                 streams[static_cast<std::size_t>(t)].frames) *
+             static_cast<std::size_t>(c.items);
+  }
+  const int nc = ctx.front().primary.num_chiplets;
+
   std::optional<PackageConfig> degraded_pkg;
-  std::optional<Schedule> remapped;
-  std::optional<Program> degraded;
-  RemapStats remap_stats;
   int dead = -1;  // dense package-order index of the failed chiplet
   if (faulted) {
     for (std::size_t i = 0; i < pkg.chiplets().size(); ++i) {
@@ -304,41 +489,96 @@ SimResult simulate_schedule(const Schedule& schedule, const SimOptions& options)
           std::to_string(fault.chiplet_id) + " is not in the package");
     }
     degraded_pkg.emplace(pkg.without_chiplet(fault.chiplet_id));
-    remapped.emplace(
-        remap_schedule(schedule, *degraded_pkg, fault.chiplet_id, &remap_stats));
-    degraded.emplace(build_program(*remapped, options, fabric, pkg));
+    for (int t = 0; t < num_tenants; ++t) {
+      TenantCtx& c = ctx[static_cast<std::size_t>(t)];
+      c.remapped.emplace(remap_schedule(
+          *streams[static_cast<std::size_t>(t)].sched, *degraded_pkg,
+          fault.chiplet_id, &c.remap_stats,
+          streams[static_cast<std::size_t>(t)].allowed));
+      c.degraded.emplace(build_program(*c.remapped, options, fabric, pkg));
+    }
   }
-  const Program* const degraded_prog = faulted ? &*degraded : nullptr;
-  // Whether any frame actually ran the remapped schedule (a fault firing
-  // after the stream drained remaps nothing).
-  bool degraded_used = false;
 
-  // Per-(frame, item) bookkeeping.
-  auto idx = [&](int frame, int item) {
-    return static_cast<std::size_t>(frame) * static_cast<std::size_t>(items) +
+  // Global job index space, tenant-major: tenant t's frame f is job
+  // job_base[t] + f, so a single stream's job ids equal its frame ids and
+  // every legacy code path below is bit-identical in that case.
+  std::vector<int> tenant_of(static_cast<std::size_t>(jobs), 0);
+  std::vector<std::size_t> slot_of(static_cast<std::size_t>(jobs), 0);
+  std::vector<double> admit_of(static_cast<std::size_t>(jobs), 0.0);
+  for (int t = 0; t < num_tenants; ++t) {
+    const TenantCtx& c = ctx[static_cast<std::size_t>(t)];
+    for (int f = 0; f < streams[static_cast<std::size_t>(t)].frames; ++f) {
+      const std::size_t j = static_cast<std::size_t>(c.job_base + f);
+      tenant_of[j] = t;
+      slot_of[j] = c.slot_base + static_cast<std::size_t>(f) *
+                                     static_cast<std::size_t>(c.items);
+      admit_of[j] = static_cast<double>(f) *
+                    streams[static_cast<std::size_t>(t)].interval;
+    }
+  }
+
+  // Dispatch ranks: FIFO by admission instant across tenants (stable ties
+  // keep tenant-major job order); under kPriority a higher-priority
+  // tenant's jobs rank ahead of lower-priority ones outright. For a single
+  // stream admission instants are nondecreasing in frame, so the stable
+  // sort is the identity and rank == frame (the legacy dispatch policy).
+  std::vector<int> rank_of(static_cast<std::size_t>(jobs), 0);
+  {
+    std::vector<int> order(static_cast<std::size_t>(jobs));
+    for (int j = 0; j < jobs; ++j) order[static_cast<std::size_t>(j)] = j;
+    std::stable_sort(
+        order.begin(), order.end(), [&](int a, int b) {
+          if (options.policy == PlacementPolicy::kPriority) {
+            const int pa =
+                streams[static_cast<std::size_t>(
+                            tenant_of[static_cast<std::size_t>(a)])].priority;
+            const int pb =
+                streams[static_cast<std::size_t>(
+                            tenant_of[static_cast<std::size_t>(b)])].priority;
+            if (pa != pb) return pa > pb;
+          }
+          return admit_of[static_cast<std::size_t>(a)] <
+                 admit_of[static_cast<std::size_t>(b)];
+        });
+    for (int i = 0; i < jobs; ++i) {
+      rank_of[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])] = i;
+    }
+  }
+
+  // Per-(job, item) bookkeeping.
+  auto idx = [&](int job, int item) {
+    return slot_of[static_cast<std::size_t>(job)] +
            static_cast<std::size_t>(item);
   };
-  std::vector<int> deps_left(static_cast<std::size_t>(frames * items), 0);
-  std::vector<double> ready_time(static_cast<std::size_t>(frames * items), 0.0);
-  std::vector<int> shards_left(static_cast<std::size_t>(frames * items), 0);
-  std::vector<int> frame_items_left(static_cast<std::size_t>(frames), items);
-  std::vector<const Program*> prog_of(static_cast<std::size_t>(frames),
-                                      &primary);
-  std::vector<int> epoch_of(static_cast<std::size_t>(frames), 0);
-  std::vector<char> frame_done(static_cast<std::size_t>(frames), 0);
-  std::vector<char> frame_dropped(static_cast<std::size_t>(frames), 0);
+  std::vector<int> deps_left(slots, 0);
+  std::vector<double> ready_time(slots, 0.0);
+  std::vector<int> shards_left(slots, 0);
+  std::vector<int> frame_items_left(static_cast<std::size_t>(jobs), 0);
+  std::vector<const Program*> prog_of(static_cast<std::size_t>(jobs), nullptr);
+  std::vector<int> epoch_of(static_cast<std::size_t>(jobs), 0);
+  std::vector<char> frame_done(static_cast<std::size_t>(jobs), 0);
+  std::vector<char> frame_dropped(static_cast<std::size_t>(jobs), 0);
+  std::vector<double> tenant_wait(static_cast<std::size_t>(num_tenants), 0.0);
+  for (int j = 0; j < jobs; ++j) {
+    prog_of[static_cast<std::size_t>(j)] =
+        &ctx[static_cast<std::size_t>(tenant_of[static_cast<std::size_t>(j)])]
+             .primary;
+  }
 
-  auto init_frame = [&](int f) {
-    const Program& pr = *prog_of[static_cast<std::size_t>(f)];
+  auto init_frame = [&](int j) {
+    const Program& pr = *prog_of[static_cast<std::size_t>(j)];
+    const int items =
+        ctx[static_cast<std::size_t>(tenant_of[static_cast<std::size_t>(j)])]
+            .items;
     for (int i = 0; i < items; ++i) {
-      deps_left[idx(f, i)] = pr.base_deps[static_cast<std::size_t>(i)];
-      ready_time[idx(f, i)] = 0.0;
-      shards_left[idx(f, i)] =
+      deps_left[idx(j, i)] = pr.base_deps[static_cast<std::size_t>(i)];
+      ready_time[idx(j, i)] = 0.0;
+      shards_left[idx(j, i)] =
           static_cast<int>(pr.shards_of_item[static_cast<std::size_t>(i)].size());
     }
-    frame_items_left[static_cast<std::size_t>(f)] = items;
+    frame_items_left[static_cast<std::size_t>(j)] = items;
   };
-  for (int f = 0; f < frames; ++f) init_frame(f);
+  for (int j = 0; j < jobs; ++j) init_frame(j);
 
   // Dense per-chiplet calendars (package order): a ready-time min-heap
   // feeding a dispatch-priority min-heap. Replaces the former
@@ -357,53 +597,58 @@ SimResult simulate_schedule(const Schedule& schedule, const SimOptions& options)
   std::priority_queue<Ev, std::vector<Ev>, EvAfter> events;
 
   SimResult result;
-  result.frame_completion_s.assign(static_cast<std::size_t>(frames), 0.0);
+  result.frame_completion_s.assign(static_cast<std::size_t>(jobs), 0.0);
 
-  auto enqueue_item_shards = [&](int frame, int item, double at) {
+  auto enqueue_item_shards = [&](int job, int item, double at) {
     const auto& shards =
-        prog_of[static_cast<std::size_t>(frame)]
+        prog_of[static_cast<std::size_t>(job)]
             ->shards_of_item[static_cast<std::size_t>(item)];
     for (int s = 0; s < static_cast<int>(shards.size()); ++s) {
       const int c = shards[static_cast<std::size_t>(s)].chiplet;
-      pending[static_cast<std::size_t>(c)].push(
-          PendingShard{at, frame, item, s});
+      pending[static_cast<std::size_t>(c)].push(PendingShard{
+          at, rank_of[static_cast<std::size_t>(job)], job, item, s});
       events.push(Ev{at, kDispatch, c, 0, 0});
     }
   };
 
-  // Deliver an edge/ingress arrival to (frame, item): in contended mode the
+  // Deliver an edge/ingress arrival to (job, item): in contended mode the
   // message walks its links first, adding the FIFO queueing wait on top of
   // the analytical delay (wait is exactly 0.0 on an idle fabric, keeping
   // the two modes bitwise-identical there).
-  auto deliver = [&](int frame, int item, double arrival) {
-    const std::size_t key = idx(frame, item);
+  auto deliver = [&](int job, int item, double arrival) {
+    const std::size_t key = idx(job, item);
     if (arrival > ready_time[key]) ready_time[key] = arrival;
     if (--deps_left[key] == 0) {
-      enqueue_item_shards(frame, item, ready_time[key]);
+      enqueue_item_shards(job, item, ready_time[key]);
     }
   };
 
-  // Admit (or re-admit after a fault flush) frame `f` at time `t` under its
+  // Admit (or re-admit after a fault flush) job `j` at time `t` under its
   // current program: inject the camera ingress edges and release the
-  // dependency-free items.
-  auto admit_frame = [&](int f, double t) {
-    const Program& pr = *prog_of[static_cast<std::size_t>(f)];
+  // dependency-free items. Link-queueing waits are attributed to the
+  // owning tenant (TenantResult::nop_wait_s).
+  auto admit_frame = [&](int j, double t) {
+    const Program& pr = *prog_of[static_cast<std::size_t>(j)];
+    const int tenant = tenant_of[static_cast<std::size_t>(j)];
     for (const Ingress& in : pr.ingress) {
       double arrival = t + in.delay_s;
       if (contended && !in.msg.route.empty()) {
-        arrival = t + in.delay_s + fabric.inject(in.msg.route, in.msg.bytes, t);
+        const double wait = fabric.inject(in.msg.route, in.msg.bytes, t);
+        tenant_wait[static_cast<std::size_t>(tenant)] += wait;
+        arrival = t + in.delay_s + wait;
       }
-      deliver(f, in.item, arrival);
+      deliver(j, in.item, arrival);
     }
+    const int items = ctx[static_cast<std::size_t>(tenant)].items;
     for (int i = 0; i < items; ++i) {
       if (pr.base_deps[static_cast<std::size_t>(i)] == 0) {
-        enqueue_item_shards(f, i, t);
+        enqueue_item_shards(j, i, t);
       }
     }
   };
 
-  for (int f = 0; f < frames; ++f) {
-    events.push(Ev{static_cast<double>(f) * interval, kAdmit, f, 0, 0});
+  for (int j = 0; j < jobs; ++j) {
+    events.push(Ev{admit_of[static_cast<std::size_t>(j)], kAdmit, j, 0, 0});
   }
   if (faulted) {
     events.push(Ev{fault.fail_time_s, kFault, 0, 0, 0});
@@ -424,8 +669,10 @@ SimResult simulate_schedule(const Schedule& schedule, const SimOptions& options)
         // exact fail time lands primary, then the flush re-admits it).
         if (faulted && now > fault.fail_time_s &&
             !(fault.recover_time_s >= 0.0 && now >= fault.recover_time_s)) {
-          prog_of[static_cast<std::size_t>(f)] = degraded_prog;
-          degraded_used = true;
+          TenantCtx& c =
+              ctx[static_cast<std::size_t>(tenant_of[static_cast<std::size_t>(f)])];
+          prog_of[static_cast<std::size_t>(f)] = &*c.degraded;
+          c.degraded_used = true;
           init_frame(f);
         }
         admit_frame(f, now);
@@ -460,6 +707,8 @@ SimResult simulate_schedule(const Schedule& schedule, const SimOptions& options)
               const double w = fabric.inject(m.route, m.bytes, finished);
               if (w > wait) wait = w;
             }
+            tenant_wait[static_cast<std::size_t>(
+                tenant_of[static_cast<std::size_t>(f)])] += wait;
             arrival = finished + oe.edge->delay_s + wait;
           }
           deliver(f, oe.consumer, arrival);
@@ -485,18 +734,22 @@ SimResult simulate_schedule(const Schedule& schedule, const SimOptions& options)
         }
         // Flush incomplete frames onto the remapped schedule; drop the ones
         // whose deadline already expired.
-        for (int f = 0; f < frames; ++f) {
+        for (int f = 0; f < jobs; ++f) {
           if (frame_done[static_cast<std::size_t>(f)]) continue;
           ++epoch_of[static_cast<std::size_t>(f)];
-          const double admit_t = static_cast<double>(f) * interval;
+          const double admit_t = admit_of[static_cast<std::size_t>(f)];
           if (admit_t > now) continue;  // not yet admitted
-          if (options.deadline_s > 0.0 &&
-              resume - admit_t > options.deadline_s) {
+          const double deadline =
+              streams[static_cast<std::size_t>(
+                          tenant_of[static_cast<std::size_t>(f)])].deadline;
+          if (deadline > 0.0 && resume - admit_t > deadline) {
             frame_dropped[static_cast<std::size_t>(f)] = 1;
             continue;
           }
-          prog_of[static_cast<std::size_t>(f)] = degraded_prog;
-          degraded_used = true;
+          TenantCtx& c =
+              ctx[static_cast<std::size_t>(tenant_of[static_cast<std::size_t>(f)])];
+          prog_of[static_cast<std::size_t>(f)] = &*c.degraded;
+          c.degraded_used = true;
           init_frame(f);
           admit_frame(f, now);
         }
@@ -521,8 +774,8 @@ SimResult simulate_schedule(const Schedule& schedule, const SimOptions& options)
         auto& pend = pending[c];
         auto& rdy = ready[c];
         while (!pend.empty() && pend.top().ready <= now + kTimeEps) {
-          rdy.push(ReadyShard{pend.top().frame, pend.top().item,
-                              pend.top().shard});
+          rdy.push(ReadyShard{pend.top().rank, pend.top().job,
+                              pend.top().item, pend.top().shard});
           pend.pop();
         }
         if (rdy.empty()) {
@@ -534,7 +787,7 @@ SimResult simulate_schedule(const Schedule& schedule, const SimOptions& options)
         const ReadyShard task = rdy.top();
         rdy.pop();
         const double service =
-            prog_of[static_cast<std::size_t>(task.frame)]
+            prog_of[static_cast<std::size_t>(task.job)]
                 ->shards_of_item[static_cast<std::size_t>(task.item)]
                 [static_cast<std::size_t>(task.shard)].service_s;
         const double done = now + service;
@@ -542,48 +795,18 @@ SimResult simulate_schedule(const Schedule& schedule, const SimOptions& options)
         chiplet_busy[c] += service;
         ++result.tasks_executed;
         events.push(Ev{done, kDispatch, ev.a, 0, 0});
-        events.push(Ev{done, kFinish, task.frame, task.item,
-                       epoch_of[static_cast<std::size_t>(task.frame)]});
+        events.push(Ev{done, kFinish, task.job, task.item,
+                       epoch_of[static_cast<std::size_t>(task.job)]});
         break;
       }
     }
   }
 
   const double nan = std::numeric_limits<double>::quiet_NaN();
-  if (!faulted) {
-    // Exactly the pre-fault-subsystem reductions: with an inactive
-    // FaultPlan the result is bitwise-identical to the legacy behavior
-    // (regression-pinned in tests/test_sim.cc).
-    result.first_frame_latency_s = result.frame_completion_s.front();
-    result.makespan_s = result.frame_completion_s.back();
-    if (frames >= 4) {
-      const int half = frames / 2;
-      result.steady_interval_s =
-          (result.frame_completion_s[static_cast<std::size_t>(frames - 1)] -
-           result.frame_completion_s[static_cast<std::size_t>(half - 1)]) /
-          static_cast<double>(frames - half);
-    } else {
-      // Documented degradation (see SimResult): with no steady half to
-      // measure, fill latency folds into the mean and this is
-      // makespan / frames.
-      result.steady_interval_s =
-          result.makespan_s / static_cast<double>(frames);
-    }
-    result.frame_latency_s.reserve(static_cast<std::size_t>(frames));
-    for (int f = 0; f < frames; ++f) {
-      result.frame_latency_s.push_back(
-          result.frame_completion_s[static_cast<std::size_t>(f)] -
-          static_cast<double>(f) * interval);
-    }
-    result.p50_latency_s = percentile(result.frame_latency_s, 50.0);
-    result.p95_latency_s = percentile(result.frame_latency_s, 95.0);
-    result.p99_latency_s = percentile(result.frame_latency_s, 99.0);
-    result.frames_completed = frames;
-    result.peak_latency_s = max_of(result.frame_latency_s);
-  } else {
-    // Fault-aware reductions: dropped frames carry NaN and are excluded
-    // from every aggregate.
-    for (int f = 0; f < frames; ++f) {
+  if (faulted) {
+    // Dropped frames carry NaN; every other admitted frame must have
+    // completed (conservation, per tenant and in aggregate).
+    for (int f = 0; f < jobs; ++f) {
       if (frame_dropped[static_cast<std::size_t>(f)]) {
         result.frame_completion_s[static_cast<std::size_t>(f)] = nan;
       } else if (!frame_done[static_cast<std::size_t>(f)]) {
@@ -592,75 +815,152 @@ SimResult simulate_schedule(const Schedule& schedule, const SimOptions& options)
             "dropped (conservation violated)");
       }
     }
-    result.frame_latency_s.reserve(static_cast<std::size_t>(frames));
-    std::vector<double> finished_times;
-    std::vector<double> finished_lat;
-    for (int f = 0; f < frames; ++f) {
-      const double lat =
-          result.frame_completion_s[static_cast<std::size_t>(f)] -
-          static_cast<double>(f) * interval;
-      result.frame_latency_s.push_back(lat);
-      if (frame_done[static_cast<std::size_t>(f)]) {
-        finished_times.push_back(
-            result.frame_completion_s[static_cast<std::size_t>(f)]);
-        finished_lat.push_back(lat);
+  } else if (multi) {
+    for (int f = 0; f < jobs; ++f) {
+      if (!frame_done[static_cast<std::size_t>(f)]) {
+        throw std::logic_error(
+            "simulate_schedule: admitted frame never completed "
+            "(conservation violated)");
       }
     }
-    std::sort(finished_times.begin(), finished_times.end());
-    const int n = static_cast<int>(finished_times.size());
-    result.frames_completed = n;
-    result.dropped_frames = frames - n;
-    result.first_frame_latency_s = result.frame_latency_s.front();
-    result.makespan_s = n > 0 ? finished_times.back() : nan;
-    if (n >= 4) {
-      const int half = n / 2;
-      result.steady_interval_s =
-          (finished_times[static_cast<std::size_t>(n - 1)] -
-           finished_times[static_cast<std::size_t>(half - 1)]) /
-          static_cast<double>(n - half);
-    } else if (n > 0) {
-      result.steady_interval_s = result.makespan_s / static_cast<double>(n);
-    } else {
-      result.steady_interval_s = nan;
-    }
-    result.p50_latency_s = percentile(finished_lat, 50.0);
-    result.p95_latency_s = percentile(finished_lat, 95.0);
-    result.p99_latency_s = percentile(finished_lat, 99.0);
-    result.peak_latency_s = max_of(finished_lat);
-    result.remapped_items = degraded_used ? remap_stats.touched_items : 0;
-    // Recovery: baseline = the best completed latency observed before the
-    // fault (stream minimum when nothing completed pre-fault); the spike
-    // ends when the last elevated frame completes.
-    double baseline = std::numeric_limits<double>::infinity();
-    for (int f = 0; f < frames; ++f) {
-      if (!frame_done[static_cast<std::size_t>(f)]) continue;
-      if (result.frame_completion_s[static_cast<std::size_t>(f)] <=
-          fault.fail_time_s) {
-        baseline = std::min(baseline,
-                            result.frame_latency_s[static_cast<std::size_t>(f)]);
-      }
-    }
-    if (!std::isfinite(baseline)) baseline = min_of(finished_lat);
-    double last_elevated = -std::numeric_limits<double>::infinity();
-    for (int f = 0; f < frames; ++f) {
-      if (!frame_done[static_cast<std::size_t>(f)]) continue;
-      if (result.frame_latency_s[static_cast<std::size_t>(f)] >
-          baseline * kRecoveryLatencyBand) {
-        last_elevated = std::max(
-            last_elevated,
-            result.frame_completion_s[static_cast<std::size_t>(f)]);
-      }
-    }
-    result.recovery_time_s =
-        std::max(0.0, last_elevated - fault.fail_time_s);
-    if (!std::isfinite(result.recovery_time_s)) result.recovery_time_s = 0.0;
   }
-  if (options.deadline_s > 0.0) {
-    for (int f = 0; f < frames; ++f) {
-      if (!std::isnan(result.frame_latency_s[static_cast<std::size_t>(f)]) &&
-          result.frame_latency_s[static_cast<std::size_t>(f)] >
-              options.deadline_s) {
-        ++result.deadline_miss_frames;
+
+  if (!multi) {
+    // Single stream: exactly the pre-serving reductions, so an implicit
+    // single stream — and an explicit one-tenant list with the same
+    // parameters — is bitwise-identical to the legacy simulator
+    // (regression-pinned in tests/test_sim.cc).
+    const int frames = streams.front().frames;
+    const double interval = streams.front().interval;
+    if (!faulted) {
+      result.first_frame_latency_s = result.frame_completion_s.front();
+      result.makespan_s = result.frame_completion_s.back();
+      if (frames >= 4) {
+        const int half = frames / 2;
+        result.steady_interval_s =
+            (result.frame_completion_s[static_cast<std::size_t>(frames - 1)] -
+             result.frame_completion_s[static_cast<std::size_t>(half - 1)]) /
+            static_cast<double>(frames - half);
+      } else {
+        // Documented degradation (see SimResult): with no steady half to
+        // measure, fill latency folds into the mean and this is
+        // makespan / frames.
+        result.steady_interval_s =
+            result.makespan_s / static_cast<double>(frames);
+      }
+      result.frame_latency_s.reserve(static_cast<std::size_t>(frames));
+      for (int f = 0; f < frames; ++f) {
+        result.frame_latency_s.push_back(
+            result.frame_completion_s[static_cast<std::size_t>(f)] -
+            static_cast<double>(f) * interval);
+      }
+      result.p50_latency_s = percentile(result.frame_latency_s, 50.0);
+      result.p95_latency_s = percentile(result.frame_latency_s, 95.0);
+      result.p99_latency_s = percentile(result.frame_latency_s, 99.0);
+      result.frames_completed = frames;
+      result.peak_latency_s = max_of(result.frame_latency_s);
+    } else {
+      // Fault-aware reductions: dropped frames are excluded from every
+      // aggregate.
+      result.frame_latency_s.reserve(static_cast<std::size_t>(frames));
+      std::vector<double> finished_times;
+      std::vector<double> finished_lat;
+      for (int f = 0; f < frames; ++f) {
+        const double lat =
+            result.frame_completion_s[static_cast<std::size_t>(f)] -
+            static_cast<double>(f) * interval;
+        result.frame_latency_s.push_back(lat);
+        if (frame_done[static_cast<std::size_t>(f)]) {
+          finished_times.push_back(
+              result.frame_completion_s[static_cast<std::size_t>(f)]);
+          finished_lat.push_back(lat);
+        }
+      }
+      std::sort(finished_times.begin(), finished_times.end());
+      const int n = static_cast<int>(finished_times.size());
+      result.frames_completed = n;
+      result.dropped_frames = frames - n;
+      result.first_frame_latency_s = result.frame_latency_s.front();
+      result.makespan_s = n > 0 ? finished_times.back() : nan;
+      if (n >= 4) {
+        const int half = n / 2;
+        result.steady_interval_s =
+            (finished_times[static_cast<std::size_t>(n - 1)] -
+             finished_times[static_cast<std::size_t>(half - 1)]) /
+            static_cast<double>(n - half);
+      } else if (n > 0) {
+        result.steady_interval_s = result.makespan_s / static_cast<double>(n);
+      } else {
+        result.steady_interval_s = nan;
+      }
+      result.p50_latency_s = percentile(finished_lat, 50.0);
+      result.p95_latency_s = percentile(finished_lat, 95.0);
+      result.p99_latency_s = percentile(finished_lat, 99.0);
+      result.peak_latency_s = max_of(finished_lat);
+      result.remapped_items =
+          ctx.front().degraded_used ? ctx.front().remap_stats.touched_items : 0;
+      result.recovery_time_s = recovery_after_fault(
+          result.frame_latency_s, result.frame_completion_s, fault.fail_time_s);
+    }
+    if (streams.front().deadline > 0.0) {
+      for (int f = 0; f < frames; ++f) {
+        if (!std::isnan(result.frame_latency_s[static_cast<std::size_t>(f)]) &&
+            result.frame_latency_s[static_cast<std::size_t>(f)] >
+                streams.front().deadline) {
+          ++result.deadline_miss_frames;
+        }
+      }
+    }
+  } else {
+    // Multi-tenant package-level reductions over the tenant-major job
+    // stream: aggregates cover every completed frame of every tenant,
+    // through the same reduce_tail the per-tenant slices use.
+    result.frame_latency_s.reserve(static_cast<std::size_t>(jobs));
+    for (int f = 0; f < jobs; ++f) {
+      result.frame_latency_s.push_back(
+          result.frame_completion_s[static_cast<std::size_t>(f)] -
+          admit_of[static_cast<std::size_t>(f)]);
+    }
+    const TailStats tail =
+        reduce_tail(result.frame_latency_s, result.frame_completion_s);
+    result.frames_completed = tail.completed;
+    result.dropped_frames = jobs - tail.completed;
+    result.first_frame_latency_s = result.frame_latency_s.front();
+    result.makespan_s = tail.makespan_s;
+    result.steady_interval_s = tail.steady_interval_s;
+    result.p50_latency_s = tail.p50_s;
+    result.p95_latency_s = tail.p95_s;
+    result.p99_latency_s = tail.p99_s;
+    result.peak_latency_s = tail.peak_s;
+  }
+
+  // Per-tenant slices (one entry even for single-stream runs).
+  result.tenants.reserve(static_cast<std::size_t>(num_tenants));
+  for (int t = 0; t < num_tenants; ++t) {
+    const TenantCtx& c = ctx[static_cast<std::size_t>(t)];
+    result.tenants.push_back(reduce_tenant(
+        streams[static_cast<std::size_t>(t)],
+        result.frame_completion_s.data() + c.job_base,
+        tenant_wait[static_cast<std::size_t>(t)]));
+  }
+  if (multi) {
+    for (const TenantResult& tr : result.tenants) {
+      result.deadline_miss_frames += tr.deadline_miss_frames;
+    }
+    if (faulted) {
+      // Remap accounting and the recovery spike, per tenant (latency
+      // scales differ across tenants, so a package-level baseline would
+      // be meaningless); the package recovers when its slowest tenant has.
+      for (int t = 0; t < num_tenants; ++t) {
+        const TenantCtx& c = ctx[static_cast<std::size_t>(t)];
+        if (c.degraded_used) {
+          result.remapped_items += c.remap_stats.touched_items;
+        }
+        const TenantResult& tr = result.tenants[static_cast<std::size_t>(t)];
+        result.recovery_time_s = std::max(
+            result.recovery_time_s,
+            recovery_after_fault(tr.frame_latency_s, tr.frame_completion_s,
+                                 fault.fail_time_s));
       }
     }
   }

@@ -46,8 +46,33 @@
 //    or after recovery run the original schedule again. Frames still in
 //    flight keep their degraded placement — recovery is non-disruptive,
 //    there is no second flush.
+//
+// Multi-tenant serving (SimOptions::tenants): N concurrent frame streams —
+// multiple cameras, vehicles, or tenant models — admitted onto ONE package.
+// Each TenantStream carries its own Schedule (a placement of its pipeline
+// on the shared package, see src/sim/serving.h for the policy-driven
+// builders), frame interval, deadline, and priority. All tenants share the
+// chiplet calendars and (in contended mode) one NopFabric, so cross-tenant
+// link and chiplet interference emerges naturally rather than being
+// modeled. Dispatch order is FIFO by admission instant across tenants
+// (ties: tenant order, then frame); under PlacementPolicy::kPriority a
+// higher-priority tenant's ready work preempts that admission order
+// (running tasks are never preempted — admission-order preemption only).
+// With a single stream — implicit (empty `tenants`) or an explicit
+// one-entry list under kShared — the engine is bitwise-identical to the
+// pre-serving single-stream simulator (regression-pinned in
+// tests/test_sim.cc). A FaultPlan composes with multi-tenancy: every
+// tenant's schedule is independently remapped (restricted to the tenant's
+// allowed_chiplets when set, so the REMAP cannot leak work across a
+// partition). The fault TRANSIENT itself is package-wide by design — the
+// reconfiguration stall halts every chiplet and flushes every tenant's
+// incomplete frames (a pool-clean tenant's remapped schedule equals its
+// primary, so its placements are untouched, but it still restarts the
+// flushed frames and can deadline-drop them). Partitioned isolation is a
+// steady-state load guarantee, not a fault-transient one.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "core/schedule.h"
@@ -76,6 +101,47 @@ struct FaultPlan {
   bool active() const { return chiplet_id >= 0; }
 };
 
+// How the serving layer maps tenants onto chiplets, and how the event loop
+// breaks dispatch ties between them (see src/sim/serving.h for placement):
+//  * kShared      — every tenant may run anywhere; tenants interleave over
+//                   all chiplets and contend freely.
+//  * kPartitioned — each tenant is confined to a static chiplet set
+//                   (partition_tenant_pools); spatial isolation.
+//  * kPriority    — shared placement, but a higher-priority tenant's ready
+//                   work dispatches before lower-priority work regardless
+//                   of admission order.
+// Inside the event loop kShared and kPartitioned behave identically (the
+// placement difference lives in the schedules); only kPriority changes the
+// dispatch comparator.
+enum class PlacementPolicy {
+  kShared,
+  kPartitioned,
+  kPriority,
+};
+
+// One tenant's frame stream in a multi-tenant run.
+struct TenantStream {
+  std::string name = "tenant";
+  // Placement of this tenant's pipeline on the SHARED package; must outlive
+  // the simulate_schedule call and reference the same PackageConfig as the
+  // top-level schedule argument. nullptr uses the top-level schedule (N
+  // identical tenants differing only in rate/priority).
+  const Schedule* schedule = nullptr;
+  int frames = 8;
+  double frame_interval_s = 0.0;  // same semantics as SimOptions
+  // Per-frame deadline for THIS tenant; 0 disables. Same semantics as
+  // SimOptions::deadline_s.
+  double deadline_s = 0.0;
+  // Dispatch priority under PlacementPolicy::kPriority (higher wins); inert
+  // under the other policies.
+  int priority = 0;
+  // Chiplet ids a fault remap may re-home this tenant's work onto (empty =
+  // any survivor). The partitioned placement policy sets this to the
+  // tenant's static pool so a mid-stream fault cannot leak work across the
+  // partition (falls back to all survivors only when the whole pool died).
+  std::vector<int> allowed_chiplets;
+};
+
 struct SimOptions {
   int frames = 8;
   bool model_nop_delays = true;
@@ -89,6 +155,44 @@ struct SimOptions {
   // flush, frames that can no longer meet it are dropped outright.
   double deadline_s = 0.0;
   FaultPlan fault;
+  // Dispatch tie-break policy between tenants; inert with a single stream.
+  PlacementPolicy policy = PlacementPolicy::kShared;
+  // Multi-tenant serving: when non-empty, these streams are admitted
+  // concurrently and the top-level frames / frame_interval_s / deadline_s
+  // are ignored (each stream carries its own). Empty = the legacy single
+  // stream described by the fields above.
+  std::vector<TenantStream> tenants;
+};
+
+// Per-tenant slice of a multi-tenant run (also filled, with one entry, for
+// single-stream runs). Aggregates cover the tenant's completed frames;
+// dropped frames carry NaN and are excluded (the percentile_finite
+// filter-then-rank convention, see docs/METRICS.md).
+struct TenantResult {
+  std::string name;
+  int frames = 0;  // admitted
+  int frames_completed = 0;
+  int dropped_frames = 0;
+  int deadline_miss_frames = 0;
+  double p50_latency_s = 0.0;
+  double p95_latency_s = 0.0;
+  double p99_latency_s = 0.0;
+  double mean_latency_s = 0.0;
+  double peak_latency_s = 0.0;
+  // Mean inter-completion time over the second half of this tenant's
+  // completed frames (same degradation rules as SimResult).
+  double steady_interval_s = 0.0;
+  // Critical-path FIFO link-queueing wait this tenant suffered (kContended
+  // only): the per-edge wait actually added to arrival times — the max
+  // across an edge's parallel shard messages, summed over the tenant's
+  // edges. This is the latency the shared fabric (the other tenants plus
+  // self-interference) injected into the stream; it deliberately
+  // undercounts LinkStats::total_queue_wait_s, which sums EVERY message's
+  // wait including ones off the critical path.
+  double nop_wait_s = 0.0;
+  // One per admitted frame; NaN for frames dropped at a fault flush.
+  std::vector<double> frame_completion_s;
+  std::vector<double> frame_latency_s;
 };
 
 struct SimResult {
@@ -132,17 +236,26 @@ struct SimResult {
   // before the fault; falls back to the stream minimum). 0 when no fault
   // fired or no frame's latency was elevated.
   double recovery_time_s = 0.0;
-  // Placements changed by the online remap (0 without a fault).
+  // Placements changed by the online remap (0 without a fault; summed over
+  // tenants in a multi-tenant run).
   int remapped_items = 0;
+
+  // --- multi-tenant serving ---
+  // One entry per stream (a single entry for single-stream runs). In a
+  // multi-tenant run the package-level vectors above concatenate the
+  // tenants' frames in tenant-major order and the scalar aggregates cover
+  // all completed frames of all tenants.
+  std::vector<TenantResult> tenants;
 };
 
-// Throws std::invalid_argument on a 0-item schedule, a FaultPlan naming a
-// chiplet not in the package (or with no survivor to remap onto), a
-// negative fail time, or recover_time_s in [0, fail_time_s); throws
-// std::logic_error when any item is unassigned (matching
-// evaluate_schedule). A fault on the chiplet whose router hosts the I/O
-// port propagates the routing layer's std::runtime_error — ingress has no
-// route around that position.
+// Throws std::invalid_argument on a 0-item schedule (top-level or any
+// tenant's), a TenantStream whose schedule references a different
+// PackageConfig than `schedule`, a FaultPlan naming a chiplet not in the
+// package (or with no survivor to remap onto), a negative fail time, or
+// recover_time_s in [0, fail_time_s); throws std::logic_error when any
+// item is unassigned (matching evaluate_schedule). A fault on the chiplet
+// whose router hosts the I/O port propagates the routing layer's
+// std::runtime_error — ingress has no route around that position.
 SimResult simulate_schedule(const Schedule& schedule,
                             const SimOptions& options = {});
 

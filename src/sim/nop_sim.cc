@@ -18,6 +18,7 @@ int NopFabric::index_of(const NopLink& link) {
     free_.push_back(0.0);
     busy_.push_back(0.0);
     max_wait_.push_back(0.0);
+    total_wait_.push_back(0.0);
     messages_.push_back(0);
   }
   return it->second;
@@ -43,6 +44,7 @@ double NopFabric::inject(const std::vector<int>& route, double bytes,
     const double wait = start - t;
     waited += wait;
     if (wait > max_wait_[i]) max_wait_[i] = wait;
+    total_wait_[i] += wait;
     free_[i] = start + ser;
     busy_[i] += ser;
     ++messages_[i];
@@ -60,6 +62,7 @@ std::vector<LinkStats> NopFabric::stats(double horizon_s) const {
     s.busy_s = busy_[i];
     s.utilization = horizon_s > 0.0 ? busy_[i] / horizon_s : 0.0;
     s.max_queue_wait_s = max_wait_[i];
+    s.total_queue_wait_s = total_wait_[i];
     s.messages = messages_[i];
     out.push_back(s);
   }

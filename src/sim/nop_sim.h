@@ -38,6 +38,10 @@ struct LinkStats {
   double busy_s = 0.0;            // total serialization occupancy
   double utilization = 0.0;       // busy_s / observation horizon
   double max_queue_wait_s = 0.0;  // worst single-message FIFO wait here
+  // Sum of every message's FIFO wait on this link — the aggregate queueing
+  // delay the link injected into the stream (interference accounting for
+  // the multi-tenant serving layer; 0.0 on an uncongested link).
+  double total_queue_wait_s = 0.0;
   int messages = 0;
 };
 
@@ -72,6 +76,7 @@ class NopFabric {
   std::vector<double> free_;      // when the link's last occupancy ends
   std::vector<double> busy_;
   std::vector<double> max_wait_;
+  std::vector<double> total_wait_;
   std::vector<int> messages_;
 };
 

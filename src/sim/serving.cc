@@ -1,0 +1,211 @@
+#include "sim/serving.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "core/baselines.h"
+#include "core/partition.h"
+#include "exp/sweep_runner.h"
+
+namespace cnpu {
+namespace {
+
+std::string tenant_name(const TenantWorkload& w, int index) {
+  return w.name.empty() ? "tenant" + std::to_string(index) : w.name;
+}
+
+void validate_tenants(const std::vector<TenantWorkload>& tenants) {
+  if (tenants.empty()) {
+    throw std::invalid_argument("serve_tenants: no tenant workloads");
+  }
+  for (std::size_t t = 0; t < tenants.size(); ++t) {
+    if (tenants[t].pipeline == nullptr) {
+      throw std::invalid_argument("serve_tenants: tenant " +
+                                  std::to_string(t) + " has no pipeline");
+    }
+  }
+}
+
+}  // namespace
+
+const char* placement_policy_name(PlacementPolicy policy) {
+  switch (policy) {
+    case PlacementPolicy::kShared: return "shared";
+    case PlacementPolicy::kPartitioned: return "partitioned";
+    case PlacementPolicy::kPriority: return "priority";
+  }
+  return "?";
+}
+
+TenantPlacement place_tenants(const std::vector<TenantWorkload>& tenants,
+                              const PackageConfig& package,
+                              PlacementPolicy policy) {
+  validate_tenants(tenants);
+  const int n = static_cast<int>(tenants.size());
+  TenantPlacement placement;
+  placement.schedules.reserve(tenants.size());
+  placement.pools.reserve(tenants.size());
+  if (policy == PlacementPolicy::kPartitioned) {
+    placement.pools = partition_tenant_pools(package, n);
+    for (int t = 0; t < n; ++t) {
+      placement.schedules.push_back(build_pool_schedule(
+          *tenants[static_cast<std::size_t>(t)].pipeline, package,
+          placement.pools[static_cast<std::size_t>(t)], 0));
+    }
+  } else {
+    // kShared / kPriority: every tenant round-robins over ALL chiplets,
+    // starting at chiplet index t. Tenants place themselves as if alone
+    // (uncoordinated), so their chains overlap and interference is real;
+    // tenant 0 at offset 0 is exactly build_chainwise_schedule, which pins
+    // the single-tenant bitwise-identity guarantee.
+    std::vector<int> all;
+    all.reserve(package.chiplets().size());
+    for (const auto& c : package.chiplets()) all.push_back(c.id);
+    for (int t = 0; t < n; ++t) {
+      placement.schedules.push_back(build_pool_schedule(
+          *tenants[static_cast<std::size_t>(t)].pipeline, package, all, t));
+      placement.pools.push_back(all);
+    }
+  }
+  return placement;
+}
+
+SimResult serve_tenants(const PackageConfig& package,
+                        const std::vector<TenantWorkload>& tenants,
+                        const ServingOptions& options) {
+  validate_tenants(tenants);
+  const TenantPlacement placement =
+      place_tenants(tenants, package, options.policy);
+
+  SimOptions sim;
+  sim.model_nop_delays = options.model_nop_delays;
+  sim.nop_mode = options.nop_mode;
+  sim.fault = options.fault;
+  sim.policy = options.policy;
+  sim.tenants.reserve(tenants.size());
+  for (std::size_t t = 0; t < tenants.size(); ++t) {
+    TenantStream stream;
+    stream.name = tenant_name(tenants[t], static_cast<int>(t));
+    stream.schedule = &placement.schedules[t];
+    stream.frames = tenants[t].frames;
+    stream.frame_interval_s = tenants[t].frame_interval_s;
+    stream.deadline_s = tenants[t].deadline_s;
+    stream.priority = tenants[t].priority;
+    // Restrict fault remaps to the tenant's pool only when the pool is a
+    // genuine partition; under shared placement any survivor may help.
+    if (options.policy == PlacementPolicy::kPartitioned) {
+      stream.allowed_chiplets = placement.pools[t];
+    }
+    sim.tenants.push_back(std::move(stream));
+  }
+  return simulate_schedule(placement.schedules.front(), sim);
+}
+
+LoadSearchResult max_sustainable_load(const PackageConfig& package,
+                                      const std::vector<TenantWorkload>& tenants,
+                                      const ServingOptions& options,
+                                      const LoadSearchOptions& search) {
+  validate_tenants(tenants);
+  for (std::size_t t = 0; t < tenants.size(); ++t) {
+    if (!(tenants[t].deadline_s > 0.0)) {
+      throw std::invalid_argument(
+          "max_sustainable_load: tenant " + std::to_string(t) +
+          " has no deadline (feasibility would be vacuous)");
+    }
+  }
+  if (!(search.fps_lo > 0.0) || !(search.fps_hi > search.fps_lo)) {
+    throw std::invalid_argument(
+        "max_sustainable_load: need 0 < fps_lo < fps_hi");
+  }
+  if (search.probes_per_round < 2) {
+    throw std::invalid_argument(
+        "max_sustainable_load: probes_per_round must be >= 2");
+  }
+
+  const auto probe_rate = [&](double fps) {
+    std::vector<TenantWorkload> loaded = tenants;
+    for (TenantWorkload& w : loaded) w.frame_interval_s = 1.0 / fps;
+    const SimResult r = serve_tenants(package, loaded, options);
+    LoadProbe p;
+    p.fps = fps;
+    p.feasible = true;
+    for (std::size_t t = 0; t < r.tenants.size(); ++t) {
+      const TenantResult& tr = r.tenants[t];
+      p.deadline_misses += tr.deadline_miss_frames;
+      if (std::isnan(tr.p99_latency_s) || tr.frames_completed == 0) {
+        // Nothing completed: poisoned tail, never feasible.
+        p.worst_p99_s = std::numeric_limits<double>::quiet_NaN();
+        p.feasible = false;
+        continue;
+      }
+      if (!std::isnan(p.worst_p99_s)) {
+        p.worst_p99_s = std::max(p.worst_p99_s, tr.p99_latency_s);
+      }
+      if (tr.p99_latency_s > loaded[t].deadline_s) p.feasible = false;
+    }
+    return p;
+  };
+
+  LoadSearchResult result;
+  double lo = search.fps_lo;
+  double hi = search.fps_hi;
+  double best_feasible = 0.0;
+  double min_infeasible = 0.0;
+  const SweepRunner runner(SweepOptions{.threads = search.threads});
+  while (result.rounds < search.max_rounds) {
+    // Evenly spaced candidates across the current bracket, endpoints
+    // included on the first round (later rounds already know them).
+    std::vector<ParamValue> candidates;
+    const int k = search.probes_per_round;
+    for (int i = 0; i < k; ++i) {
+      const double frac =
+          result.rounds == 0
+              ? static_cast<double>(i) / static_cast<double>(k - 1)
+              : static_cast<double>(i + 1) / static_cast<double>(k + 1);
+      candidates.push_back(lo + (hi - lo) * frac);
+    }
+    SweepSpec spec =
+        SweepSpec("max_sustainable_load").axis("fps", std::move(candidates));
+    const SweepResult sweep = runner.run(spec, [&](const SweepPoint& pt) {
+      const LoadProbe p = probe_rate(pt.double_at("fps"));
+      SweepRecord rec;
+      rec.set("worst_p99_s", p.worst_p99_s)
+          .set("deadline_misses", static_cast<double>(p.deadline_misses))
+          .set("feasible", p.feasible ? 1.0 : 0.0);
+      return rec;
+    });
+    for (const SweepPointResult& pt : sweep.points) {
+      if (!pt.ok) {
+        throw std::runtime_error("max_sustainable_load: probe at " +
+                                 pt.point.label() + " failed: " + pt.error);
+      }
+      LoadProbe p;
+      p.fps = pt.point.double_at("fps");
+      p.worst_p99_s = pt.record.get("worst_p99_s");
+      p.deadline_misses = static_cast<int>(pt.record.get("deadline_misses"));
+      p.feasible = pt.record.get("feasible") != 0.0;
+      result.probes.push_back(p);
+      if (p.feasible) {
+        best_feasible = std::max(best_feasible, p.fps);
+      } else if (min_infeasible == 0.0 || p.fps < min_infeasible) {
+        min_infeasible = p.fps;
+      }
+    }
+    ++result.rounds;
+    if (best_feasible == 0.0) break;  // even the floor is infeasible
+    if (min_infeasible == 0.0) {
+      best_feasible = search.fps_hi;  // every probe feasible: limit above hi
+      break;
+    }
+    lo = best_feasible;
+    hi = min_infeasible;
+    if ((hi - lo) / lo <= search.rel_tol) break;
+  }
+  result.max_fps = best_feasible;
+  result.min_infeasible_fps = min_infeasible;
+  return result;
+}
+
+}  // namespace cnpu

@@ -1,0 +1,135 @@
+// Multi-tenant serving layer: policy-driven placement of N tenant
+// workloads onto ONE package, the co-simulation entry point, and the
+// package-level max-sustainable-load search.
+//
+// The paper evaluates one perception pipeline per package; a deployed
+// multi-chiplet NPU multiplexes many concurrent streams — multiple
+// cameras, vehicles, or tenant models — where TAIL latency under
+// shared-fabric interference is the serving metric that matters (the
+// p99-under-load discipline of the TPU datacenter study). This layer turns
+// a list of TenantWorkload descriptions into per-tenant Schedules under a
+// PlacementPolicy and admits them concurrently into the event simulator
+// (src/sim/event_sim.h), which reports per-tenant p50/p95/p99, deadline
+// misses, and drops:
+//  * kShared      — every tenant chainwise-interleaves over ALL chiplets
+//                   (tenant t starts its round-robin at chiplet t), so
+//                   tenants overlap and contend for chiplets and links.
+//  * kPartitioned — tenant t is confined to the static pool
+//                   partition_tenant_pools(pkg, N)[t]: whole quadrants,
+//                   disjoint while N <= #quadrants (spatial isolation).
+//  * kPriority    — shared placement; a higher-priority tenant's ready
+//                   work additionally preempts admission order at dispatch.
+//
+// max_sustainable_load answers the capacity-planning question: the largest
+// per-tenant injection rate (FPS) at which EVERY tenant's p99 latency
+// still meets its deadline. Each bisection round evaluates a batch of
+// candidate rates in parallel through the sweep engine (src/exp), then
+// narrows the feasible bracket; feasibility is assumed monotone in the
+// injection rate (queueing latency is nondecreasing in load).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/event_sim.h"
+#include "workloads/model.h"
+
+namespace cnpu {
+
+// One tenant's workload description, before placement. The pipeline must
+// outlive every call that receives the workload.
+struct TenantWorkload {
+  std::string name;  // empty -> "tenant<index>"
+  const PerceptionPipeline* pipeline = nullptr;
+  int frames = 8;
+  double frame_interval_s = 0.0;
+  double deadline_s = 0.0;  // 0 disables deadline accounting
+  int priority = 0;         // kPriority dispatch order (higher wins)
+};
+
+// Policy-resolved placement: one Schedule per tenant, all on `package`,
+// plus the chiplet pool each tenant was allowed to use (all chiplets under
+// kShared/kPriority). schedules[t] references the t-th workload's pipeline
+// and `package`; both must outlive the placement.
+struct TenantPlacement {
+  std::vector<Schedule> schedules;
+  std::vector<std::vector<int>> pools;
+};
+
+// Builds the per-tenant schedules for `policy` (see the header comment).
+// Throws std::invalid_argument on an empty tenant list or a null pipeline.
+TenantPlacement place_tenants(const std::vector<TenantWorkload>& tenants,
+                              const PackageConfig& package,
+                              PlacementPolicy policy);
+
+struct ServingOptions {
+  PlacementPolicy policy = PlacementPolicy::kShared;
+  bool model_nop_delays = true;
+  NopMode nop_mode = NopMode::kAnalytical;
+  // Optional runtime chiplet failure; every tenant remaps independently,
+  // restricted to its pool under kPartitioned. Note the fault TRANSIENT is
+  // package-wide by design (the reconfiguration stall halts every chiplet
+  // and flushes every tenant's incomplete frames) — partitioning isolates
+  // steady-state load and remap placement, not the fault transient (see
+  // src/sim/event_sim.h).
+  FaultPlan fault;
+};
+
+// Stable display name ("shared" / "partitioned" / "priority") for tables
+// and artifacts.
+const char* placement_policy_name(PlacementPolicy policy);
+
+// Places the tenants under options.policy and co-simulates all streams on
+// one package. The returned SimResult carries one TenantResult per
+// workload (in order); the package-level fields aggregate all tenants. A
+// single tenant under kShared is bitwise-identical to simulating
+// build_chainwise_schedule(pipeline, package) alone (regression-pinned).
+// Throws like simulate_schedule, plus std::invalid_argument on an empty
+// tenant list or null pipeline.
+SimResult serve_tenants(const PackageConfig& package,
+                        const std::vector<TenantWorkload>& tenants,
+                        const ServingOptions& options = {});
+
+struct LoadSearchOptions {
+  double fps_lo = 1.0;     // search floor (> 0)
+  double fps_hi = 2000.0;  // search ceiling (> fps_lo)
+  // Stop when the feasible bracket satisfies (hi - lo) / lo <= rel_tol.
+  double rel_tol = 0.05;
+  // Candidate rates evaluated in parallel per bisection round (>= 2).
+  int probes_per_round = 4;
+  int max_rounds = 10;
+  int threads = 0;  // sweep-engine worker threads; 0 = hardware
+};
+
+// One evaluated injection rate.
+struct LoadProbe {
+  double fps = 0.0;
+  double worst_p99_s = 0.0;  // max over tenants (NaN when nothing completed)
+  int deadline_misses = 0;   // summed over tenants
+  bool feasible = false;     // every tenant's p99 <= its deadline
+};
+
+struct LoadSearchResult {
+  // Largest probed rate at which every tenant's p99 met its deadline; 0.0
+  // when even fps_lo is infeasible. Equal to fps_hi when every probe was
+  // feasible (the true limit lies above the search ceiling).
+  double max_fps = 0.0;
+  // Smallest probed infeasible rate; 0.0 when every probe was feasible.
+  double min_infeasible_fps = 0.0;
+  int rounds = 0;
+  std::vector<LoadProbe> probes;  // every probe, in evaluation order
+};
+
+// Bisects the per-tenant injection rate: all tenants run at the SAME
+// candidate rate (their frame_interval_s is overridden with 1/fps); each
+// round's candidates are evaluated concurrently via SweepRunner, so the
+// search is deterministic for any thread count. Throws
+// std::invalid_argument when any tenant's deadline_s is <= 0 (feasibility
+// would be vacuous), on a non-positive/inverted [fps_lo, fps_hi], or
+// probes_per_round < 2.
+LoadSearchResult max_sustainable_load(const PackageConfig& package,
+                                      const std::vector<TenantWorkload>& tenants,
+                                      const ServingOptions& options,
+                                      const LoadSearchOptions& search = {});
+
+}  // namespace cnpu

@@ -7,7 +7,9 @@
 namespace cnpu {
 
 double mean(const std::vector<double>& xs) {
-  if (xs.empty()) return 0.0;
+  // NaN, not 0, for empty input (the same silent-masking class geomean was
+  // cured of): a 0 mean over nothing reads as a real measurement downstream.
+  if (xs.empty()) return std::numeric_limits<double>::quiet_NaN();
   double s = 0.0;
   for (double x : xs) s += x;
   return s / static_cast<double>(xs.size());
@@ -41,11 +43,15 @@ double sum_sq_dev(const std::vector<double>& xs) {
 }  // namespace
 
 double stddev(const std::vector<double>& xs) {
+  // Empty input has no spread to report — NaN (matching mean). A single
+  // value is a real observation with zero spread, so size-1 keeps 0.0.
+  if (xs.empty()) return std::numeric_limits<double>::quiet_NaN();
   if (xs.size() < 2) return 0.0;
   return std::sqrt(sum_sq_dev(xs) / static_cast<double>(xs.size()));
 }
 
 double sample_stddev(const std::vector<double>& xs) {
+  if (xs.empty()) return std::numeric_limits<double>::quiet_NaN();
   if (xs.size() < 2) return 0.0;
   return std::sqrt(sum_sq_dev(xs) / static_cast<double>(xs.size() - 1));
 }
@@ -68,6 +74,14 @@ double sum(const std::vector<double>& xs) {
 
 double percentile(std::vector<double> xs, double p) {
   if (xs.empty()) return std::numeric_limits<double>::quiet_NaN();
+  // NaN poisons the rank: NaN comparisons violate std::sort's strict weak
+  // ordering (undefined behavior), and a rank over data that includes
+  // not-a-measurement entries (e.g. dropped-frame latencies) is
+  // meaningless anyway. Callers that want the rank over the finite subset
+  // use percentile_finite.
+  for (const double x : xs) {
+    if (std::isnan(x)) return std::numeric_limits<double>::quiet_NaN();
+  }
   std::sort(xs.begin(), xs.end());
   p = std::clamp(p, 0.0, 100.0);
   const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
@@ -75,6 +89,15 @@ double percentile(std::vector<double> xs, double p) {
   const auto hi = static_cast<std::size_t>(std::ceil(rank));
   const double frac = rank - static_cast<double>(lo);
   return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double percentile_finite(const std::vector<double>& xs, double p) {
+  std::vector<double> finite;
+  finite.reserve(xs.size());
+  for (const double x : xs) {
+    if (!std::isnan(x)) finite.push_back(x);
+  }
+  return percentile(std::move(finite), p);
 }
 
 }  // namespace cnpu

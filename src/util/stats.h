@@ -6,6 +6,8 @@
 
 namespace cnpu {
 
+// Arithmetic mean; NaN for empty input (no data is not a 0 measurement —
+// the same convention as geomean/percentile/min_of).
 double mean(const std::vector<double>& xs);
 // Geometric mean; requires all positive entries. Returns NaN for empty
 // input or any non-positive element (same convention as percentile/min_of)
@@ -16,14 +18,22 @@ double geomean(const std::vector<double>& xs);
 // (divides by N) - benches report spread over a fixed, fully-enumerated set
 // of configurations, not a sample of a larger population. Use
 // `sample_stddev` (divides by N-1, Bessel-corrected) when the inputs are a
-// sample, e.g. repeated timing measurements. Both return 0 for fewer than
-// two values and clamp negative round-off variance to 0.
+// sample, e.g. repeated timing measurements. Both return NaN for empty
+// input (matching mean), 0 for exactly one value (a real observation with
+// zero spread), and clamp negative round-off variance to 0.
 double stddev(const std::vector<double>& xs);
 double sample_stddev(const std::vector<double>& xs);
 double min_of(const std::vector<double>& xs);
 double max_of(const std::vector<double>& xs);
 double sum(const std::vector<double>& xs);
-// Linear interpolated percentile; p in [0,100].
+// Linear interpolated percentile; p in [0,100]. NaN for empty input or
+// when ANY element is NaN — NaN-bearing data (e.g. dropped-frame
+// latencies) would violate std::sort's strict weak ordering, and a rank
+// mixing measurements with non-measurements is meaningless.
 double percentile(std::vector<double> xs, double p);
+// The documented filter-then-rank variant: percentile over the non-NaN
+// subset (the event simulator's per-tenant tails, where dropped frames
+// carry NaN latencies by design). NaN when nothing finite remains.
+double percentile_finite(const std::vector<double>& xs, double p);
 
 }  // namespace cnpu

@@ -117,6 +117,14 @@ std::vector<ZooEntry> workload_zoo() {
   return zoo;
 }
 
+PerceptionPipeline single_model_pipeline(Model model) {
+  PerceptionPipeline p;
+  p.name = model.name;
+  const std::string stage_name = model.name;
+  p.stages.push_back(Stage{stage_name, {{std::move(model), false}}});
+  return p;
+}
+
 PerceptionPipeline build_fanin_pipeline(int cameras) {
   PerceptionPipeline p;
   p.name = "fanin_" + std::to_string(cameras);

@@ -31,6 +31,12 @@ Model build_unet_segmenter(std::int64_t h = 256, std::int64_t w = 256,
 // All zoo entries (for parameterized tests and the zoo bench).
 std::vector<ZooEntry> workload_zoo();
 
+// Wraps any single model (e.g. a zoo entry) into a one-stage pipeline so it
+// can be scheduled, simulated, and — via src/sim/serving.h — admitted as a
+// tenant stream next to the perception pipeline. The stage is named after
+// the model.
+PerceptionPipeline single_model_pipeline(Model model);
+
 // Synthetic multi-camera fan-in: `cameras` single-layer producer models in
 // stage 0 feeding one small fusion model in stage 1. Assigned producer i ->
 // chiplet i and the fusion model -> chiplet `cameras` on a 1 x (cameras+1)

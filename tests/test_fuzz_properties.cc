@@ -10,9 +10,11 @@
 #include <string>
 
 #include "core/evaluator.h"
+#include "core/partition.h"
 #include "dataflow/cost_model.h"
 #include "dataflow/mapping_analysis.h"
 #include "sim/event_sim.h"
+#include "sim/serving.h"
 
 namespace cnpu {
 namespace {
@@ -379,6 +381,164 @@ TEST_P(FuzzSeed, FaultInjectionDeterministicAndConservative) {
     }
     ASSERT_EQ(a.tasks_executed, b.tasks_executed);
     ASSERT_TRUE(a.chiplet_busy_s == b.chiplet_busy_s);
+  }
+}
+
+// Multi-tenant serving under fuzzed policies: whatever the policy, rates,
+// NoP mode, or fault, (a) per-tenant frame conservation holds — completed
+// + dropped == admitted for EVERY tenant — and (b) repeated runs are
+// bitwise-identical.
+TEST_P(FuzzSeed, MultiTenantServingConservesFramesUnderFuzzedPolicies) {
+  Lcg rng(static_cast<std::uint64_t>(GetParam()) * 91009u + 23u);
+  for (int trial = 0; trial < 3; ++trial) {
+    const int rows = static_cast<int>(rng.range(2, 3));
+    const int cols = static_cast<int>(rng.range(2, 4));
+    const PackageConfig pkg = make_simba_package(rows, cols);
+    const GridCoord io_entry{(rows - 1) / 2, 0};
+
+    const int n_tenants = static_cast<int>(rng.range(2, 3));
+    std::vector<PerceptionPipeline> pipes;
+    for (int t = 0; t < n_tenants; ++t) {
+      PerceptionPipeline pipe;
+      Model m;
+      m.name = "tenant_chain_" + std::to_string(t);
+      const int layers = static_cast<int>(rng.range(2, 4));
+      for (int l = 0; l < layers; ++l) {
+        m.layers.push_back(gemm("t" + std::to_string(t) + "_g" +
+                                    std::to_string(l),
+                                rng.range(512, 8192), rng.range(16, 128),
+                                rng.range(16, 128)));
+      }
+      pipe.stages.push_back(Stage{"S", {{m, false}}});
+      pipes.push_back(std::move(pipe));
+    }
+    std::vector<TenantWorkload> fleet;
+    for (int t = 0; t < n_tenants; ++t) {
+      TenantWorkload w;
+      w.name = "t" + std::to_string(t);
+      w.pipeline = &pipes[static_cast<std::size_t>(t)];
+      w.frames = static_cast<int>(rng.range(4, 12));
+      w.frame_interval_s = rng.range(0, 1) == 0
+                               ? 0.0
+                               : static_cast<double>(rng.range(1, 50)) * 1e-5;
+      if (rng.range(0, 1) == 0) {
+        w.deadline_s = static_cast<double>(rng.range(1, 80)) * 1e-5;
+      }
+      w.priority = static_cast<int>(rng.range(0, 2));
+      fleet.push_back(w);
+    }
+
+    ServingOptions opt;
+    const std::int64_t pol = rng.range(0, 2);
+    opt.policy = pol == 0   ? PlacementPolicy::kShared
+                 : pol == 1 ? PlacementPolicy::kPartitioned
+                            : PlacementPolicy::kPriority;
+    if (rng.range(0, 3) == 0) opt.nop_mode = NopMode::kContended;
+    if (rng.range(0, 1) == 0) {
+      int victim = -1;
+      while (victim < 0) {
+        const int cand =
+            static_cast<int>(rng.range(0, pkg.num_chiplets() - 1));
+        if (!(pkg.chiplet(cand).coord == io_entry)) victim = cand;
+      }
+      opt.fault.chiplet_id = victim;
+      opt.fault.fail_time_s = static_cast<double>(rng.range(0, 200)) * 1e-5;
+      if (rng.range(0, 1) == 0) {
+        opt.fault.recover_time_s =
+            opt.fault.fail_time_s +
+            static_cast<double>(rng.range(1, 100)) * 1e-5;
+      }
+      opt.fault.reschedule_penalty_s =
+          static_cast<double>(rng.range(0, 20)) * 1e-5;
+    }
+
+    const SimResult a = serve_tenants(pkg, fleet, opt);
+    const SimResult b = serve_tenants(pkg, fleet, opt);
+
+    // (a) conservation, per tenant and in aggregate.
+    ASSERT_EQ(a.tenants.size(), fleet.size());
+    int total = 0;
+    for (std::size_t t = 0; t < a.tenants.size(); ++t) {
+      const TenantResult& tr = a.tenants[t];
+      ASSERT_EQ(tr.frames_completed + tr.dropped_frames, tr.frames)
+          << tr.name;
+      int nan_count = 0;
+      for (const double comp : tr.frame_completion_s) {
+        if (std::isnan(comp)) ++nan_count;
+      }
+      ASSERT_EQ(nan_count, tr.dropped_frames) << tr.name;
+      total += tr.frames;
+    }
+    ASSERT_EQ(a.frames_completed + a.dropped_frames, total);
+
+    // (b) determinism (NaN-aware elementwise comparison).
+    ASSERT_EQ(a.frame_completion_s.size(), b.frame_completion_s.size());
+    for (std::size_t f = 0; f < a.frame_completion_s.size(); ++f) {
+      const double x = a.frame_completion_s[f];
+      const double y = b.frame_completion_s[f];
+      ASSERT_EQ(std::isnan(x), std::isnan(y)) << f;
+      if (!std::isnan(x)) {
+        ASSERT_EQ(x, y) << f;
+      }
+    }
+    ASSERT_EQ(a.tasks_executed, b.tasks_executed);
+    ASSERT_TRUE(a.chiplet_busy_s == b.chiplet_busy_s);
+  }
+}
+
+// Partitioned-policy isolation, fuzzed: with two tenants on disjoint
+// static pools and analytical NoP pricing, tenant 0's completions are
+// bitwise independent of tenant 1's load.
+TEST_P(FuzzSeed, PartitionedTenantIsolationHoldsUnderFuzzedLoads) {
+  Lcg rng(static_cast<std::uint64_t>(GetParam()) * 50021u + 19u);
+  for (int trial = 0; trial < 3; ++trial) {
+    const int rows = static_cast<int>(rng.range(1, 3));
+    const int cols = static_cast<int>(rng.range(2, 4));
+    const PackageConfig pkg = make_simba_package(rows, cols);
+    // Two tenants over the quadrant pools must be a genuine partition.
+    const auto pools = partition_tenant_pools(pkg, 2);
+    ASSERT_EQ(pools.size(), 2u);
+    for (const int id : pools[0]) {
+      for (const int other : pools[1]) ASSERT_NE(id, other);
+    }
+
+    std::vector<PerceptionPipeline> pipes;
+    for (int t = 0; t < 2; ++t) {
+      PerceptionPipeline pipe;
+      Model m;
+      m.name = "iso_chain_" + std::to_string(t);
+      const int layers = static_cast<int>(rng.range(2, 3));
+      for (int l = 0; l < layers; ++l) {
+        m.layers.push_back(gemm("i" + std::to_string(t) + "_g" +
+                                    std::to_string(l),
+                                rng.range(512, 4096), rng.range(16, 64),
+                                rng.range(16, 64)));
+      }
+      pipe.stages.push_back(Stage{"S", {{m, false}}});
+      pipes.push_back(std::move(pipe));
+    }
+    std::vector<TenantWorkload> fleet;
+    for (int t = 0; t < 2; ++t) {
+      TenantWorkload w;
+      w.name = "t" + std::to_string(t);
+      w.pipeline = &pipes[static_cast<std::size_t>(t)];
+      w.frames = static_cast<int>(rng.range(4, 10));
+      w.frame_interval_s = static_cast<double>(rng.range(1, 40)) * 1e-5;
+      fleet.push_back(w);
+    }
+    ServingOptions opt;
+    opt.policy = PlacementPolicy::kPartitioned;
+    const SimResult base = serve_tenants(pkg, fleet, opt);
+
+    // Perturb only tenant 1.
+    fleet[1].frame_interval_s = rng.range(0, 1) == 0 ? 0.0 : 1e-6;
+    fleet[1].frames = static_cast<int>(rng.range(10, 30));
+    const SimResult loaded = serve_tenants(pkg, fleet, opt);
+
+    ASSERT_TRUE(base.tenants[0].frame_completion_s ==
+                loaded.tenants[0].frame_completion_s)
+        << "trial " << trial;
+    ASSERT_EQ(base.tenants[0].p99_latency_s, loaded.tenants[0].p99_latency_s);
   }
 }
 

@@ -9,9 +9,11 @@
 
 #include "core/baselines.h"
 #include "core/evaluator.h"
+#include "core/partition.h"
 #include "core/remap.h"
 #include "core/throughput_matching.h"
 #include "exp/sweep_runner.h"
+#include "sim/serving.h"
 #include "workloads/autopilot.h"
 #include "workloads/zoo.h"
 
@@ -624,6 +626,306 @@ TEST(EventSim, FaultOnSingleChipletPackageThrows) {
   opt.fault.chiplet_id = 0;
   opt.fault.fail_time_s = 1.0;
   EXPECT_THROW(simulate_schedule(sched, opt), std::invalid_argument);
+}
+
+// --- multi-tenant serving ---
+
+// The canonical serving scenario shared by these tests: N tenants, each a
+// 3-camera perception probe pipeline, on a 4x4 mesh whose quadrant pools
+// partition cleanly.
+struct ServingScenario {
+  PerceptionPipeline pipe = build_fault_probe_pipeline(3);
+  PackageConfig pkg = make_simba_package(4, 4);
+  double healthy = 0.0;  // steady interval of one tenant alone (chainwise)
+
+  ServingScenario() {
+    SimOptions burst;
+    burst.frames = 8;
+    healthy = simulate_schedule(build_chainwise_schedule(pipe, pkg), burst)
+                  .steady_interval_s;
+  }
+
+  std::vector<TenantWorkload> fleet(int n, double interval,
+                                    double deadline = 0.0) const {
+    std::vector<TenantWorkload> out;
+    for (int t = 0; t < n; ++t) {
+      TenantWorkload w;
+      w.name = "t" + std::to_string(t);
+      w.pipeline = &pipe;
+      w.frames = 24;
+      w.frame_interval_s = interval;
+      w.deadline_s = deadline;
+      w.priority = t == 0 ? 1 : 0;
+      out.push_back(w);
+    }
+    return out;
+  }
+};
+
+// Acceptance: ONE tenant under the shared policy must be bitwise-identical
+// to the legacy single-stream simulator on the same chainwise schedule —
+// the serving layer adds capability, not noise. Checked in both NoP modes
+// and with periodic admission.
+TEST(Serving, SingleTenantSharedBitwiseIdenticalToLegacy) {
+  const ServingScenario s;
+  for (const NopMode mode : {NopMode::kAnalytical, NopMode::kContended}) {
+    SimOptions legacy_opt;
+    legacy_opt.frames = 24;
+    legacy_opt.frame_interval_s = s.healthy * 1.5;
+    legacy_opt.nop_mode = mode;
+    const Schedule legacy_sched = build_chainwise_schedule(s.pipe, s.pkg);
+    const SimResult legacy = simulate_schedule(legacy_sched, legacy_opt);
+
+    std::vector<TenantWorkload> one = s.fleet(1, s.healthy * 1.5);
+    ServingOptions opt;
+    opt.policy = PlacementPolicy::kShared;
+    opt.nop_mode = mode;
+    const SimResult served = serve_tenants(s.pkg, one, opt);
+
+    EXPECT_TRUE(served.frame_completion_s == legacy.frame_completion_s);
+    EXPECT_TRUE(served.frame_latency_s == legacy.frame_latency_s);
+    EXPECT_TRUE(served.chiplet_busy_s == legacy.chiplet_busy_s);
+    EXPECT_EQ(served.first_frame_latency_s, legacy.first_frame_latency_s);
+    EXPECT_EQ(served.steady_interval_s, legacy.steady_interval_s);
+    EXPECT_EQ(served.makespan_s, legacy.makespan_s);
+    EXPECT_EQ(served.p50_latency_s, legacy.p50_latency_s);
+    EXPECT_EQ(served.p95_latency_s, legacy.p95_latency_s);
+    EXPECT_EQ(served.p99_latency_s, legacy.p99_latency_s);
+    EXPECT_EQ(served.tasks_executed, legacy.tasks_executed);
+    EXPECT_EQ(served.frames_completed, legacy.frames_completed);
+    // The serving run also carries the per-tenant slice.
+    ASSERT_EQ(served.tenants.size(), 1u);
+    EXPECT_EQ(served.tenants.front().p99_latency_s, legacy.p99_latency_s);
+    EXPECT_TRUE(served.tenants.front().frame_completion_s ==
+                legacy.frame_completion_s);
+  }
+}
+
+// An explicit one-entry tenant list (schedule = nullptr -> the top-level
+// schedule) is the same engine path as the implicit legacy options.
+TEST(Serving, ExplicitSingleStreamMatchesImplicitOptions) {
+  const ServingScenario s;
+  const Schedule sched = build_chainwise_schedule(s.pipe, s.pkg);
+  SimOptions implicit;
+  implicit.frames = 16;
+  implicit.frame_interval_s = s.healthy * 1.2;
+  implicit.deadline_s = s.healthy * 3.0;
+  const SimResult a = simulate_schedule(sched, implicit);
+
+  SimOptions explicit_opt;
+  TenantStream stream;
+  stream.frames = 16;
+  stream.frame_interval_s = s.healthy * 1.2;
+  stream.deadline_s = s.healthy * 3.0;
+  explicit_opt.tenants.push_back(stream);
+  const SimResult b = simulate_schedule(sched, explicit_opt);
+
+  EXPECT_TRUE(a.frame_completion_s == b.frame_completion_s);
+  EXPECT_EQ(a.p99_latency_s, b.p99_latency_s);
+  EXPECT_EQ(a.steady_interval_s, b.steady_interval_s);
+  EXPECT_EQ(a.deadline_miss_frames, b.deadline_miss_frames);
+  EXPECT_EQ(a.tasks_executed, b.tasks_executed);
+}
+
+// Single-stream legacy runs also report their one-tenant slice, and it
+// agrees with the package-level aggregates.
+TEST(Serving, LegacyRunFillsSingleTenantSlice) {
+  const ServingScenario s;
+  const Schedule sched = build_chainwise_schedule(s.pipe, s.pkg);
+  SimOptions opt;
+  opt.frames = 12;
+  const SimResult r = simulate_schedule(sched, opt);
+  ASSERT_EQ(r.tenants.size(), 1u);
+  const TenantResult& tr = r.tenants.front();
+  EXPECT_EQ(tr.frames, 12);
+  EXPECT_EQ(tr.frames_completed, r.frames_completed);
+  EXPECT_EQ(tr.p99_latency_s, r.p99_latency_s);
+  EXPECT_EQ(tr.peak_latency_s, r.peak_latency_s);
+  EXPECT_TRUE(tr.frame_completion_s == r.frame_completion_s);
+}
+
+// Per-tenant frame conservation: completed + dropped == admitted for every
+// tenant, healthy or faulted, and the package totals are the tenant sums.
+TEST(Serving, PerTenantConservationUnderFault) {
+  const ServingScenario s;
+  std::vector<TenantWorkload> fleet =
+      s.fleet(3, s.healthy * 1.5, s.healthy * 4.0);
+  ServingOptions opt;
+  opt.policy = PlacementPolicy::kShared;
+  opt.fault.chiplet_id = 5;  // (1,1): away from the I/O router
+  opt.fault.fail_time_s = 8 * s.healthy;
+  opt.fault.recover_time_s = 20 * s.healthy;
+  opt.fault.reschedule_penalty_s = 4 * s.healthy;
+  const SimResult r = serve_tenants(s.pkg, fleet, opt);
+  ASSERT_EQ(r.tenants.size(), 3u);
+  int completed = 0;
+  int dropped = 0;
+  for (const TenantResult& tr : r.tenants) {
+    EXPECT_EQ(tr.frames_completed + tr.dropped_frames, tr.frames) << tr.name;
+    int nan_count = 0;
+    for (int f = 0; f < tr.frames; ++f) {
+      const std::size_t fi = static_cast<std::size_t>(f);
+      EXPECT_EQ(std::isnan(tr.frame_completion_s[fi]),
+                std::isnan(tr.frame_latency_s[fi]))
+          << tr.name << " frame " << f;
+      if (std::isnan(tr.frame_completion_s[fi])) ++nan_count;
+    }
+    EXPECT_EQ(nan_count, tr.dropped_frames) << tr.name;
+    completed += tr.frames_completed;
+    dropped += tr.dropped_frames;
+  }
+  EXPECT_EQ(completed, r.frames_completed);
+  EXPECT_EQ(dropped, r.dropped_frames);
+  EXPECT_EQ(completed + dropped, 3 * 24);
+}
+
+// Partitioned isolation: tenant A's completions are BITWISE independent of
+// tenant B's load — disjoint static chiplet pools share nothing in
+// analytical NoP mode.
+TEST(Serving, PartitionedIsolationIndependentOfNeighborLoad) {
+  const ServingScenario s;
+  // Pools must actually partition (2 tenants over 4 quadrants -> 2 + 2).
+  const auto pools = partition_tenant_pools(s.pkg, 2);
+  ASSERT_EQ(pools.size(), 2u);
+
+  ServingOptions opt;
+  opt.policy = PlacementPolicy::kPartitioned;
+  std::vector<TenantWorkload> calm = s.fleet(2, s.healthy * 2.0);
+  const SimResult base = serve_tenants(s.pkg, calm, opt);
+
+  std::vector<TenantWorkload> stormy = calm;
+  stormy[1].frame_interval_s = 0.0;  // tenant B bursts at full rate
+  stormy[1].frames = 48;
+  const SimResult loaded = serve_tenants(s.pkg, stormy, opt);
+
+  // Tenant B's world changed...
+  EXPECT_NE(base.tenants[1].frames, loaded.tenants[1].frames);
+  // ...tenant A's did not, bit for bit.
+  EXPECT_TRUE(base.tenants[0].frame_completion_s ==
+              loaded.tenants[0].frame_completion_s);
+  EXPECT_EQ(base.tenants[0].p99_latency_s, loaded.tenants[0].p99_latency_s);
+  EXPECT_EQ(base.tenants[0].steady_interval_s,
+            loaded.tenants[0].steady_interval_s);
+}
+
+// The consolidation acceptance property (bench_serving enforces it too):
+// shared placement inflates the worst tenant p99; partitioning removes the
+// interference at identical load.
+TEST(Serving, SharedPolicyInflatesTailVsPartitioned) {
+  const ServingScenario s;
+  std::vector<TenantWorkload> fleet = s.fleet(4, s.healthy * 1.5);
+  ServingOptions shared;
+  shared.policy = PlacementPolicy::kShared;
+  ServingOptions part;
+  part.policy = PlacementPolicy::kPartitioned;
+  const SimResult rs = serve_tenants(s.pkg, fleet, shared);
+  const SimResult rp = serve_tenants(s.pkg, fleet, part);
+  double worst_shared = 0.0;
+  double worst_part = 0.0;
+  for (int t = 0; t < 4; ++t) {
+    worst_shared =
+        std::max(worst_shared, rs.tenants[static_cast<std::size_t>(t)].p99_latency_s);
+    worst_part =
+        std::max(worst_part, rp.tenants[static_cast<std::size_t>(t)].p99_latency_s);
+  }
+  EXPECT_GT(worst_shared, worst_part * 1.2);
+}
+
+// kPriority: the priority tenant's tail is shielded from the overload the
+// other tenants experience, and beats its own tail under plain kShared.
+TEST(Serving, PriorityTenantShieldedUnderOverload) {
+  const ServingScenario s;
+  std::vector<TenantWorkload> fleet = s.fleet(4, s.healthy * 1.5);
+  ServingOptions shared;
+  shared.policy = PlacementPolicy::kShared;
+  ServingOptions priority;
+  priority.policy = PlacementPolicy::kPriority;
+  const SimResult rs = serve_tenants(s.pkg, fleet, shared);
+  const SimResult rp = serve_tenants(s.pkg, fleet, priority);
+  EXPECT_LT(rp.tenants[0].p99_latency_s, rs.tenants[0].p99_latency_s);
+  EXPECT_LT(rp.tenants[0].p99_latency_s, rp.tenants[3].p99_latency_s);
+}
+
+// Max-sustainable-load: finds a non-trivial feasible rate, the bracket is
+// consistent, and re-serving AT the found rate really meets every
+// deadline.
+TEST(Serving, MaxSustainableLoadFindsFeasibleRate) {
+  const ServingScenario s;
+  std::vector<TenantWorkload> fleet = s.fleet(2, 0.0, s.healthy * 4.0);
+  for (TenantWorkload& w : fleet) w.frames = 16;
+  ServingOptions opt;
+  opt.policy = PlacementPolicy::kPartitioned;
+  LoadSearchOptions search;
+  search.fps_lo = 0.2 / s.healthy;
+  search.fps_hi = 2.0 / s.healthy;
+  search.probes_per_round = 3;
+  search.max_rounds = 3;
+  const LoadSearchResult r = max_sustainable_load(s.pkg, fleet, opt, search);
+  ASSERT_GT(r.max_fps, 0.0);
+  EXPECT_FALSE(r.probes.empty());
+  if (r.min_infeasible_fps > 0.0) {
+    EXPECT_LT(r.max_fps, r.min_infeasible_fps);
+  }
+  // The reported rate is genuinely sustainable.
+  for (TenantWorkload& w : fleet) w.frame_interval_s = 1.0 / r.max_fps;
+  const SimResult at_max = serve_tenants(s.pkg, fleet, opt);
+  for (const TenantResult& tr : at_max.tenants) {
+    EXPECT_LE(tr.p99_latency_s, s.healthy * 4.0) << tr.name;
+  }
+}
+
+// The search is deterministic for any sweep-engine thread count.
+TEST(Serving, MaxSustainableLoadDeterministicAcrossThreadCounts) {
+  const ServingScenario s;
+  std::vector<TenantWorkload> fleet = s.fleet(2, 0.0, s.healthy * 4.0);
+  for (TenantWorkload& w : fleet) w.frames = 12;
+  ServingOptions opt;
+  opt.policy = PlacementPolicy::kShared;
+  LoadSearchOptions search;
+  search.fps_lo = 0.2 / s.healthy;
+  search.fps_hi = 1.5 / s.healthy;
+  search.probes_per_round = 3;
+  search.max_rounds = 2;
+  search.threads = 1;
+  const LoadSearchResult serial = max_sustainable_load(s.pkg, fleet, opt, search);
+  search.threads = 0;
+  const LoadSearchResult parallel =
+      max_sustainable_load(s.pkg, fleet, opt, search);
+  EXPECT_EQ(serial.max_fps, parallel.max_fps);
+  EXPECT_EQ(serial.min_infeasible_fps, parallel.min_infeasible_fps);
+  ASSERT_EQ(serial.probes.size(), parallel.probes.size());
+  for (std::size_t i = 0; i < serial.probes.size(); ++i) {
+    EXPECT_EQ(serial.probes[i].fps, parallel.probes[i].fps);
+    EXPECT_EQ(serial.probes[i].feasible, parallel.probes[i].feasible);
+  }
+}
+
+TEST(Serving, ValidationThrows) {
+  const ServingScenario s;
+  // Empty fleet / null pipeline.
+  EXPECT_THROW(serve_tenants(s.pkg, {}, {}), std::invalid_argument);
+  std::vector<TenantWorkload> bad = s.fleet(1, 0.0);
+  bad[0].pipeline = nullptr;
+  EXPECT_THROW(serve_tenants(s.pkg, bad, {}), std::invalid_argument);
+  // A tenant scheduled on a DIFFERENT package must be rejected.
+  const Schedule mine = build_chainwise_schedule(s.pipe, s.pkg);
+  const PackageConfig other_pkg = make_simba_package(4, 4);
+  const Schedule foreign = build_chainwise_schedule(s.pipe, other_pkg);
+  SimOptions opt;
+  TenantStream stream;
+  stream.schedule = &foreign;
+  opt.tenants.push_back(stream);
+  EXPECT_THROW(simulate_schedule(mine, opt), std::invalid_argument);
+  // Load search needs real deadlines and a sane bracket.
+  std::vector<TenantWorkload> no_deadline = s.fleet(2, 0.0, 0.0);
+  EXPECT_THROW(max_sustainable_load(s.pkg, no_deadline, {}, {}),
+               std::invalid_argument);
+  std::vector<TenantWorkload> fine = s.fleet(2, 0.0, s.healthy * 4.0);
+  LoadSearchOptions inverted;
+  inverted.fps_lo = 100.0;
+  inverted.fps_hi = 10.0;
+  EXPECT_THROW(max_sustainable_load(s.pkg, fine, {}, inverted),
+               std::invalid_argument);
 }
 
 TEST(EventSim, FrameCompletionsMonotone) {

@@ -1,6 +1,7 @@
 #include "util/stats.h"
 
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -9,9 +10,13 @@ namespace {
 
 TEST(Mean, Basics) {
   EXPECT_DOUBLE_EQ(mean({1, 2, 3}), 2.0);
-  EXPECT_DOUBLE_EQ(mean({}), 0.0);
   EXPECT_DOUBLE_EQ(mean({5}), 5.0);
 }
+
+// Regression (stats masking bugfix, same class geomean was cured of): an
+// empty mean used to read as a real 0.0 measurement downstream. It now
+// poisons the result with NaN, matching geomean/percentile/min_of.
+TEST(Mean, EmptyIsNan) { EXPECT_TRUE(std::isnan(mean({}))); }
 
 TEST(Geomean, Basics) {
   EXPECT_NEAR(geomean({1, 4}), 2.0, 1e-12);
@@ -41,10 +46,14 @@ TEST(Stddev, SampleUsesBesselCorrection) {
   EXPECT_GT(sample_stddev({1, 2, 3}), stddev({1, 2, 3}));
 }
 
-TEST(Stddev, FewerThanTwoValuesIsZero) {
-  EXPECT_DOUBLE_EQ(stddev({}), 0.0);
+// Regression (stats masking bugfix): the empty stddev used to report a
+// hard 0.0 spread over no data at all. Empty is now NaN (matching mean);
+// a single value is a real observation with zero spread, so size-1 keeps
+// returning 0.0.
+TEST(Stddev, EmptyIsNanSingleValueIsZero) {
+  EXPECT_TRUE(std::isnan(stddev({})));
   EXPECT_DOUBLE_EQ(stddev({3}), 0.0);
-  EXPECT_DOUBLE_EQ(sample_stddev({}), 0.0);
+  EXPECT_TRUE(std::isnan(sample_stddev({})));
   EXPECT_DOUBLE_EQ(sample_stddev({3}), 0.0);
 }
 
@@ -85,6 +94,29 @@ TEST(Percentile, ClampsRange) {
 }
 
 TEST(Percentile, EmptyIsNan) { EXPECT_TRUE(std::isnan(percentile({}, 50))); }
+
+// Regression (strict-weak-ordering bugfix): percentile used to std::sort
+// NaN-bearing input (dropped-frame latencies), which is undefined behavior
+// — NaN comparisons are not a strict weak order. Any NaN now yields NaN.
+TEST(Percentile, AnyNanPoisonsTheRank) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_TRUE(std::isnan(percentile({1.0, nan, 3.0}, 50)));
+  EXPECT_TRUE(std::isnan(percentile({nan}, 0)));
+  EXPECT_TRUE(std::isnan(percentile({nan, nan}, 100)));
+}
+
+// The documented filter-then-rank path (event_sim's per-tenant tails):
+// NaNs are dropped before ranking.
+TEST(PercentileFinite, FiltersNansThenRanks) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_DOUBLE_EQ(percentile_finite({1.0, nan, 2.0, 3.0, nan}, 50), 2.0);
+  EXPECT_DOUBLE_EQ(percentile_finite({nan, 7.0}, 100), 7.0);
+  EXPECT_TRUE(std::isnan(percentile_finite({nan, nan}, 50)));
+  EXPECT_TRUE(std::isnan(percentile_finite({}, 50)));
+  // No NaNs: identical to percentile.
+  EXPECT_DOUBLE_EQ(percentile_finite({1, 2, 3, 4, 5}, 50),
+                   percentile({1, 2, 3, 4, 5}, 50));
+}
 
 }  // namespace
 }  // namespace cnpu

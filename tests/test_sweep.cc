@@ -125,6 +125,57 @@ TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
   EXPECT_EQ(count.load(), 50);
 }
 
+// Regression (exception-loss bugfix): a throwing task used to escape the
+// std::jthread (std::terminate), and because the unfinished_ decrement ran
+// only after a successful task(), wait_idle() would have deadlocked on the
+// lost count. The pool now contains the throw, keeps its bookkeeping via
+// RAII, and surfaces the FIRST captured exception from wait_idle().
+TEST(ThreadPoolTest, ThrowingTaskSurfacesFromWaitIdleWithoutDeadlock) {
+  std::atomic<int> count{0};
+  ThreadPool pool(2);
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([&count, i] {
+      if (i == 3) throw std::runtime_error("task 3 exploded");
+      ++count;
+    });
+  }
+  try {
+    pool.wait_idle();
+    FAIL() << "wait_idle did not rethrow the task exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task 3 exploded");
+  }
+  // Every non-throwing task still ran (the throw cost no siblings).
+  EXPECT_EQ(count.load(), 7);
+  // The error was consumed: the pool stays usable and a clean cycle does
+  // not rethrow stale state.
+  pool.submit([&count] { ++count; });
+  EXPECT_NO_THROW(pool.wait_idle());
+  EXPECT_EQ(count.load(), 8);
+}
+
+TEST(ThreadPoolTest, OnlyFirstOfManyExceptionsSurfaces) {
+  ThreadPool pool(1);  // single worker: deterministic task order
+  for (int i = 0; i < 3; ++i) {
+    pool.submit([i] { throw std::runtime_error("boom " + std::to_string(i)); });
+  }
+  try {
+    pool.wait_idle();
+    FAIL() << "wait_idle did not rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom 0");
+  }
+  EXPECT_NO_THROW(pool.wait_idle());
+}
+
+TEST(ThreadPoolTest, UnsurfacedTaskExceptionDoesNotFireOnDestruction) {
+  // A throwing task whose error is never collected must not crash the
+  // process at pool destruction (the destructor cannot throw).
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("dropped"); });
+  // Destructor drains and joins; dropped error is discarded.
+}
+
 // -------------------------------------------------------------- SweepRunner
 
 SweepRecord noisy_eval(const SweepPoint& p) {
