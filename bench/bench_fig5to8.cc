@@ -97,8 +97,14 @@ void print_sweep_comparison() {
   // just annotate the table — this is the engine's acceptance check.
   bench::require_all_ok(serial);
   bench::require_all_ok(parallel);
-  const bool identical = serial.to_csv() == parallel.to_csv() &&
-                         serial.to_json() == parallel.to_json();
+  // Wall-clock throughput legitimately differs between the two runs; the
+  // identity check covers the point payloads, so normalize the timing
+  // fields before diffing the artifacts.
+  SweepResult normalized = parallel;
+  normalized.elapsed_s = serial.elapsed_s;
+  normalized.points_per_sec = serial.points_per_sec;
+  const bool identical = serial.to_csv() == normalized.to_csv() &&
+                         serial.to_json() == normalized.to_json();
   int sim_mismatches = 0;
   for (const SweepPointResult& p : serial.points) {
     if (p.record.get("sim_identical") != 1.0) ++sim_mismatches;

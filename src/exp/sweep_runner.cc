@@ -1,6 +1,7 @@
 #include "exp/sweep_runner.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <stdexcept>
@@ -111,6 +112,8 @@ std::string SweepResult::to_json() const {
   JsonWriter w;
   w.begin_object();
   w.key("sweep").value(name);
+  w.key("elapsed_s").value(elapsed_s);
+  w.key("points_per_sec").value(points_per_sec);
   w.key("points").begin_array();
   for (const auto& p : points) {
     w.begin_object();
@@ -159,6 +162,7 @@ int SweepRunner::threads() const {
 }
 
 SweepResult SweepRunner::run(const SweepSpec& spec, const SweepFn& fn) const {
+  const auto t0 = std::chrono::steady_clock::now();
   SweepResult result;
   result.name = spec.name();
   const int n = spec.num_points();  // validates zipped axis lengths up front
@@ -179,13 +183,19 @@ SweepResult SweepRunner::run(const SweepSpec& spec, const SweepFn& fn) const {
 
   if (threads() <= 1 || n <= 1) {
     for (int i = 0; i < n; ++i) evaluate_into(i);
-    return result;
+  } else {
+    // Never spawn more workers than there are points.
+    ThreadPool pool(std::min(threads(), n));
+    for (int i = 0; i < n; ++i) {
+      pool.submit([&evaluate_into, i] { evaluate_into(i); });
+    }
+    pool.wait_idle();
   }
-  ThreadPool pool(std::min(threads(), n));
-  for (int i = 0; i < n; ++i) {
-    pool.submit([&evaluate_into, i] { evaluate_into(i); });
-  }
-  pool.wait_idle();
+  result.elapsed_s = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+  result.points_per_sec =
+      result.elapsed_s > 0.0 ? static_cast<double>(n) / result.elapsed_s : 0.0;
   return result;
 }
 

@@ -60,6 +60,14 @@ struct SweepPointResult {
 struct SweepResult {
   std::string name;                      // spec name, threaded into artifacts
   std::vector<SweepPointResult> points;  // ordered by point index
+  // Wall-clock of the run() call that produced this result and its
+  // throughput (points / elapsed_s; 0 when unmeasured or instantaneous) —
+  // the sweep-engine speed metric bench_simspeed tracks across PRs (see
+  // docs/METRICS.md). Carried into the JSON artifact; NOT into the CSV,
+  // whose rows are per-point. Timing varies run to run, so determinism
+  // checks that diff two artifacts normalize these fields first.
+  double elapsed_s = 0.0;
+  double points_per_sec = 0.0;
 
   int num_failed() const;
 
@@ -67,7 +75,8 @@ struct SweepResult {
   // the first successful point's record (sweeps emit a uniform schema).
   // Failed points leave metric cells empty and fill `error`.
   std::string to_csv() const;
-  // JSON: {"sweep": name, "points": [{"point": i, "params": {...},
+  // JSON: {"sweep": name, "elapsed_s": s, "points_per_sec": r,
+  // "points": [{"point": i, "params": {...},
   // "metrics": {...}, "ok": bool, "error"?: str, "note"?: str}, ...]}.
   std::string to_json() const;
   // Artifact writers; false on I/O failure.
@@ -84,6 +93,15 @@ class SweepRunner {
 
   // Worker threads a run will use (resolves the 0 default).
   int threads() const;
+
+  // Number of distinct per-worker state slots a run() / map() callback can
+  // observe: slot ThreadPool::current_worker_index() + 1, i.e. slot 0 for
+  // the inline (serial) path on the calling thread and 1..threads() for
+  // pool workers. Although each run builds a fresh pool, worker indices
+  // are stable across runs, so per-slot state (e.g. a SimEngine with its
+  // compiled-program cache) persists usefully across consecutive sweeps —
+  // the bisection rounds of max_sustainable_load rely on exactly that.
+  int worker_slots() const { return threads() + 1; }
 
   // Evaluates every point of `spec`, capturing per-point errors. The points
   // vector of the result is always num_points() long and index-ordered.

@@ -4,6 +4,15 @@
 #include <utility>
 
 namespace cnpu {
+namespace {
+
+// Written once at worker startup, read by current_worker_index(); -1 on
+// every thread that is not a pool worker.
+thread_local int t_pool_worker_index = -1;
+
+}  // namespace
+
+int ThreadPool::current_worker_index() { return t_pool_worker_index; }
 
 int ThreadPool::recommended_threads() {
   return static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
@@ -76,6 +85,7 @@ bool ThreadPool::try_pop(std::size_t self, std::function<void()>& out) {
 }
 
 void ThreadPool::worker_loop(std::stop_token stop, std::size_t self) {
+  t_pool_worker_index = static_cast<int>(self);
   // Decrements unfinished_ on scope exit — including when the task throws —
   // so wait_idle() can never deadlock on a lost decrement. (The former
   // post-task decrement ran only on the non-throwing path, and the escaping

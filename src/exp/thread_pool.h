@@ -58,6 +58,15 @@ class ThreadPool {
   // legitimately return 0 on exotic platforms).
   static int recommended_threads();
 
+  // Index of the calling thread within the pool that owns it: 0..N-1 on a
+  // pool worker, -1 on any other thread (including the thread that built
+  // the pool). Lets point evaluators key per-worker reusable state — e.g.
+  // the sweep layer's per-slot SimEngines — without locking: two live
+  // workers never share an index, and a worker's index is stable for its
+  // lifetime. Pool-relative; with several pools the index alone does not
+  // identify a pool (sweep-shaped code runs one pool at a time).
+  static int current_worker_index();
+
  private:
   void worker_loop(std::stop_token stop, std::size_t self);
   // True when any worker deque holds a task. Caller holds mu_.

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
+#include <map>
+#include <memory>
 #include <optional>
-#include <queue>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "core/evaluator.h"
@@ -13,7 +16,10 @@
 #include "util/stats.h"
 
 namespace cnpu {
-namespace {
+// Engine internals. A named namespace (not anonymous) because these types
+// are the fields of SimEngine::Impl, whose class has external linkage —
+// internal-linkage members there would be a -Wsubobject-linkage violation.
+namespace evsim {
 
 constexpr double kTimeEps = 1e-15;
 // A frame counts as recovered once its latency is back inside this band
@@ -52,9 +58,10 @@ struct OutEdge {
   const Edge* edge = nullptr;
 };
 
-// Static (frame-independent) view of one schedule. The simulator holds up
-// to two: the primary schedule and, under a FaultPlan, the remapped
-// degraded schedule swapped in per frame while the chiplet is down.
+// Static (frame-independent) view of one schedule. Compiled once per
+// (schedule, NoP mode) and cached by the engine across runs; a run holds
+// up to two per tenant: the primary program and, under a FaultPlan, the
+// remapped degraded program swapped in per frame while the chiplet is down.
 struct Program {
   std::vector<std::vector<ShardTask>> shards_of_item;
   std::vector<std::vector<Edge>> deps;  // deps[consumer] = producer edges
@@ -67,13 +74,16 @@ struct Program {
 // `dense_pkg` defines the dense chiplet index space (always the ORIGINAL
 // package, so the primary and degraded programs share calendars); routes
 // and costs come from the schedule's own package, which for the degraded
-// program detours around the failed router.
-Program build_program(const Schedule& sched, const SimOptions& options,
-                      NopFabric& fabric, const PackageConfig& dense_pkg) {
+// program detours around the failed router. `link_order`, when non-null,
+// records every resolved dense link index in resolution order — the
+// engine replays these records to reconstruct the link registration order
+// a FRESH fabric would have seen, which fixes the link_stats output order
+// (see SimEngine::Impl::collect_run_links).
+Program build_program(const Schedule& sched, bool nop, bool contended,
+                      NopFabric& fabric, const PackageConfig& dense_pkg,
+                      std::vector<int>* link_order) {
   const PerceptionPipeline& pipe = sched.pipeline();
   const PackageConfig& pkg = sched.package();
-  const bool nop = options.model_nop_delays;
-  const bool contended = nop && options.nop_mode == NopMode::kContended;
 
   Program prog;
   prog.num_chiplets = dense_pkg.num_chiplets();
@@ -86,6 +96,14 @@ Program build_program(const Schedule& sched, const SimOptions& options,
       if (specs[i].id == chiplet_id) return static_cast<int>(i);
     }
     throw std::out_of_range("chiplet id not in package");
+  };
+
+  const auto resolve_route = [&](const std::vector<NopLink>& route) {
+    std::vector<int> indices = fabric.resolve(route);
+    if (link_order != nullptr) {
+      link_order->insert(link_order->end(), indices.begin(), indices.end());
+    }
+    return indices;
   };
 
   for (int i = 0; i < sched.num_items(); ++i) {
@@ -112,7 +130,7 @@ Program build_program(const Schedule& sched, const SimOptions& options,
         std::vector<NopLink> route =
             pkg.route_between(sh.chiplet_id, to.primary_chiplet());
         if (route.empty()) continue;
-        e.msgs.push_back(EdgeMsg{fabric.resolve(route), sh.fraction * bytes});
+        e.msgs.push_back(EdgeMsg{resolve_route(route), sh.fraction * bytes});
       }
     }
     prog.deps[static_cast<std::size_t>(consumer)].push_back(std::move(e));
@@ -135,7 +153,7 @@ Program build_program(const Schedule& sched, const SimOptions& options,
                 : 0.0;
         if (contended) {
           in.msg = EdgeMsg{
-              fabric.resolve(pkg.route_from_io(first.primary_chiplet())),
+              resolve_route(pkg.route_from_io(first.primary_chiplet())),
               kCameraInputBytes};
         }
         prog.ingress.push_back(std::move(in));
@@ -264,28 +282,61 @@ struct ReadyAfter {
   }
 };
 
+// Vector-backed binary min-heap whose clear() retains capacity, replacing
+// the std::priority_queue the one-shot simulator used (whose only
+// "reset" is replacement, discarding the backing allocation every run).
+// push/pop are exactly std::priority_queue's specified algorithms
+// (push_back + std::push_heap / std::pop_heap + pop_back over the same
+// comparator), so the pop sequence is bitwise-identical — and since every
+// comparator here is a TOTAL order over its live elements, any conforming
+// heap would pop the same sequence anyway.
+template <typename T, typename After>
+class MinHeap {
+ public:
+  bool empty() const { return v_.empty(); }
+  const T& top() const { return v_.front(); }
+  void push(T x) {
+    v_.push_back(std::move(x));
+    std::push_heap(v_.begin(), v_.end(), After{});
+  }
+  void pop() {
+    std::pop_heap(v_.begin(), v_.end(), After{});
+    v_.pop_back();
+  }
+  void clear() { v_.clear(); }
+
+ private:
+  std::vector<T> v_;
+};
+
 // One resolved tenant stream: the explicit TenantStream list, or the
-// single implicit stream described by SimOptions' top-level fields.
+// single implicit stream described by SimOptions' top-level fields. Holds
+// pointers into the caller's SimOptions (or the statics below) so that
+// re-resolving streams every run costs no string/vector copies.
 struct StreamSpec {
   const Schedule* sched = nullptr;
-  std::string name;
+  const std::string* name = nullptr;
   int frames = 1;
   double interval = 0.0;
   double deadline = 0.0;
   int priority = 0;
-  std::vector<int> allowed;
+  const std::vector<int>* allowed = nullptr;
 };
+
+const std::string kImplicitStreamName = "stream";
+const std::vector<int> kNoAllowedChiplets;
 
 // Recovery metric (see SimResult::recovery_time_s), per latency/completion
 // slice: baseline = best completed latency observed before the fault
 // (slice minimum when nothing completed pre-fault); the spike ends when
 // the last elevated frame completes. Dropped frames carry NaN and are
-// skipped.
+// skipped. `finished` is engine-owned scratch (cleared here).
 double recovery_after_fault(const std::vector<double>& latency,
                             const std::vector<double>& completion,
-                            double fail_time_s) {
+                            double fail_time_s,
+                            std::vector<double>& finished) {
   double baseline = std::numeric_limits<double>::infinity();
-  std::vector<double> finished;
+  finished.clear();
   for (std::size_t i = 0; i < latency.size(); ++i) {
     if (std::isnan(completion[i])) continue;
     finished.push_back(latency[i]);
@@ -307,12 +358,12 @@ double recovery_after_fault(const std::vector<double>& latency,
 
 // Tail statistics over one completed-frames slice (NaN = dropped):
 // everything the drop-exclusion convention touches — completed count,
-// makespan, steady interval, percentiles (filter-then-rank via
-// percentile_finite: NaN latencies must not poison or UB-sort into the
-// rank), mean, peak — computed in ONE place so per-tenant slices and the
-// multi-tenant package aggregates cannot diverge. The single-stream
-// branches of simulate_schedule keep their original inline code: they are
-// bitwise-pinned to the pre-serving simulator.
+// makespan, steady interval, percentiles (filter-then-rank: NaN latencies
+// must not poison or UB-sort into the rank), mean, peak — computed in ONE
+// place so per-tenant slices and the multi-tenant package aggregates
+// cannot diverge. The single-stream branches of run_into keep their
+// original inline code: they are bitwise-pinned to the pre-serving
+// simulator.
 struct TailStats {
   int completed = 0;
   double makespan_s = 0.0;  // NaN when nothing completed
@@ -324,55 +375,66 @@ struct TailStats {
   double peak_s = 0.0;
 };
 
+// `lat_scratch` / `time_scratch` are engine-owned scratch buffers
+// (cleared here); the former percentile_finite / mean calls over fresh
+// temporaries become one filter + one in-place sort + three rank reads.
+// Float-op order is preserved bitwise: the mean's summation runs over the
+// finished latencies in frame order, BEFORE the sort; the percentiles read
+// the same sorted array percentile_finite would have built.
 TailStats reduce_tail(const std::vector<double>& latency,
-                      const std::vector<double>& completion) {
+                      const std::vector<double>& completion,
+                      std::vector<double>& lat_scratch,
+                      std::vector<double>& time_scratch) {
   const double nan = std::numeric_limits<double>::quiet_NaN();
-  std::vector<double> finished_lat;
-  std::vector<double> finished_times;
+  lat_scratch.clear();
+  time_scratch.clear();
   for (std::size_t i = 0; i < completion.size(); ++i) {
     if (std::isnan(completion[i])) continue;
-    finished_times.push_back(completion[i]);
-    finished_lat.push_back(latency[i]);
+    time_scratch.push_back(completion[i]);
+    lat_scratch.push_back(latency[i]);
   }
-  std::sort(finished_times.begin(), finished_times.end());
+  std::sort(time_scratch.begin(), time_scratch.end());
   TailStats t;
-  const int n = static_cast<int>(finished_times.size());
+  const int n = static_cast<int>(time_scratch.size());
   t.completed = n;
-  t.makespan_s = n > 0 ? finished_times.back() : nan;
+  t.makespan_s = n > 0 ? time_scratch.back() : nan;
   if (n >= 4) {
     const int half = n / 2;
     t.steady_interval_s =
-        (finished_times[static_cast<std::size_t>(n - 1)] -
-         finished_times[static_cast<std::size_t>(half - 1)]) /
+        (time_scratch[static_cast<std::size_t>(n - 1)] -
+         time_scratch[static_cast<std::size_t>(half - 1)]) /
         static_cast<double>(n - half);
   } else if (n > 0) {
     t.steady_interval_s = t.makespan_s / static_cast<double>(n);
   } else {
     t.steady_interval_s = nan;
   }
-  t.p50_s = percentile_finite(latency, 50.0);
-  t.p95_s = percentile_finite(latency, 95.0);
-  t.p99_s = percentile_finite(latency, 99.0);
-  t.mean_s = mean(finished_lat);
-  t.peak_s = max_of(finished_lat);
+  t.mean_s = mean(lat_scratch);
+  t.peak_s = max_of(lat_scratch);
+  std::sort(lat_scratch.begin(), lat_scratch.end());
+  t.p50_s = percentile_sorted(lat_scratch, 50.0);
+  t.p95_s = percentile_sorted(lat_scratch, 95.0);
+  t.p99_s = percentile_sorted(lat_scratch, 99.0);
   return t;
 }
 
-// Reduces one tenant's completion slice (NaN = dropped) into its
-// TenantResult.
-TenantResult reduce_tenant(const StreamSpec& stream, const double* completion,
-                           double nop_wait_s) {
-  TenantResult tr;
-  tr.name = stream.name;
+// Reduces one tenant's completion slice (NaN = dropped) into `tr` in
+// place, overwriting every field and reusing its vectors' capacity.
+void reduce_tenant_into(const StreamSpec& stream, const double* completion,
+                        double nop_wait_s, std::vector<double>& lat_scratch,
+                        std::vector<double>& time_scratch, TenantResult& tr) {
+  tr.name = *stream.name;
   tr.frames = stream.frames;
+  tr.deadline_miss_frames = 0;
   tr.nop_wait_s = nop_wait_s;
   tr.frame_completion_s.assign(completion, completion + stream.frames);
-  tr.frame_latency_s.reserve(static_cast<std::size_t>(stream.frames));
+  tr.frame_latency_s.clear();
   for (int f = 0; f < stream.frames; ++f) {
     tr.frame_latency_s.push_back(completion[f] -
                                  static_cast<double>(f) * stream.interval);
   }
-  const TailStats tail = reduce_tail(tr.frame_latency_s, tr.frame_completion_s);
+  const TailStats tail = reduce_tail(tr.frame_latency_s, tr.frame_completion_s,
+                                     lat_scratch, time_scratch);
   tr.frames_completed = tail.completed;
   tr.dropped_frames = stream.frames - tail.completed;
   tr.p50_latency_s = tail.p50_s;
@@ -388,24 +450,238 @@ TenantResult reduce_tenant(const StreamSpec& stream, const double* completion,
       }
     }
   }
-  return tr;
 }
 
-}  // namespace
+// One fault-remapped variant of a cached program, keyed by the failed
+// chiplet and the allowed-pool restriction the remap honored (the same
+// schedule remaps differently under different tenant pools).
+struct DegradedEntry {
+  int fault_chiplet = -1;     // package id of the chiplet that died
+  std::vector<int> allowed;   // pool restriction the remap was built under
+  std::optional<Schedule> remapped;
+  Program prog;
+  RemapStats remap_stats;
+  std::vector<int> build_links;  // resolved link indices, resolve order
+};
 
-SimResult simulate_schedule(const Schedule& schedule, const SimOptions& options) {
+// Cache value for one (schedule, NoP mode): the compiled primary program
+// plus any degraded variants built for faults seen so far. unique_ptr
+// entries keep DegradedEntry addresses stable while the vector grows (the
+// run's TenantCtx holds raw pointers into them).
+struct ProgramEntry {
+  Program prog;
+  std::vector<int> build_links;
+  std::vector<std::unique_ptr<DegradedEntry>> degraded;
+};
+
+// Programs depend on the schedule and on exactly two SimOptions bits.
+struct ProgramKey {
+  const Schedule* sched = nullptr;
+  bool nop = false;
+  bool contended = false;
+  bool operator<(const ProgramKey& o) const {
+    if (sched != o.sched) return sched < o.sched;
+    if (nop != o.nop) return nop < o.nop;
+    return contended < o.contended;
+  }
+};
+
+// Per-tenant world of ONE run: cached primary program, and under a
+// FaultPlan the cached remapped schedule + degraded program (each tenant
+// remaps independently, restricted to its allowed pool). Plain pointers
+// into the engine's caches, so the vector is reused across runs.
+struct TenantCtx {
+  ProgramEntry* entry = nullptr;
+  const Program* primary = nullptr;
+  const DegradedEntry* degraded = nullptr;
+  // Whether any frame of this tenant actually ran the remapped schedule
+  // (a fault firing after the stream drained remaps nothing).
+  bool degraded_used = false;
+  int items = 0;
+  int job_base = 0;           // first global job id of this tenant
+  std::size_t slot_base = 0;  // first per-(job, item) slot
+};
+
+}  // namespace evsim
+
+using namespace evsim;
+
+// All per-run state as flat reusable buffers plus the compiled-program
+// caches. Between runs nothing is deallocated: vectors are assign()ed or
+// clear()ed (capacity retained), heaps cleared in place, the fabric's
+// occupancy zeroed with its link registry kept. After one warm-up run of
+// a workload shape, a repeat run performs zero heap allocations.
+struct SimEngine::Impl {
+  // Caches. Declared before the per-run state so that during destruction
+  // the degraded packages outlive the Schedules remapped onto them.
+  std::map<std::pair<const PackageConfig*, int>, std::unique_ptr<PackageConfig>>
+      degraded_pkgs;  // keyed by (original package, failed chiplet id)
+  std::map<ProgramKey, ProgramEntry> programs;
+  NopFabric fabric;  // persistent link registry, per-run occupancy
+  EngineStats stats;
+
+  // --- per-run state (reset by every run_into) ---
+  std::vector<StreamSpec> streams;
+  std::vector<TenantCtx> ctx;
+  std::vector<int> tenant_of;
+  std::vector<std::size_t> slot_of;
+  std::vector<double> admit_of;
+  // Dispatch order of the previous run, kept across runs: when the current
+  // run's admission instants prove it is already THE stable sort (an O(n)
+  // adjacency check), the O(n log n) re-sort — and std::stable_sort's
+  // temporary-buffer allocation — is skipped (EngineStats::warm_starts).
+  std::vector<int> order;
+  std::vector<int> rank_of;
+  std::vector<int> deps_left;
+  std::vector<double> ready_time;
+  std::vector<int> shards_left;
+  std::vector<int> frame_items_left;
+  std::vector<const Program*> prog_of;
+  std::vector<int> epoch_of;
+  std::vector<char> frame_done;
+  std::vector<char> frame_dropped;
+  std::vector<double> tenant_wait;
+  std::vector<MinHeap<PendingShard, PendingAfter>> pending;
+  std::vector<MinHeap<ReadyShard, ReadyAfter>> ready;
+  std::vector<double> chiplet_free;
+  std::vector<double> chiplet_busy;
+  MinHeap<Ev, EvAfter> events;
+  // Link-stats replay: the dense indices this run's programs resolved, in
+  // the order a fresh fabric would have registered them.
+  std::vector<int> run_links;
+  std::vector<std::uint64_t> link_mark;
+  std::uint64_t mark_epoch = 0;
+  // Reduction scratch (reduce_tail / recovery / legacy percentiles).
+  std::vector<double> scr_lat;
+  std::vector<double> scr_times;
+  std::vector<double> scr_recovery;
+
+  ProgramEntry& program_for(const Schedule& sched, bool nop, bool contended,
+                            const PackageConfig& dense_pkg) {
+    const ProgramKey key{&sched, nop, contended};
+    const auto it = programs.find(key);
+    if (it != programs.end()) {
+      ++stats.program_cache_hits;
+      return it->second;
+    }
+    ProgramEntry e;
+    e.prog = build_program(sched, nop, contended, fabric, dense_pkg,
+                           contended ? &e.build_links : nullptr);
+    ++stats.program_builds;
+    // Inserted only after a successful build: a throwing build leaves the
+    // cache without a half-constructed entry.
+    return programs.emplace(key, std::move(e)).first->second;
+  }
+
+  const DegradedEntry& degraded_for(ProgramEntry& entry,
+                                    const StreamSpec& stream, bool nop,
+                                    bool contended, const PackageConfig& pkg,
+                                    const FaultPlan& fault) {
+    for (const auto& d : entry.degraded) {
+      if (d->fault_chiplet == fault.chiplet_id && d->allowed == *stream.allowed) {
+        ++stats.program_cache_hits;
+        return *d;
+      }
+    }
+    const auto pkey = std::make_pair(&pkg, fault.chiplet_id);
+    auto pit = degraded_pkgs.find(pkey);
+    if (pit == degraded_pkgs.end()) {
+      pit = degraded_pkgs
+                .emplace(pkey, std::make_unique<PackageConfig>(
+                                   pkg.without_chiplet(fault.chiplet_id)))
+                .first;
+    }
+    auto d = std::make_unique<DegradedEntry>();
+    d->fault_chiplet = fault.chiplet_id;
+    d->allowed = *stream.allowed;
+    d->remapped.emplace(remap_schedule(*stream.sched, *pit->second,
+                                       fault.chiplet_id, &d->remap_stats,
+                                       *stream.allowed));
+    d->prog = build_program(*d->remapped, nop, contended, fabric, pkg,
+                            contended ? &d->build_links : nullptr);
+    ++stats.program_builds;
+    entry.degraded.push_back(std::move(d));
+    return *entry.degraded.back();
+  }
+
+  // Reconstructs the link registration order of a FRESH fabric for this
+  // run — each program's resolution record replayed in fresh build order
+  // (primaries in tenant order, then degradeds in tenant order), first
+  // occurrence kept — so stats_into emits link_stats bitwise-identical to
+  // the one-shot path even though the persistent registry also holds
+  // links of other schedules simulated earlier.
+  void collect_run_links(bool faulted) {
+    if (link_mark.size() < static_cast<std::size_t>(fabric.num_links())) {
+      link_mark.resize(static_cast<std::size_t>(fabric.num_links()), 0);
+    }
+    ++mark_epoch;
+    run_links.clear();
+    const auto add = [&](const std::vector<int>& links) {
+      for (const int li : links) {
+        if (link_mark[static_cast<std::size_t>(li)] != mark_epoch) {
+          link_mark[static_cast<std::size_t>(li)] = mark_epoch;
+          run_links.push_back(li);
+        }
+      }
+    };
+    for (const TenantCtx& c : ctx) add(c.entry->build_links);
+    if (faulted) {
+      for (const TenantCtx& c : ctx) add(c.degraded->build_links);
+    }
+  }
+
+  void run_into(const Schedule& schedule, const SimOptions& options,
+                SimResult& result);
+
+  void reset() {
+    programs.clear();
+    degraded_pkgs.clear();
+    fabric = NopFabric();
+    stats = EngineStats{};
+    streams.clear();
+    ctx.clear();
+    tenant_of.clear();
+    slot_of.clear();
+    admit_of.clear();
+    order.clear();
+    rank_of.clear();
+    deps_left.clear();
+    ready_time.clear();
+    shards_left.clear();
+    frame_items_left.clear();
+    prog_of.clear();
+    epoch_of.clear();
+    frame_done.clear();
+    frame_dropped.clear();
+    tenant_wait.clear();
+    pending.clear();
+    ready.clear();
+    chiplet_free.clear();
+    chiplet_busy.clear();
+    events.clear();
+    run_links.clear();
+    link_mark.clear();
+    mark_epoch = 0;
+    scr_lat.clear();
+    scr_times.clear();
+    scr_recovery.clear();
+  }
+};
+
+void SimEngine::Impl::run_into(const Schedule& schedule,
+                               const SimOptions& options, SimResult& result) {
   if (schedule.num_items() == 0) {
     throw std::invalid_argument(
         "simulate_schedule: schedule has no items (empty pipeline)");
   }
   // Resolve the stream list: explicit tenants, or the single implicit
   // stream described by the top-level options fields.
-  std::vector<StreamSpec> streams;
+  streams.clear();
   if (options.tenants.empty()) {
-    streams.push_back(StreamSpec{&schedule, "stream",
+    streams.push_back(StreamSpec{&schedule, &kImplicitStreamName,
                                  std::max(options.frames, 1),
                                  std::max(options.frame_interval_s, 0.0),
-                                 options.deadline_s, 0, {}});
+                                 options.deadline_s, 0, &kNoAllowedChiplets});
   } else {
     streams.reserve(options.tenants.size());
     for (const TenantStream& t : options.tenants) {
@@ -419,10 +695,10 @@ SimResult simulate_schedule(const Schedule& schedule, const SimOptions& options)
         throw std::invalid_argument("simulate_schedule: tenant \"" + t.name +
                                     "\" has an empty schedule");
       }
-      streams.push_back(StreamSpec{sched, t.name, std::max(t.frames, 1),
+      streams.push_back(StreamSpec{sched, &t.name, std::max(t.frames, 1),
                                    std::max(t.frame_interval_s, 0.0),
                                    t.deadline_s, t.priority,
-                                   t.allowed_chiplets});
+                                   &t.allowed_chiplets});
     }
   }
   const int num_tenants = static_cast<int>(streams.size());
@@ -440,33 +716,21 @@ SimResult simulate_schedule(const Schedule& schedule, const SimOptions& options)
           "simulate_schedule: recover_time_s precedes fail_time_s");
     }
   }
-  const bool contended =
-      options.model_nop_delays && options.nop_mode == NopMode::kContended;
+  const bool nop = options.model_nop_delays;
+  const bool contended = nop && options.nop_mode == NopMode::kContended;
   const PackageConfig& pkg = schedule.package();
-  NopFabric fabric(pkg.nop());
+  fabric.set_params(pkg.nop());
+  fabric.reset_state();
 
-  // Per-tenant world: primary program, and under a FaultPlan the remapped
-  // schedule + degraded program (each tenant remaps independently,
-  // restricted to its allowed pool).
-  struct TenantCtx {
-    Program primary;
-    std::optional<Schedule> remapped;
-    std::optional<Program> degraded;
-    RemapStats remap_stats;
-    // Whether any frame of this tenant actually ran the remapped schedule
-    // (a fault firing after the stream drained remaps nothing).
-    bool degraded_used = false;
-    int items = 0;
-    int job_base = 0;          // first global job id of this tenant
-    std::size_t slot_base = 0; // first per-(job, item) slot
-  };
-  std::vector<TenantCtx> ctx(static_cast<std::size_t>(num_tenants));
+  ctx.assign(static_cast<std::size_t>(num_tenants), TenantCtx{});
   int jobs = 0;
   std::size_t slots = 0;
   for (int t = 0; t < num_tenants; ++t) {
     TenantCtx& c = ctx[static_cast<std::size_t>(t)];
-    c.primary = build_program(*streams[static_cast<std::size_t>(t)].sched,
-                              options, fabric, pkg);
+    ProgramEntry& e = program_for(*streams[static_cast<std::size_t>(t)].sched,
+                                  nop, contended, pkg);
+    c.entry = &e;
+    c.primary = &e.prog;
     c.items = streams[static_cast<std::size_t>(t)].sched->num_items();
     c.job_base = jobs;
     c.slot_base = slots;
@@ -475,9 +739,8 @@ SimResult simulate_schedule(const Schedule& schedule, const SimOptions& options)
                  streams[static_cast<std::size_t>(t)].frames) *
              static_cast<std::size_t>(c.items);
   }
-  const int nc = ctx.front().primary.num_chiplets;
+  const int nc = ctx.front().primary->num_chiplets;
 
-  std::optional<PackageConfig> degraded_pkg;
   int dead = -1;  // dense package-order index of the failed chiplet
   if (faulted) {
     for (std::size_t i = 0; i < pkg.chiplets().size(); ++i) {
@@ -488,23 +751,20 @@ SimResult simulate_schedule(const Schedule& schedule, const SimOptions& options)
           "simulate_schedule: FaultPlan chiplet " +
           std::to_string(fault.chiplet_id) + " is not in the package");
     }
-    degraded_pkg.emplace(pkg.without_chiplet(fault.chiplet_id));
     for (int t = 0; t < num_tenants; ++t) {
       TenantCtx& c = ctx[static_cast<std::size_t>(t)];
-      c.remapped.emplace(remap_schedule(
-          *streams[static_cast<std::size_t>(t)].sched, *degraded_pkg,
-          fault.chiplet_id, &c.remap_stats,
-          streams[static_cast<std::size_t>(t)].allowed));
-      c.degraded.emplace(build_program(*c.remapped, options, fabric, pkg));
+      c.degraded = &degraded_for(*c.entry,
+                                 streams[static_cast<std::size_t>(t)], nop,
+                                 contended, pkg, fault);
     }
   }
 
   // Global job index space, tenant-major: tenant t's frame f is job
   // job_base[t] + f, so a single stream's job ids equal its frame ids and
   // every legacy code path below is bit-identical in that case.
-  std::vector<int> tenant_of(static_cast<std::size_t>(jobs), 0);
-  std::vector<std::size_t> slot_of(static_cast<std::size_t>(jobs), 0);
-  std::vector<double> admit_of(static_cast<std::size_t>(jobs), 0.0);
+  tenant_of.resize(static_cast<std::size_t>(jobs));
+  slot_of.resize(static_cast<std::size_t>(jobs));
+  admit_of.resize(static_cast<std::size_t>(jobs));
   for (int t = 0; t < num_tenants; ++t) {
     const TenantCtx& c = ctx[static_cast<std::size_t>(t)];
     for (int f = 0; f < streams[static_cast<std::size_t>(t)].frames; ++f) {
@@ -522,50 +782,66 @@ SimResult simulate_schedule(const Schedule& schedule, const SimOptions& options)
   // tenant's jobs rank ahead of lower-priority ones outright. For a single
   // stream admission instants are nondecreasing in frame, so the stable
   // sort is the identity and rank == frame (the legacy dispatch policy).
-  std::vector<int> rank_of(static_cast<std::size_t>(jobs), 0);
   {
-    std::vector<int> order(static_cast<std::size_t>(jobs));
-    for (int j = 0; j < jobs; ++j) order[static_cast<std::size_t>(j)] = j;
-    std::stable_sort(
-        order.begin(), order.end(), [&](int a, int b) {
-          if (options.policy == PlacementPolicy::kPriority) {
-            const int pa =
-                streams[static_cast<std::size_t>(
-                            tenant_of[static_cast<std::size_t>(a)])].priority;
-            const int pb =
-                streams[static_cast<std::size_t>(
-                            tenant_of[static_cast<std::size_t>(b)])].priority;
-            if (pa != pb) return pa > pb;
-          }
-          return admit_of[static_cast<std::size_t>(a)] <
-                 admit_of[static_cast<std::size_t>(b)];
-        });
+    const auto before = [&](int a, int b) {
+      if (options.policy == PlacementPolicy::kPriority) {
+        const int pa =
+            streams[static_cast<std::size_t>(
+                        tenant_of[static_cast<std::size_t>(a)])].priority;
+        const int pb =
+            streams[static_cast<std::size_t>(
+                        tenant_of[static_cast<std::size_t>(b)])].priority;
+        if (pa != pb) return pa > pb;
+      }
+      return admit_of[static_cast<std::size_t>(a)] <
+             admit_of[static_cast<std::size_t>(b)];
+    };
+    // Warm start: the previous run's order is THE stable sort of this
+    // run's jobs iff the count matches and every adjacent pair (x, y)
+    // satisfies the stable-sort total order "before(x,y), ties broken by
+    // original index" — a sequence sorted under a total order is unique,
+    // so passing the O(n) check proves re-sorting would reproduce it.
+    bool warm = static_cast<int>(order.size()) == jobs;
+    for (int i = 1; warm && i < jobs; ++i) {
+      const int x = order[static_cast<std::size_t>(i - 1)];
+      const int y = order[static_cast<std::size_t>(i)];
+      warm = before(x, y) || (!before(y, x) && x < y);
+    }
+    if (warm) {
+      ++stats.warm_starts;
+    } else {
+      order.resize(static_cast<std::size_t>(jobs));
+      for (int j = 0; j < jobs; ++j) order[static_cast<std::size_t>(j)] = j;
+      std::stable_sort(order.begin(), order.end(), before);
+    }
+    rank_of.resize(static_cast<std::size_t>(jobs));
     for (int i = 0; i < jobs; ++i) {
       rank_of[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])] = i;
     }
   }
 
-  // Per-(job, item) bookkeeping.
-  auto idx = [&](int job, int item) {
+  // Per-(job, item) bookkeeping. The slot arrays are fully overwritten by
+  // init_frame below, so a bare resize (no refill) is enough.
+  const auto idx = [&](int job, int item) {
     return slot_of[static_cast<std::size_t>(job)] +
            static_cast<std::size_t>(item);
   };
-  std::vector<int> deps_left(slots, 0);
-  std::vector<double> ready_time(slots, 0.0);
-  std::vector<int> shards_left(slots, 0);
-  std::vector<int> frame_items_left(static_cast<std::size_t>(jobs), 0);
-  std::vector<const Program*> prog_of(static_cast<std::size_t>(jobs), nullptr);
-  std::vector<int> epoch_of(static_cast<std::size_t>(jobs), 0);
-  std::vector<char> frame_done(static_cast<std::size_t>(jobs), 0);
-  std::vector<char> frame_dropped(static_cast<std::size_t>(jobs), 0);
-  std::vector<double> tenant_wait(static_cast<std::size_t>(num_tenants), 0.0);
+  deps_left.resize(slots);
+  ready_time.resize(slots);
+  shards_left.resize(slots);
+  frame_items_left.resize(static_cast<std::size_t>(jobs));
+  prog_of.resize(static_cast<std::size_t>(jobs));
+  epoch_of.assign(static_cast<std::size_t>(jobs), 0);
+  frame_done.assign(static_cast<std::size_t>(jobs), 0);
+  frame_dropped.assign(static_cast<std::size_t>(jobs), 0);
+  tenant_wait.assign(static_cast<std::size_t>(num_tenants), 0.0);
   for (int j = 0; j < jobs; ++j) {
     prog_of[static_cast<std::size_t>(j)] =
-        &ctx[static_cast<std::size_t>(tenant_of[static_cast<std::size_t>(j)])]
-             .primary;
+        ctx[static_cast<std::size_t>(tenant_of[static_cast<std::size_t>(j)])]
+            .primary;
   }
 
-  auto init_frame = [&](int j) {
+  const auto init_frame = [&](int j) {
     const Program& pr = *prog_of[static_cast<std::size_t>(j)];
     const int items =
         ctx[static_cast<std::size_t>(tenant_of[static_cast<std::size_t>(j)])]
@@ -581,25 +857,42 @@ SimResult simulate_schedule(const Schedule& schedule, const SimOptions& options)
   for (int j = 0; j < jobs; ++j) init_frame(j);
 
   // Dense per-chiplet calendars (package order): a ready-time min-heap
-  // feeding a dispatch-priority min-heap. Replaces the former
-  // std::map<int, std::set<QueuedShard>> whose dispatch did an O(queue)
-  // linear ready-scan per event (7.7 s for a 36-chiplet x 64-frame stream;
-  // see bench_contention's microbench for the current figure).
-  std::vector<std::priority_queue<PendingShard, std::vector<PendingShard>,
-                                  PendingAfter>>
-      pending(static_cast<std::size_t>(nc));
-  std::vector<std::priority_queue<ReadyShard, std::vector<ReadyShard>,
-                                  ReadyAfter>>
-      ready(static_cast<std::size_t>(nc));
-  std::vector<double> chiplet_free(static_cast<std::size_t>(nc), 0.0);
-  std::vector<double> chiplet_busy(static_cast<std::size_t>(nc), 0.0);
+  // feeding a dispatch-priority min-heap. Heap storage is grow-only so a
+  // smaller run never sheds the capacity a bigger one built up.
+  if (static_cast<int>(pending.size()) < nc) {
+    pending.resize(static_cast<std::size_t>(nc));
+    ready.resize(static_cast<std::size_t>(nc));
+  }
+  for (int c = 0; c < nc; ++c) {
+    pending[static_cast<std::size_t>(c)].clear();
+    ready[static_cast<std::size_t>(c)].clear();
+  }
+  chiplet_free.assign(static_cast<std::size_t>(nc), 0.0);
+  chiplet_busy.assign(static_cast<std::size_t>(nc), 0.0);
+  events.clear();
 
-  std::priority_queue<Ev, std::vector<Ev>, EvAfter> events;
-
-  SimResult result;
+  // Reset every field of the caller's result object (run_into reuses its
+  // buffers; a stale field from a previous run must not leak through).
+  result.first_frame_latency_s = 0.0;
+  result.steady_interval_s = 0.0;
+  result.makespan_s = 0.0;
   result.frame_completion_s.assign(static_cast<std::size_t>(jobs), 0.0);
+  result.frame_latency_s.clear();
+  result.p50_latency_s = 0.0;
+  result.p95_latency_s = 0.0;
+  result.p99_latency_s = 0.0;
+  result.chiplet_busy_s.clear();
+  result.link_stats.clear();
+  result.tasks_executed = 0;
+  result.frames_completed = 0;
+  result.dropped_frames = 0;
+  result.deadline_miss_frames = 0;
+  result.peak_latency_s = 0.0;
+  result.recovery_time_s = 0.0;
+  result.remapped_items = 0;
+  result.tenants.resize(static_cast<std::size_t>(num_tenants));
 
-  auto enqueue_item_shards = [&](int job, int item, double at) {
+  const auto enqueue_item_shards = [&](int job, int item, double at) {
     const auto& shards =
         prog_of[static_cast<std::size_t>(job)]
             ->shards_of_item[static_cast<std::size_t>(item)];
@@ -615,7 +908,7 @@ SimResult simulate_schedule(const Schedule& schedule, const SimOptions& options)
   // message walks its links first, adding the FIFO queueing wait on top of
   // the analytical delay (wait is exactly 0.0 on an idle fabric, keeping
   // the two modes bitwise-identical there).
-  auto deliver = [&](int job, int item, double arrival) {
+  const auto deliver = [&](int job, int item, double arrival) {
     const std::size_t key = idx(job, item);
     if (arrival > ready_time[key]) ready_time[key] = arrival;
     if (--deps_left[key] == 0) {
@@ -627,7 +920,7 @@ SimResult simulate_schedule(const Schedule& schedule, const SimOptions& options)
   // current program: inject the camera ingress edges and release the
   // dependency-free items. Link-queueing waits are attributed to the
   // owning tenant (TenantResult::nop_wait_s).
-  auto admit_frame = [&](int j, double t) {
+  const auto admit_frame = [&](int j, double t) {
     const Program& pr = *prog_of[static_cast<std::size_t>(j)];
     const int tenant = tenant_of[static_cast<std::size_t>(j)];
     for (const Ingress& in : pr.ingress) {
@@ -671,7 +964,7 @@ SimResult simulate_schedule(const Schedule& schedule, const SimOptions& options)
             !(fault.recover_time_s >= 0.0 && now >= fault.recover_time_s)) {
           TenantCtx& c =
               ctx[static_cast<std::size_t>(tenant_of[static_cast<std::size_t>(f)])];
-          prog_of[static_cast<std::size_t>(f)] = &*c.degraded;
+          prog_of[static_cast<std::size_t>(f)] = &c.degraded->prog;
           c.degraded_used = true;
           init_frame(f);
         }
@@ -726,8 +1019,8 @@ SimResult simulate_schedule(const Schedule& schedule, const SimOptions& options)
             chiplet_busy[static_cast<std::size_t>(c)] -=
                 chiplet_free[static_cast<std::size_t>(c)] - now;
           }
-          pending[static_cast<std::size_t>(c)] = {};
-          ready[static_cast<std::size_t>(c)] = {};
+          pending[static_cast<std::size_t>(c)].clear();
+          ready[static_cast<std::size_t>(c)].clear();
           chiplet_free[static_cast<std::size_t>(c)] =
               c == dead ? std::numeric_limits<double>::infinity() : resume;
           if (c != dead) events.push(Ev{resume, kDispatch, c, 0, 0});
@@ -748,7 +1041,7 @@ SimResult simulate_schedule(const Schedule& schedule, const SimOptions& options)
           }
           TenantCtx& c =
               ctx[static_cast<std::size_t>(tenant_of[static_cast<std::size_t>(f)])];
-          prog_of[static_cast<std::size_t>(f)] = &*c.degraded;
+          prog_of[static_cast<std::size_t>(f)] = &c.degraded->prog;
           c.degraded_used = true;
           init_frame(f);
           admit_frame(f, now);
@@ -829,7 +1122,9 @@ SimResult simulate_schedule(const Schedule& schedule, const SimOptions& options)
     // Single stream: exactly the pre-serving reductions, so an implicit
     // single stream — and an explicit one-tenant list with the same
     // parameters — is bitwise-identical to the legacy simulator
-    // (regression-pinned in tests/test_sim.cc).
+    // (regression-pinned in tests/test_sim.cc). The percentile() calls of
+    // the one-shot code become one scratch sort + rank reads: identical
+    // math over the identical sorted data, minus the per-call copies.
     const int frames = streams.front().frames;
     const double interval = streams.front().interval;
     if (!faulted) {
@@ -854,53 +1149,74 @@ SimResult simulate_schedule(const Schedule& schedule, const SimOptions& options)
             result.frame_completion_s[static_cast<std::size_t>(f)] -
             static_cast<double>(f) * interval);
       }
-      result.p50_latency_s = percentile(result.frame_latency_s, 50.0);
-      result.p95_latency_s = percentile(result.frame_latency_s, 95.0);
-      result.p99_latency_s = percentile(result.frame_latency_s, 99.0);
+      // percentile() poisons on any NaN; mirror that (it cannot fire here
+      // — no fault means no drops — but exactness is the contract).
+      bool any_nan = false;
+      for (const double x : result.frame_latency_s) {
+        if (std::isnan(x)) any_nan = true;
+      }
+      if (any_nan) {
+        result.p50_latency_s = nan;
+        result.p95_latency_s = nan;
+        result.p99_latency_s = nan;
+      } else {
+        scr_lat.assign(result.frame_latency_s.begin(),
+                       result.frame_latency_s.end());
+        std::sort(scr_lat.begin(), scr_lat.end());
+        result.p50_latency_s = percentile_sorted(scr_lat, 50.0);
+        result.p95_latency_s = percentile_sorted(scr_lat, 95.0);
+        result.p99_latency_s = percentile_sorted(scr_lat, 99.0);
+      }
       result.frames_completed = frames;
       result.peak_latency_s = max_of(result.frame_latency_s);
     } else {
       // Fault-aware reductions: dropped frames are excluded from every
       // aggregate.
       result.frame_latency_s.reserve(static_cast<std::size_t>(frames));
-      std::vector<double> finished_times;
-      std::vector<double> finished_lat;
+      scr_times.clear();
+      scr_lat.clear();
       for (int f = 0; f < frames; ++f) {
         const double lat =
             result.frame_completion_s[static_cast<std::size_t>(f)] -
             static_cast<double>(f) * interval;
         result.frame_latency_s.push_back(lat);
         if (frame_done[static_cast<std::size_t>(f)]) {
-          finished_times.push_back(
+          scr_times.push_back(
               result.frame_completion_s[static_cast<std::size_t>(f)]);
-          finished_lat.push_back(lat);
+          scr_lat.push_back(lat);
         }
       }
-      std::sort(finished_times.begin(), finished_times.end());
-      const int n = static_cast<int>(finished_times.size());
+      std::sort(scr_times.begin(), scr_times.end());
+      const int n = static_cast<int>(scr_times.size());
       result.frames_completed = n;
       result.dropped_frames = frames - n;
       result.first_frame_latency_s = result.frame_latency_s.front();
-      result.makespan_s = n > 0 ? finished_times.back() : nan;
+      result.makespan_s = n > 0 ? scr_times.back() : nan;
       if (n >= 4) {
         const int half = n / 2;
         result.steady_interval_s =
-            (finished_times[static_cast<std::size_t>(n - 1)] -
-             finished_times[static_cast<std::size_t>(half - 1)]) /
+            (scr_times[static_cast<std::size_t>(n - 1)] -
+             scr_times[static_cast<std::size_t>(half - 1)]) /
             static_cast<double>(n - half);
       } else if (n > 0) {
         result.steady_interval_s = result.makespan_s / static_cast<double>(n);
       } else {
         result.steady_interval_s = nan;
       }
-      result.p50_latency_s = percentile(finished_lat, 50.0);
-      result.p95_latency_s = percentile(finished_lat, 95.0);
-      result.p99_latency_s = percentile(finished_lat, 99.0);
-      result.peak_latency_s = max_of(finished_lat);
+      // scr_lat holds the NaN-free completed latencies; peak before the
+      // sort is max_of either way (order-independent).
+      result.peak_latency_s = max_of(scr_lat);
+      std::sort(scr_lat.begin(), scr_lat.end());
+      result.p50_latency_s = percentile_sorted(scr_lat, 50.0);
+      result.p95_latency_s = percentile_sorted(scr_lat, 95.0);
+      result.p99_latency_s = percentile_sorted(scr_lat, 99.0);
       result.remapped_items =
-          ctx.front().degraded_used ? ctx.front().remap_stats.touched_items : 0;
+          ctx.front().degraded_used
+              ? ctx.front().degraded->remap_stats.touched_items
+              : 0;
       result.recovery_time_s = recovery_after_fault(
-          result.frame_latency_s, result.frame_completion_s, fault.fail_time_s);
+          result.frame_latency_s, result.frame_completion_s, fault.fail_time_s,
+          scr_recovery);
     }
     if (streams.front().deadline > 0.0) {
       for (int f = 0; f < frames; ++f) {
@@ -921,8 +1237,9 @@ SimResult simulate_schedule(const Schedule& schedule, const SimOptions& options)
           result.frame_completion_s[static_cast<std::size_t>(f)] -
           admit_of[static_cast<std::size_t>(f)]);
     }
-    const TailStats tail =
-        reduce_tail(result.frame_latency_s, result.frame_completion_s);
+    const TailStats tail = reduce_tail(result.frame_latency_s,
+                                       result.frame_completion_s, scr_lat,
+                                       scr_times);
     result.frames_completed = tail.completed;
     result.dropped_frames = jobs - tail.completed;
     result.first_frame_latency_s = result.frame_latency_s.front();
@@ -935,13 +1252,12 @@ SimResult simulate_schedule(const Schedule& schedule, const SimOptions& options)
   }
 
   // Per-tenant slices (one entry even for single-stream runs).
-  result.tenants.reserve(static_cast<std::size_t>(num_tenants));
   for (int t = 0; t < num_tenants; ++t) {
     const TenantCtx& c = ctx[static_cast<std::size_t>(t)];
-    result.tenants.push_back(reduce_tenant(
-        streams[static_cast<std::size_t>(t)],
-        result.frame_completion_s.data() + c.job_base,
-        tenant_wait[static_cast<std::size_t>(t)]));
+    reduce_tenant_into(streams[static_cast<std::size_t>(t)],
+                       result.frame_completion_s.data() + c.job_base,
+                       tenant_wait[static_cast<std::size_t>(t)], scr_lat,
+                       scr_times, result.tenants[static_cast<std::size_t>(t)]);
   }
   if (multi) {
     for (const TenantResult& tr : result.tenants) {
@@ -954,21 +1270,48 @@ SimResult simulate_schedule(const Schedule& schedule, const SimOptions& options)
       for (int t = 0; t < num_tenants; ++t) {
         const TenantCtx& c = ctx[static_cast<std::size_t>(t)];
         if (c.degraded_used) {
-          result.remapped_items += c.remap_stats.touched_items;
+          result.remapped_items += c.degraded->remap_stats.touched_items;
         }
         const TenantResult& tr = result.tenants[static_cast<std::size_t>(t)];
         result.recovery_time_s = std::max(
             result.recovery_time_s,
             recovery_after_fault(tr.frame_latency_s, tr.frame_completion_s,
-                                 fault.fail_time_s));
+                                 fault.fail_time_s, scr_recovery));
       }
     }
   }
-  result.chiplet_busy_s.assign(chiplet_busy.begin(), chiplet_busy.end());
+  result.chiplet_busy_s.assign(chiplet_busy.begin(),
+                               chiplet_busy.begin() + nc);
   if (contended) {
-    result.link_stats = fabric.stats(result.makespan_s);
+    collect_run_links(faulted);
+    fabric.stats_into(result.makespan_s, run_links, result.link_stats);
   }
-  return result;
+  ++stats.runs;
+}
+
+SimEngine::SimEngine() : impl_(std::make_unique<Impl>()) {}
+SimEngine::~SimEngine() = default;
+SimEngine::SimEngine(SimEngine&&) noexcept = default;
+SimEngine& SimEngine::operator=(SimEngine&&) noexcept = default;
+
+SimResult SimEngine::run(const Schedule& schedule, const SimOptions& options) {
+  SimResult out;
+  impl_->run_into(schedule, options, out);
+  return out;
+}
+
+void SimEngine::run_into(const Schedule& schedule, const SimOptions& options,
+                         SimResult& out) {
+  impl_->run_into(schedule, options, out);
+}
+
+void SimEngine::reset() { impl_->reset(); }
+
+const EngineStats& SimEngine::stats() const { return impl_->stats; }
+
+SimResult simulate_schedule(const Schedule& schedule, const SimOptions& options) {
+  SimEngine engine;
+  return engine.run(schedule, options);
 }
 
 }  // namespace cnpu

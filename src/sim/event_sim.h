@@ -72,6 +72,7 @@
 // steady-state load guarantee, not a fault-transient one.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -248,6 +249,71 @@ struct SimResult {
   std::vector<TenantResult> tenants;
 };
 
+// Lifetime counters of one SimEngine — how much work engine reuse is
+// actually skipping (surfaced by bench_simspeed and asserted in
+// tests/test_sim_engine.cc).
+struct EngineStats {
+  long long runs = 0;
+  // Programs compiled (primary + degraded): layer costing, dependency
+  // graph, route resolution. The dominant per-run setup cost the cache
+  // exists to amortize.
+  long long program_builds = 0;
+  long long program_cache_hits = 0;  // primary or degraded reused as-is
+  // Runs that reused the previous dispatch-rank order outright (the
+  // adjacency re-check proved it is THE stable sort of the current run's
+  // admission instants, so no sort — and no sort scratch allocation — was
+  // needed).
+  long long warm_starts = 0;
+};
+
+// Reusable simulation engine: simulate_schedule with all per-run state —
+// pending/ready heaps, dependency/ready-time/shard slot arrays, event
+// queue backing storage, tenant contexts, reduction scratch — held as flat
+// buffers that are reset between runs instead of reallocated, plus a cache
+// of compiled Programs (keyed by schedule identity × NoP mode, including
+// fault-remapped degraded variants keyed by failed chiplet × allowed
+// pool). Results are bitwise-identical to simulate_schedule: same event
+// order, same float operation order, same link_stats order (fuzz-pinned in
+// tests/test_fuzz_properties.cc). After a warm-up run on a workload shape,
+// subsequent run_into() calls of that shape perform zero heap allocations
+// (asserted in tests/test_sim_engine.cc), which is what makes
+// million-point DSE sweeps routine (see bench_simspeed).
+//
+// Contract for cached state: the cache keys Schedule/PackageConfig objects
+// by ADDRESS. Every schedule passed to run()/run_into() must stay alive
+// and unmodified for the engine's lifetime (or until reset()); rebuilding
+// a schedule in place at the same address without reset() serves stale
+// programs. reset() drops every cache and restores the engine to its
+// freshly-constructed state. Engines are single-threaded; use one engine
+// per worker (see SweepRunner's per-slot engines).
+class SimEngine {
+ public:
+  SimEngine();
+  ~SimEngine();
+  SimEngine(SimEngine&&) noexcept;
+  SimEngine& operator=(SimEngine&&) noexcept;
+  SimEngine(const SimEngine&) = delete;
+  SimEngine& operator=(const SimEngine&) = delete;
+
+  // One simulation run; identical semantics and exceptions to
+  // simulate_schedule below.
+  SimResult run(const Schedule& schedule, const SimOptions& options = {});
+  // Allocation-free variant: reduces into `out`, reusing its vectors'
+  // capacity (the SimResult returned by an earlier run of the same shape
+  // is the natural `out`). Every field of `out` is overwritten.
+  void run_into(const Schedule& schedule, const SimOptions& options,
+                SimResult& out);
+  // Forgets every cached program/package/route and all per-run state —
+  // the engine behaves as freshly constructed (stats included). Call when
+  // a previously-simulated Schedule is about to be destroyed or mutated.
+  void reset();
+  const EngineStats& stats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
 // Throws std::invalid_argument on a 0-item schedule (top-level or any
 // tenant's), a TenantStream whose schedule references a different
 // PackageConfig than `schedule`, a FaultPlan naming a chiplet not in the
@@ -256,6 +322,10 @@ struct SimResult {
 // item is unassigned (matching evaluate_schedule). A fault on the chiplet
 // whose router hosts the I/O port propagates the routing layer's
 // std::runtime_error — ingress has no route around that position.
+//
+// One-shot convenience wrapper over SimEngine: constructs a fresh engine,
+// runs once, discards it. Callers running many points should hold a
+// SimEngine instead.
 SimResult simulate_schedule(const Schedule& schedule,
                             const SimOptions& options = {});
 

@@ -10,6 +10,14 @@ const LinkStats* hottest_link(const std::vector<LinkStats>& stats) {
   return hot;
 }
 
+void NopFabric::reset_state() {
+  std::fill(free_.begin(), free_.end(), 0.0);
+  std::fill(busy_.begin(), busy_.end(), 0.0);
+  std::fill(max_wait_.begin(), max_wait_.end(), 0.0);
+  std::fill(total_wait_.begin(), total_wait_.end(), 0.0);
+  std::fill(messages_.begin(), messages_.end(), 0);
+}
+
 int NopFabric::index_of(const NopLink& link) {
   const auto [it, inserted] =
       index_.try_emplace(link, static_cast<int>(links_.size()));
@@ -67,6 +75,22 @@ std::vector<LinkStats> NopFabric::stats(double horizon_s) const {
     out.push_back(s);
   }
   return out;
+}
+
+void NopFabric::stats_into(double horizon_s, const std::vector<int>& links,
+                           std::vector<LinkStats>& out) const {
+  out.clear();
+  for (const int li : links) {
+    const std::size_t i = static_cast<std::size_t>(li);
+    LinkStats s;
+    s.link = links_[i];
+    s.busy_s = busy_[i];
+    s.utilization = horizon_s > 0.0 ? busy_[i] / horizon_s : 0.0;
+    s.max_queue_wait_s = max_wait_[i];
+    s.total_queue_wait_s = total_wait_[i];
+    s.messages = messages_[i];
+    out.push_back(s);
+  }
 }
 
 }  // namespace cnpu

@@ -50,7 +50,21 @@ const LinkStats* hottest_link(const std::vector<LinkStats>& stats);
 
 class NopFabric {
  public:
+  // A default-constructed fabric carries the default NopParams; engines
+  // that persist one fabric across runs call set_params() per run (the
+  // bandwidth may differ between the packages of successive runs; the link
+  // registry is geometry-keyed, so links of distinct packages coexist).
+  NopFabric() = default;
   explicit NopFabric(const NopParams& params) : params_(params) {}
+
+  void set_params(const NopParams& params) { params_ = params; }
+
+  // Clears the per-run occupancy/wait/message state of every registered
+  // link, WITHOUT forgetting the registry: dense indices stay valid, so
+  // resolved routes cached across runs (SimEngine's compiled programs)
+  // survive. After reset_state() every link is free at t=0 — a reused
+  // fabric is indistinguishable from a fresh one to inject().
+  void reset_state();
 
   // Dense index of `link`, registering it on first use. Routes are resolved
   // once at program build; the per-message hot path is index-based.
@@ -68,6 +82,14 @@ class NopFabric {
   // normalizes busy time into utilization. Ordered by dense index, i.e.
   // first-use order.
   std::vector<LinkStats> stats(double horizon_s) const;
+  // Statistics restricted to `links` (dense indices, emitted in the given
+  // order) appended into a caller-owned vector that is cleared first — the
+  // reused-engine path reports exactly the links its current run's
+  // programs resolved, in their registration order, so its link_stats are
+  // bitwise-identical to a fresh fabric's. Allocation-free once `out` has
+  // capacity.
+  void stats_into(double horizon_s, const std::vector<int>& links,
+                  std::vector<LinkStats>& out) const;
 
  private:
   NopParams params_;

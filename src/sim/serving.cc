@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <memory>
 #include <stdexcept>
 
 #include "core/baselines.h"
 #include "core/partition.h"
 #include "exp/sweep_runner.h"
+#include "exp/thread_pool.h"
 
 namespace cnpu {
 namespace {
@@ -72,23 +74,22 @@ TenantPlacement place_tenants(const std::vector<TenantWorkload>& tenants,
   return placement;
 }
 
-SimResult serve_tenants(const PackageConfig& package,
-                        const std::vector<TenantWorkload>& tenants,
-                        const ServingOptions& options) {
-  validate_tenants(tenants);
-  const TenantPlacement placement =
-      place_tenants(tenants, package, options.policy);
-
-  SimOptions sim;
-  sim.model_nop_delays = options.model_nop_delays;
-  sim.nop_mode = options.nop_mode;
-  sim.fault = options.fault;
-  sim.policy = options.policy;
-  sim.tenants.reserve(tenants.size());
+ServingPlan::ServingPlan(const PackageConfig& package,
+                         const std::vector<TenantWorkload>& tenants,
+                         const ServingOptions& options)
+    : placement_(place_tenants(tenants, package, options.policy)) {
+  sim_.model_nop_delays = options.model_nop_delays;
+  sim_.nop_mode = options.nop_mode;
+  sim_.fault = options.fault;
+  sim_.policy = options.policy;
+  sim_.tenants.reserve(tenants.size());
+  base_interval_s_.reserve(tenants.size());
   for (std::size_t t = 0; t < tenants.size(); ++t) {
     TenantStream stream;
     stream.name = tenant_name(tenants[t], static_cast<int>(t));
-    stream.schedule = &placement.schedules[t];
+    // Pointers into placement_ stay valid when the plan is moved: vector
+    // moves transfer the heap buffer holding the Schedule objects.
+    stream.schedule = &placement_.schedules[t];
     stream.frames = tenants[t].frames;
     stream.frame_interval_s = tenants[t].frame_interval_s;
     stream.deadline_s = tenants[t].deadline_s;
@@ -96,11 +97,46 @@ SimResult serve_tenants(const PackageConfig& package,
     // Restrict fault remaps to the tenant's pool only when the pool is a
     // genuine partition; under shared placement any survivor may help.
     if (options.policy == PlacementPolicy::kPartitioned) {
-      stream.allowed_chiplets = placement.pools[t];
+      stream.allowed_chiplets = placement_.pools[t];
     }
-    sim.tenants.push_back(std::move(stream));
+    base_interval_s_.push_back(tenants[t].frame_interval_s);
+    sim_.tenants.push_back(std::move(stream));
   }
-  return simulate_schedule(placement.schedules.front(), sim);
+}
+
+void ServingPlan::run_into(SimResult& out) {
+  // Restore the workloads' own intervals (a prior run_at_rate overrode
+  // them in place).
+  for (std::size_t t = 0; t < sim_.tenants.size(); ++t) {
+    sim_.tenants[t].frame_interval_s = base_interval_s_[t];
+  }
+  engine_.run_into(placement_.schedules.front(), sim_, out);
+}
+
+SimResult ServingPlan::run() {
+  SimResult out;
+  run_into(out);
+  return out;
+}
+
+void ServingPlan::run_at_rate_into(double fps, SimResult& out) {
+  for (TenantStream& stream : sim_.tenants) {
+    stream.frame_interval_s = 1.0 / fps;
+  }
+  engine_.run_into(placement_.schedules.front(), sim_, out);
+}
+
+SimResult ServingPlan::run_at_rate(double fps) {
+  SimResult out;
+  run_at_rate_into(fps, out);
+  return out;
+}
+
+SimResult serve_tenants(const PackageConfig& package,
+                        const std::vector<TenantWorkload>& tenants,
+                        const ServingOptions& options) {
+  ServingPlan plan(package, tenants, options);
+  return plan.run();
 }
 
 LoadSearchResult max_sustainable_load(const PackageConfig& package,
@@ -124,10 +160,29 @@ LoadSearchResult max_sustainable_load(const PackageConfig& package,
         "max_sustainable_load: probes_per_round must be >= 2");
   }
 
+  const SweepRunner runner(SweepOptions{.threads = search.threads});
+
+  // One ServingPlan — placement, compiled programs, simulation engine —
+  // per sweep worker slot, built lazily on a slot's first probe and then
+  // reused by every probe and every bisection round that slot evaluates
+  // (probes differ only in injection rate, and worker indices are stable
+  // across the per-round pools). A per-slot SimResult gives run_at_rate a
+  // warm output buffer. Probe results stay bitwise-identical for any
+  // thread count: plans are clones of the same deterministic placement,
+  // and engine reuse is result-invariant.
+  std::vector<std::unique_ptr<ServingPlan>> plans(
+      static_cast<std::size_t>(runner.worker_slots()));
+  std::vector<SimResult> slot_results(
+      static_cast<std::size_t>(runner.worker_slots()));
+
   const auto probe_rate = [&](double fps) {
-    std::vector<TenantWorkload> loaded = tenants;
-    for (TenantWorkload& w : loaded) w.frame_interval_s = 1.0 / fps;
-    const SimResult r = serve_tenants(package, loaded, options);
+    const std::size_t slot =
+        static_cast<std::size_t>(ThreadPool::current_worker_index() + 1);
+    if (!plans[slot]) {
+      plans[slot] = std::make_unique<ServingPlan>(package, tenants, options);
+    }
+    SimResult& r = slot_results[slot];
+    plans[slot]->run_at_rate_into(fps, r);
     LoadProbe p;
     p.fps = fps;
     p.feasible = true;
@@ -143,7 +198,7 @@ LoadSearchResult max_sustainable_load(const PackageConfig& package,
       if (!std::isnan(p.worst_p99_s)) {
         p.worst_p99_s = std::max(p.worst_p99_s, tr.p99_latency_s);
       }
-      if (tr.p99_latency_s > loaded[t].deadline_s) p.feasible = false;
+      if (tr.p99_latency_s > tenants[t].deadline_s) p.feasible = false;
     }
     return p;
   };
@@ -153,7 +208,6 @@ LoadSearchResult max_sustainable_load(const PackageConfig& package,
   double hi = search.fps_hi;
   double best_feasible = 0.0;
   double min_infeasible = 0.0;
-  const SweepRunner runner(SweepOptions{.threads = search.threads});
   while (result.rounds < search.max_rounds) {
     // Evenly spaced candidates across the current bracket, endpoints
     // included on the first round (later rounds already know them).

@@ -79,6 +79,41 @@ struct ServingOptions {
 // and artifacts.
 const char* placement_policy_name(PlacementPolicy policy);
 
+// A placed, engine-backed serving configuration: place the tenants ONCE
+// (placement depends only on pipeline × package × policy, never on the
+// injection rate) and re-simulate many times with compiled programs,
+// routes, and all per-run simulator state reused. This is the warm path
+// the max_sustainable_load bisection probes run on — a probe differs from
+// its neighbors only in frame interval, so rebuilding placements and
+// programs per probe (the pre-engine behavior) was pure setup churn.
+// Results are bitwise-identical to serve_tenants on the equivalent
+// workloads. The package and every tenant pipeline must outlive the plan;
+// plans are single-threaded (one per worker slot in parallel searches).
+class ServingPlan {
+ public:
+  // Validates and places like serve_tenants (same exceptions).
+  ServingPlan(const PackageConfig& package,
+              const std::vector<TenantWorkload>& tenants,
+              const ServingOptions& options = {});
+
+  // Co-simulates at each tenant's own frame_interval_s.
+  SimResult run();
+  void run_into(SimResult& out);  // allocation-free once warm
+  // Co-simulates with EVERY tenant's frame interval overridden to 1/fps
+  // (the max_sustainable_load probe shape).
+  SimResult run_at_rate(double fps);
+  void run_at_rate_into(double fps, SimResult& out);
+
+  const TenantPlacement& placement() const { return placement_; }
+  const EngineStats& engine_stats() const { return engine_.stats(); }
+
+ private:
+  TenantPlacement placement_;
+  std::vector<double> base_interval_s_;  // the workloads' own intervals
+  SimOptions sim_;
+  SimEngine engine_;
+};
+
 // Places the tenants under options.policy and co-simulates all streams on
 // one package. The returned SimResult carries one TenantResult per
 // workload (in order); the package-level fields aggregate all tenants. A
@@ -86,6 +121,9 @@ const char* placement_policy_name(PlacementPolicy policy);
 // build_chainwise_schedule(pipeline, package) alone (regression-pinned).
 // Throws like simulate_schedule, plus std::invalid_argument on an empty
 // tenant list or null pipeline.
+//
+// One-shot wrapper over ServingPlan: placements and programs are built,
+// used once, and discarded. Callers probing many rates hold a ServingPlan.
 SimResult serve_tenants(const PackageConfig& package,
                         const std::vector<TenantWorkload>& tenants,
                         const ServingOptions& options = {});

@@ -35,5 +35,13 @@ double percentile(std::vector<double> xs, double p);
 // subset (the event simulator's per-tenant tails, where dropped frames
 // carry NaN latencies by design). NaN when nothing finite remains.
 double percentile_finite(const std::vector<double>& xs, double p);
+// Allocation-free percentile over data the CALLER has already sorted
+// ascending (and filtered of NaNs): the exact rank/interpolation math of
+// `percentile`, minus its defensive copy + sort. Hot reducers (the event
+// simulator's per-run tail statistics) sort one scratch buffer once and
+// take several ranks from it; `percentile(xs, p)` on the unsorted data is
+// bitwise-equal to `percentile_sorted(sorted_xs, p)`. NaN for empty input.
+// Precondition (unchecked): `sorted_xs` ascending, NaN-free.
+double percentile_sorted(const std::vector<double>& sorted_xs, double p);
 
 }  // namespace cnpu

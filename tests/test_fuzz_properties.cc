@@ -15,6 +15,7 @@
 #include "dataflow/mapping_analysis.h"
 #include "sim/event_sim.h"
 #include "sim/serving.h"
+#include "sim_result_eq.h"
 
 namespace cnpu {
 namespace {
@@ -539,6 +540,88 @@ TEST_P(FuzzSeed, PartitionedTenantIsolationHoldsUnderFuzzedLoads) {
                 loaded.tenants[0].frame_completion_s)
         << "trial " << trial;
     ASSERT_EQ(base.tenants[0].p99_latency_s, loaded.tenants[0].p99_latency_s);
+  }
+}
+
+// Engine-reuse identity, fuzzed: a ServingPlan (one SimEngine fed every
+// probe) must reproduce the one-shot serve_tenants BIT FOR BIT, on its
+// first run and on every subsequent run of the same plan — across random
+// geometry, tenant mixes, placement policies, contended fabrics, and
+// mid-stream faults. This is the property that lets max_sustainable_load
+// keep one warm engine per worker without perturbing a single result.
+TEST_P(FuzzSeed, ReusedEngineBitwiseIdenticalToOneShot) {
+  Lcg rng(static_cast<std::uint64_t>(GetParam()) * 77171u + 41u);
+  for (int trial = 0; trial < 3; ++trial) {
+    const int rows = static_cast<int>(rng.range(2, 3));
+    const int cols = static_cast<int>(rng.range(2, 4));
+    const PackageConfig pkg = make_simba_package(rows, cols);
+    const GridCoord io_entry{(rows - 1) / 2, 0};
+
+    const int n_tenants = static_cast<int>(rng.range(1, 3));
+    std::vector<PerceptionPipeline> pipes;
+    for (int t = 0; t < n_tenants; ++t) {
+      PerceptionPipeline pipe;
+      Model m;
+      m.name = "eng_chain_" + std::to_string(t);
+      const int layers = static_cast<int>(rng.range(2, 4));
+      for (int l = 0; l < layers; ++l) {
+        m.layers.push_back(gemm("e" + std::to_string(t) + "_g" +
+                                    std::to_string(l),
+                                rng.range(512, 8192), rng.range(16, 128),
+                                rng.range(16, 128)));
+      }
+      pipe.stages.push_back(Stage{"S", {{m, false}}});
+      pipes.push_back(std::move(pipe));
+    }
+    std::vector<TenantWorkload> fleet;
+    for (int t = 0; t < n_tenants; ++t) {
+      TenantWorkload w;
+      w.name = "t" + std::to_string(t);
+      w.pipeline = &pipes[static_cast<std::size_t>(t)];
+      w.frames = static_cast<int>(rng.range(4, 12));
+      w.frame_interval_s = rng.range(0, 1) == 0
+                               ? 0.0
+                               : static_cast<double>(rng.range(1, 50)) * 1e-5;
+      if (rng.range(0, 1) == 0) {
+        w.deadline_s = static_cast<double>(rng.range(1, 80)) * 1e-5;
+      }
+      w.priority = static_cast<int>(rng.range(0, 2));
+      fleet.push_back(w);
+    }
+
+    ServingOptions opt;
+    const std::int64_t pol = rng.range(0, 2);
+    opt.policy = pol == 0   ? PlacementPolicy::kShared
+                 : pol == 1 ? PlacementPolicy::kPartitioned
+                            : PlacementPolicy::kPriority;
+    if (rng.range(0, 2) == 0) opt.nop_mode = NopMode::kContended;
+    if (rng.range(0, 1) == 0) {
+      int victim = -1;
+      while (victim < 0) {
+        const int cand =
+            static_cast<int>(rng.range(0, pkg.num_chiplets() - 1));
+        if (!(pkg.chiplet(cand).coord == io_entry)) victim = cand;
+      }
+      opt.fault.chiplet_id = victim;
+      opt.fault.fail_time_s = static_cast<double>(rng.range(0, 200)) * 1e-5;
+      if (rng.range(0, 1) == 0) {
+        opt.fault.recover_time_s =
+            opt.fault.fail_time_s +
+            static_cast<double>(rng.range(1, 100)) * 1e-5;
+      }
+      opt.fault.reschedule_penalty_s =
+          static_cast<double>(rng.range(0, 20)) * 1e-5;
+    }
+
+    SCOPED_TRACE("trial " + std::to_string(trial));
+    const SimResult fresh = serve_tenants(pkg, fleet, opt);
+    ServingPlan plan(pkg, fleet, opt);
+    const SimResult warm1 = plan.run();
+    SimResult warm2;
+    plan.run_into(warm2);
+    testutil::expect_sim_results_bits_eq(fresh, warm1);
+    testutil::expect_sim_results_bits_eq(fresh, warm2);
+    if (::testing::Test::HasFailure()) return;
   }
 }
 

@@ -1,7 +1,9 @@
 #include "util/stats.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -116,6 +118,34 @@ TEST(PercentileFinite, FiltersNansThenRanks) {
   // No NaNs: identical to percentile.
   EXPECT_DOUBLE_EQ(percentile_finite({1, 2, 3, 4, 5}, 50),
                    percentile({1, 2, 3, 4, 5}, 50));
+}
+
+// The allocation-free rank path the simulation engine uses on its own
+// pre-sorted scratch: on already-sorted NaN-free input it must agree with
+// `percentile` BITWISE (same rank arithmetic, same interpolation order),
+// or engine results would drift from the one-shot simulator's.
+TEST(PercentileSorted, BitwiseEqualToPercentileOnSortedInput) {
+  const std::vector<std::vector<double>> cases = {
+      {4.0},
+      {1.0, 2.0},
+      {1.0, 2.0, 3.0, 4.0, 5.0},
+      {0.125, 0.25, 0.5, 1.0 / 3.0, 2.0 / 3.0, 0.75, 7.0, 11.0},
+  };
+  for (std::vector<double> xs : cases) {
+    std::sort(xs.begin(), xs.end());
+    for (const double p : {0.0, 1.0, 50.0, 95.0, 99.0, 100.0}) {
+      EXPECT_DOUBLE_EQ(percentile_sorted(xs, p), percentile(xs, p))
+          << "n=" << xs.size() << " p=" << p;
+      // Bitwise, not just close: compare exact representations too.
+      EXPECT_EQ(percentile_sorted(xs, p), percentile(xs, p));
+    }
+  }
+}
+
+TEST(PercentileSorted, ClampsRangeAndEmptyIsNan) {
+  EXPECT_DOUBLE_EQ(percentile_sorted({1, 2}, -5), 1.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted({1, 2}, 200), 2.0);
+  EXPECT_TRUE(std::isnan(percentile_sorted({}, 50)));
 }
 
 }  // namespace
