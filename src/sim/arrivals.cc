@@ -1,0 +1,252 @@
+#include "sim/arrivals.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace cnpu {
+namespace {
+
+// Self-contained splitmix64: tiny, high-quality, and — unlike <random>
+// distributions — bit-for-bit reproducible across platforms, which is the
+// replayability contract of ArrivalSpec::seed.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  // Uniform in the OPEN interval (0, 1): never 0 (log would be -inf) and
+  // never 1 (exponential draws must be strictly positive so every segment
+  // and sojourn advances time).
+  double uniform() {
+    state_ += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    z ^= z >> 31;
+    return (static_cast<double>(z >> 11) + 0.5) * 0x1.0p-53;
+  }
+
+  // Exponential with the given mean, by inversion (the textbook sampler;
+  // deterministic given the seed).
+  double exponential(double mean) { return -std::log(uniform()) * mean; }
+
+ private:
+  std::uint64_t state_;
+};
+
+void validate(const ArrivalSpec& spec, int frames) {
+  if (!spec.active()) {
+    throw std::invalid_argument(
+        "generate_arrivals: ArrivalKind::kNone has no arrivals to generate");
+  }
+  if (frames <= 0) {
+    throw std::invalid_argument("generate_arrivals: frames must be positive");
+  }
+  if (spec.kind == ArrivalKind::kTrace) {
+    if (static_cast<int>(spec.trace_s.size()) < frames) {
+      throw std::invalid_argument(
+          "generate_arrivals: trace holds " +
+          std::to_string(spec.trace_s.size()) + " instants but " +
+          std::to_string(frames) + " frames were requested");
+    }
+    double prev = 0.0;
+    for (const double t : spec.trace_s) {
+      if (!(t >= prev)) {
+        throw std::invalid_argument(
+            "generate_arrivals: trace instants must be nonnegative and "
+            "nondecreasing");
+      }
+      prev = t;
+    }
+    return;
+  }
+  if (!(spec.rate_fps > 0.0)) {
+    throw std::invalid_argument("generate_arrivals: rate_fps must be > 0");
+  }
+  if (!spec.profile.empty()) {
+    bool any_positive = false;
+    for (const RatePhase& ph : spec.profile) {
+      if (!(ph.duration_s > 0.0)) {
+        throw std::invalid_argument(
+            "generate_arrivals: profile phase duration must be > 0");
+      }
+      if (!(ph.scale >= 0.0)) {
+        throw std::invalid_argument(
+            "generate_arrivals: profile phase scale must be >= 0");
+      }
+      if (ph.scale > 0.0) any_positive = true;
+    }
+    if (!any_positive) {
+      throw std::invalid_argument(
+          "generate_arrivals: profile cycle carries no rate (all scales 0)");
+    }
+  }
+  if (spec.kind == ArrivalKind::kBursty) {
+    if (!(spec.on_mean_s > 0.0) || !(spec.off_mean_s > 0.0)) {
+      throw std::invalid_argument(
+          "generate_arrivals: bursty sojourn means must be > 0");
+    }
+    if (!(spec.on_scale >= 0.0) || !(spec.off_scale >= 0.0) ||
+        !(spec.on_scale > 0.0 || spec.off_scale > 0.0)) {
+      throw std::invalid_argument(
+          "generate_arrivals: bursty state scales must be >= 0 with at "
+          "least one positive");
+    }
+  }
+}
+
+}  // namespace
+
+void generate_arrivals(const ArrivalSpec& spec, int frames,
+                       std::vector<double>& out) {
+  validate(spec, frames);
+  out.clear();
+
+  if (spec.kind == ArrivalKind::kTrace) {
+    // Exact replay: the trace values, bit for bit.
+    out.assign(spec.trace_s.begin(), spec.trace_s.begin() + frames);
+    return;
+  }
+  if (spec.kind == ArrivalKind::kPeriodic && spec.profile.empty()) {
+    // Closed form: frame f at f / rate — THE definition of the unprofiled
+    // periodic process (no walker rounding), mirroring the closed-loop
+    // f * frame_interval_s admission pattern.
+    for (int f = 0; f < frames; ++f) {
+      out.push_back(static_cast<double>(f) / spec.rate_fps);
+    }
+    return;
+  }
+
+  // Generic piecewise-constant-rate walker over the cumulative-rate
+  // function L(t) = integral of rate(s) ds. Arrival k fires when L crosses
+  // its target: targets step by exactly 1 for kPeriodic (deterministic)
+  // and by Exp(1) draws for kPoisson/kBursty (inversion sampling of an
+  // inhomogeneous Poisson process). Segment boundaries are profile-phase
+  // ends and bursty state switches; both are piecewise-constant
+  // multipliers on rate_fps.
+  SplitMix64 rng(spec.seed);
+  const double inf = std::numeric_limits<double>::infinity();
+  const bool poisson_steps = spec.kind != ArrivalKind::kPeriodic;
+
+  double t = 0.0;
+  double lam = 0.0;  // L(t)
+  std::size_t pi = 0;
+  double phase_scale = 1.0;
+  double phase_end = inf;
+  if (!spec.profile.empty()) {
+    phase_scale = spec.profile[0].scale;
+    phase_end = spec.profile[0].duration_s;
+  }
+  bool on = true;  // the bursty source starts ON
+  double state_scale = 1.0;
+  double state_end = inf;
+  if (spec.kind == ArrivalKind::kBursty) {
+    state_scale = spec.on_scale;
+    state_end = rng.exponential(spec.on_mean_s);
+  }
+  double target = poisson_steps ? rng.exponential(1.0) : 0.0;
+
+  while (static_cast<int>(out.size()) < frames) {
+    const double rate = spec.rate_fps * phase_scale * state_scale;
+    const double seg_end = std::min(phase_end, state_end);
+    if (rate > 0.0) {
+      while (static_cast<int>(out.size()) < frames) {
+        if (lam >= target) {
+          // Target already crossed (a zero-rate stretch postponed the
+          // arrival): it fires the instant the rate is positive again.
+          out.push_back(t);
+          target += poisson_steps ? rng.exponential(1.0) : 1.0;
+          continue;
+        }
+        const double ta = t + (target - lam) / rate;
+        if (ta > seg_end) break;
+        t = ta;
+        lam = target;
+        out.push_back(t);
+        target += poisson_steps ? rng.exponential(1.0) : 1.0;
+      }
+      if (static_cast<int>(out.size()) >= frames) break;
+    }
+    if (!std::isfinite(seg_end)) {
+      // Unreachable: an infinite segment implies no profile and no burst
+      // modulation, whose validated rate is positive — the inner loop
+      // then emits forever.
+      throw std::logic_error("generate_arrivals: stalled on a zero-rate "
+                             "infinite segment");
+    }
+    lam += rate * (seg_end - t);
+    t = seg_end;
+    if (phase_end == seg_end) {
+      pi = (pi + 1) % spec.profile.size();
+      phase_scale = spec.profile[pi].scale;
+      phase_end = t + spec.profile[pi].duration_s;
+    }
+    if (state_end == seg_end) {
+      on = !on;
+      state_scale = on ? spec.on_scale : spec.off_scale;
+      state_end =
+          t + rng.exponential(on ? spec.on_mean_s : spec.off_mean_s);
+    }
+  }
+}
+
+std::vector<double> generate_arrivals(const ArrivalSpec& spec, int frames) {
+  std::vector<double> out;
+  generate_arrivals(spec, frames, out);
+  return out;
+}
+
+std::vector<double> load_arrival_trace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("load_arrival_trace: cannot open " + path);
+  }
+  std::vector<double> out;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::size_t b = line.find_first_not_of(" \t\r");
+    if (b == std::string::npos || line[b] == '#') continue;
+    const char* begin = line.c_str() + b;
+    char* end = nullptr;
+    const double v = std::strtod(begin, &end);
+    if (end == begin) {
+      throw std::invalid_argument("load_arrival_trace: unparsable line " +
+                                  std::to_string(lineno) + " in " + path);
+    }
+    while (*end == ' ' || *end == '\t' || *end == '\r') ++end;
+    if (*end != '\0') {
+      throw std::invalid_argument("load_arrival_trace: trailing junk on "
+                                  "line " + std::to_string(lineno) + " in " +
+                                  path);
+    }
+    out.push_back(v);
+  }
+  return out;
+}
+
+void save_arrival_trace(const std::string& path,
+                        const std::vector<double>& times) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    throw std::runtime_error("save_arrival_trace: cannot open " + path);
+  }
+  // %a hexfloat: the decimal-free representation that load_arrival_trace's
+  // strtod restores bit for bit (the round-trip contract).
+  bool ok = std::fprintf(f, "# cnpu arrival trace: one admission instant "
+                            "(seconds, hexfloat) per line\n") >= 0;
+  for (const double t : times) {
+    ok = ok && std::fprintf(f, "%a\n", t) >= 0;
+  }
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) {
+    throw std::runtime_error("save_arrival_trace: write failed for " + path);
+  }
+}
+
+}  // namespace cnpu

@@ -1,0 +1,114 @@
+// Open-loop arrival processes: the request-generator layer feeding the
+// event simulator (src/sim/event_sim.h).
+//
+// The paper's serving evaluation — and SimOptions::frame_interval_s — is a
+// CLOSED, perfectly periodic world: frame f arrives at exactly
+// f * interval. Real perception fleets are open-loop: cameras drop and
+// jitter frames, V2X and map-update tenants are bursty, and datacenter
+// offload traffic is well modeled as Poisson (the regime where queueing
+// actually inflates p99, per the TPU datacenter latency analysis). An
+// ArrivalSpec describes one tenant's admission process; the simulator asks
+// generate_arrivals for the first `frames` admission instants and admits
+// jobs at those times instead of the periodic schedule.
+//
+// Four kinds:
+//  * kPeriodic — deterministic arrivals at the (possibly time-varying)
+//    rate; with no profile this is exactly frame f at f / rate_fps, the
+//    closed-loop admission pattern expressed as a process.
+//  * kPoisson  — exponential inter-arrivals at rate_fps (memoryless).
+//  * kBursty   — Markov-modulated Poisson process (MMPP): the source
+//    alternates ON/OFF states with exponentially distributed sojourns
+//    (on_mean_s / off_mean_s) and emits Poisson arrivals at
+//    rate_fps * on_scale while ON, rate_fps * off_scale while OFF. This
+//    is the canonical bursty-traffic model; off_scale = 0 gives strict
+//    on-off bursts.
+//  * kTrace    — replay explicit timestamps (trace_s), e.g. loaded from a
+//    recorded fleet trace via load_arrival_trace. Replay is exact: the
+//    generated instants are the trace values bit for bit.
+//
+// Time-varying load (profile): a cyclic sequence of RatePhase multipliers
+// modulates the instantaneous rate of kPeriodic / kPoisson / kBursty —
+// e.g. {{1.0 s, 1.0}, {0.2 s, 3.0}} models a recurring 3x rush. Phases
+// compose multiplicatively with the bursty state scale.
+//
+// Determinism and replayability: generation is a pure function of
+// (spec, frames). Randomness comes from a self-contained splitmix64 +
+// inversion-sampling generator seeded by ArrivalSpec::seed — NOT from
+// <random> distributions, whose output is implementation-defined — so a
+// seeded spec reproduces the identical arrival sequence on every platform
+// and every run (fuzz- and unit-pinned). Seed per tenant to decorrelate
+// streams.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cnpu {
+
+enum class ArrivalKind {
+  kNone,      // no process: the tenant admits closed-loop (frame_interval_s)
+  kPeriodic,  // deterministic at the instantaneous rate
+  kPoisson,   // exponential inter-arrivals
+  kBursty,    // Markov-modulated on-off Poisson
+  kTrace,     // replay explicit timestamps
+};
+
+// One phase of a cyclic piecewise-constant rate profile: for duration_s
+// the instantaneous rate is multiplied by scale. The profile repeats
+// forever (phase 0 starts again when the last phase ends).
+struct RatePhase {
+  double duration_s = 0.0;
+  double scale = 1.0;
+};
+
+struct ArrivalSpec {
+  ArrivalKind kind = ArrivalKind::kNone;
+  // Mean arrival rate in frames/s for kPeriodic / kPoisson / kBursty
+  // (before profile and burst-state scaling); ignored by kTrace.
+  double rate_fps = 0.0;
+  // Seed of the self-contained RNG; same seed -> identical arrivals.
+  std::uint64_t seed = 0;
+  // kBursty: mean exponential sojourn in the ON / OFF state (seconds,
+  // both > 0) and the rate multiplier applied in each state (>= 0, at
+  // least one positive). The source starts ON.
+  double on_mean_s = 0.0;
+  double off_mean_s = 0.0;
+  double on_scale = 1.0;
+  double off_scale = 0.0;
+  // Optional cyclic time-varying rate profile (see header comment). Empty
+  // = constant scale 1. Every duration must be > 0, every scale >= 0, and
+  // at least one scale positive (the cycle must carry some rate).
+  std::vector<RatePhase> profile;
+  // kTrace: nondecreasing, nonnegative admission instants; must hold at
+  // least as many entries as the frames requested from generate_arrivals.
+  std::vector<double> trace_s;
+
+  bool active() const { return kind != ArrivalKind::kNone; }
+};
+
+// First `frames` admission instants of the process, nondecreasing,
+// starting from t = 0 (kPeriodic emits its first frame AT 0, matching the
+// closed-loop convention; the stochastic kinds emit their first frame
+// after the first inter-arrival draw). The overload writes into `out`
+// (cleared first, capacity reused — the engine's warm path).
+//
+// Throws std::invalid_argument on: kNone (callers must check active()),
+// frames <= 0, a non-positive rate_fps (non-trace kinds), non-positive
+// bursty sojourn means or negative/all-zero state scales, a profile phase
+// with non-positive duration or negative scale, an all-zero profile cycle,
+// a trace that is too short, decreasing, or negative.
+void generate_arrivals(const ArrivalSpec& spec, int frames,
+                       std::vector<double>& out);
+std::vector<double> generate_arrivals(const ArrivalSpec& spec, int frames);
+
+// Trace files: one admission instant per line, written as C hexfloat
+// ("%a") so that save -> load round-trips every double bit for bit.
+// Blank lines and lines starting with '#' are skipped on load. Throws
+// std::runtime_error when the file cannot be opened (both directions) and
+// std::invalid_argument on an unparsable line.
+std::vector<double> load_arrival_trace(const std::string& path);
+void save_arrival_trace(const std::string& path,
+                        const std::vector<double>& times);
+
+}  // namespace cnpu

@@ -321,10 +321,16 @@ struct StreamSpec {
   double deadline = 0.0;
   int priority = 0;
   const std::vector<int>* allowed = nullptr;
+  const ArrivalSpec* arrivals = nullptr;
+  const AdmissionControl* admission = nullptr;
 };
 
 const std::string kImplicitStreamName = "stream";
 const std::vector<int> kNoAllowedChiplets;
+// Defaults a StreamSpec's pointers can always dereference: an inactive
+// process / inactive admission control is indistinguishable from "unset".
+const ArrivalSpec kNoArrivalProcess;
+const AdmissionControl kNoAdmission;
 
 // Recovery metric (see SimResult::recovery_time_s), per latency/completion
 // slice: baseline = best completed latency observed before the fault
@@ -418,31 +424,44 @@ TailStats reduce_tail(const std::vector<double>& latency,
   return t;
 }
 
-// Reduces one tenant's completion slice (NaN = dropped) into `tr` in
-// place, overwriting every field and reusing its vectors' capacity.
+// Reduces one tenant's completion slice (NaN = dropped or shed) into `tr`
+// in place, overwriting every field and reusing its vectors' capacity.
+// `admit` is the tenant's realized admission-instant slice: for a
+// closed-loop stream it holds exactly f * interval (the same doubles the
+// pre-arrivals reduction multiplied inline, so latencies stay bitwise),
+// for an open-loop stream the generated arrival instants — whose periodic
+// assumption is also why `open_loop` turns the steady-interval estimate
+// into a documented NaN.
 void reduce_tenant_into(const StreamSpec& stream, const double* completion,
-                        double nop_wait_s, std::vector<double>& lat_scratch,
+                        const double* admit, int shed, bool open_loop,
+                        double nop_wait_s, double queue_delay_mean_s,
+                        double queue_delay_peak_s,
+                        std::vector<double>& lat_scratch,
                         std::vector<double>& time_scratch, TenantResult& tr) {
   tr.name = *stream.name;
   tr.frames = stream.frames;
   tr.deadline_miss_frames = 0;
   tr.nop_wait_s = nop_wait_s;
+  tr.shed_frames = shed;
+  tr.mean_queue_delay_s = queue_delay_mean_s;
+  tr.peak_queue_delay_s = queue_delay_peak_s;
   tr.frame_completion_s.assign(completion, completion + stream.frames);
   tr.frame_latency_s.clear();
   for (int f = 0; f < stream.frames; ++f) {
-    tr.frame_latency_s.push_back(completion[f] -
-                                 static_cast<double>(f) * stream.interval);
+    tr.frame_latency_s.push_back(completion[f] - admit[f]);
   }
   const TailStats tail = reduce_tail(tr.frame_latency_s, tr.frame_completion_s,
                                      lat_scratch, time_scratch);
   tr.frames_completed = tail.completed;
-  tr.dropped_frames = stream.frames - tail.completed;
+  tr.dropped_frames = stream.frames - tail.completed - shed;
   tr.p50_latency_s = tail.p50_s;
   tr.p95_latency_s = tail.p95_s;
   tr.p99_latency_s = tail.p99_s;
   tr.mean_latency_s = tail.mean_s;
   tr.peak_latency_s = tail.peak_s;
-  tr.steady_interval_s = tail.steady_interval_s;
+  tr.steady_interval_s =
+      open_loop ? std::numeric_limits<double>::quiet_NaN()
+                : tail.steady_interval_s;
   if (stream.deadline > 0.0) {
     for (const double lat : tr.frame_latency_s) {
       if (!std::isnan(lat) && lat > stream.deadline) {
@@ -540,6 +559,23 @@ struct SimEngine::Impl {
   std::vector<int> epoch_of;
   std::vector<char> frame_done;
   std::vector<char> frame_dropped;
+  // Continuous-batching / admission-control state. frame_started marks a
+  // job with at least one dispatched shard in its CURRENT epoch (a fault
+  // flush resets it: the re-admitted frame is queued again); frame_qd_done
+  // is the sticky "queue delay attributed" latch (first-ever dispatch
+  // only); frame_shed marks jobs evicted by admission control — their
+  // heap entries are evicted LAZILY, skipped when they surface at
+  // dispatch-set re-formation (binary heaps cannot remove interior
+  // elements, and the shed decision is made online).
+  std::vector<char> frame_started;
+  std::vector<char> frame_qd_done;
+  std::vector<char> frame_shed;
+  std::vector<int> queue_len;    // per tenant: admitted, not yet started
+  std::vector<int> shed_count;   // per tenant
+  std::vector<int> qd_count;     // per tenant: frames with attributed delay
+  std::vector<double> qd_sum;
+  std::vector<double> qd_peak;
+  std::vector<double> arr_scratch;  // generate_arrivals output buffer
   std::vector<double> tenant_wait;
   std::vector<MinHeap<PendingShard, PendingAfter>> pending;
   std::vector<MinHeap<ReadyShard, ReadyAfter>> ready;
@@ -653,6 +689,15 @@ struct SimEngine::Impl {
     epoch_of.clear();
     frame_done.clear();
     frame_dropped.clear();
+    frame_started.clear();
+    frame_qd_done.clear();
+    frame_shed.clear();
+    queue_len.clear();
+    shed_count.clear();
+    qd_count.clear();
+    qd_sum.clear();
+    qd_peak.clear();
+    arr_scratch.clear();
     tenant_wait.clear();
     pending.clear();
     ready.clear();
@@ -681,7 +726,8 @@ void SimEngine::Impl::run_into(const Schedule& schedule,
     streams.push_back(StreamSpec{&schedule, &kImplicitStreamName,
                                  std::max(options.frames, 1),
                                  std::max(options.frame_interval_s, 0.0),
-                                 options.deadline_s, 0, &kNoAllowedChiplets});
+                                 options.deadline_s, 0, &kNoAllowedChiplets,
+                                 &options.arrivals, &options.admission});
   } else {
     streams.reserve(options.tenants.size());
     for (const TenantStream& t : options.tenants) {
@@ -698,11 +744,28 @@ void SimEngine::Impl::run_into(const Schedule& schedule,
       streams.push_back(StreamSpec{sched, &t.name, std::max(t.frames, 1),
                                    std::max(t.frame_interval_s, 0.0),
                                    t.deadline_s, t.priority,
-                                   &t.allowed_chiplets});
+                                   &t.allowed_chiplets, &t.arrivals,
+                                   &t.admission});
     }
   }
   const int num_tenants = static_cast<int>(streams.size());
   const bool multi = num_tenants > 1;
+
+  // Open-loop / admission-control regime of this run. Both false is the
+  // bitwise-pinned legacy regime: every new branch below is either skipped
+  // or a no-op there.
+  bool open = false;
+  bool shed_any = false;
+  for (const StreamSpec& s : streams) {
+    if (s.admission->policy != ShedPolicy::kNone &&
+        s.admission->queue_capacity <= 0) {
+      throw std::invalid_argument(
+          "simulate_schedule: stream \"" + *s.name +
+          "\" sets a ShedPolicy without a positive queue_capacity");
+    }
+    open = open || s.arrivals->active();
+    shed_any = shed_any || s.admission->active();
+  }
 
   const FaultPlan& fault = options.fault;
   const bool faulted = fault.active();
@@ -767,13 +830,19 @@ void SimEngine::Impl::run_into(const Schedule& schedule,
   admit_of.resize(static_cast<std::size_t>(jobs));
   for (int t = 0; t < num_tenants; ++t) {
     const TenantCtx& c = ctx[static_cast<std::size_t>(t)];
-    for (int f = 0; f < streams[static_cast<std::size_t>(t)].frames; ++f) {
+    const StreamSpec& s = streams[static_cast<std::size_t>(t)];
+    // Open-loop streams admit at the process's generated instants; the
+    // closed-loop product below is the exact expression the pre-arrivals
+    // engine computed (bitwise-pinned latency = completion - admit).
+    const bool gen = s.arrivals->active();
+    if (gen) generate_arrivals(*s.arrivals, s.frames, arr_scratch);
+    for (int f = 0; f < s.frames; ++f) {
       const std::size_t j = static_cast<std::size_t>(c.job_base + f);
       tenant_of[j] = t;
       slot_of[j] = c.slot_base + static_cast<std::size_t>(f) *
                                      static_cast<std::size_t>(c.items);
-      admit_of[j] = static_cast<double>(f) *
-                    streams[static_cast<std::size_t>(t)].interval;
+      admit_of[j] = gen ? arr_scratch[static_cast<std::size_t>(f)]
+                        : static_cast<double>(f) * s.interval;
     }
   }
 
@@ -834,6 +903,14 @@ void SimEngine::Impl::run_into(const Schedule& schedule,
   epoch_of.assign(static_cast<std::size_t>(jobs), 0);
   frame_done.assign(static_cast<std::size_t>(jobs), 0);
   frame_dropped.assign(static_cast<std::size_t>(jobs), 0);
+  frame_started.assign(static_cast<std::size_t>(jobs), 0);
+  frame_qd_done.assign(static_cast<std::size_t>(jobs), 0);
+  frame_shed.assign(static_cast<std::size_t>(jobs), 0);
+  queue_len.assign(static_cast<std::size_t>(num_tenants), 0);
+  shed_count.assign(static_cast<std::size_t>(num_tenants), 0);
+  qd_count.assign(static_cast<std::size_t>(num_tenants), 0);
+  qd_sum.assign(static_cast<std::size_t>(num_tenants), 0.0);
+  qd_peak.assign(static_cast<std::size_t>(num_tenants), 0.0);
   tenant_wait.assign(static_cast<std::size_t>(num_tenants), 0.0);
   for (int j = 0; j < jobs; ++j) {
     prog_of[static_cast<std::size_t>(j)] =
@@ -886,6 +963,7 @@ void SimEngine::Impl::run_into(const Schedule& schedule,
   result.tasks_executed = 0;
   result.frames_completed = 0;
   result.dropped_frames = 0;
+  result.shed_frames = 0;
   result.deadline_miss_frames = 0;
   result.peak_latency_s = 0.0;
   result.recovery_time_s = 0.0;
@@ -957,6 +1035,46 @@ void SimEngine::Impl::run_into(const Schedule& schedule,
     switch (ev.kind) {
       case kAdmit: {
         const int f = ev.a;
+        const int tn = tenant_of[static_cast<std::size_t>(f)];
+        const StreamSpec& st = streams[static_cast<std::size_t>(tn)];
+        const AdmissionControl& ac = *st.admission;
+        if (ac.policy != ShedPolicy::kNone &&
+            queue_len[static_cast<std::size_t>(tn)] >= ac.queue_capacity) {
+          // Full per-tenant queue: apply the shed policy. The arriving
+          // frame is the NEWEST of its tenant (per-tenant arrival instants
+          // are nondecreasing and same-instant kAdmit events pop in job-id
+          // order), so scanning the tenant's contiguous job-id window finds
+          // the head/tail of the queue exactly. "Queued" = admitted with no
+          // shard started; eviction is lazy — the victim's heap entries are
+          // skipped when they surface at dispatch.
+          const auto queued = [&](int j) {
+            const std::size_t k = static_cast<std::size_t>(j);
+            return !frame_started[k] && !frame_done[k] && !frame_shed[k] &&
+                   !frame_dropped[k];
+          };
+          int victim = -1;  // -1 = shed the arriving frame itself
+          if (ac.policy == ShedPolicy::kDropOldest) {
+            const int base = ctx[static_cast<std::size_t>(tn)].job_base;
+            for (int j = base; j < f; ++j) {
+              if (queued(j)) { victim = j; break; }
+            }
+          } else if (ac.policy == ShedPolicy::kDropNewest) {
+            const int base = ctx[static_cast<std::size_t>(tn)].job_base;
+            for (int j = f - 1; j >= base; --j) {
+              if (queued(j)) { victim = j; break; }
+            }
+          }
+          ++shed_count[static_cast<std::size_t>(tn)];
+          if (victim < 0) {
+            // kRejectNew (or a defensive fallback when no victim is
+            // queued): the arrival never enters the system.
+            frame_shed[static_cast<std::size_t>(f)] = 1;
+            break;
+          }
+          frame_shed[static_cast<std::size_t>(victim)] = 1;
+          --queue_len[static_cast<std::size_t>(tn)];
+        }
+        ++queue_len[static_cast<std::size_t>(tn)];
         // Frames admitted while the chiplet is down run the remapped
         // schedule (strictly after the fault instant: an admission at the
         // exact fail time lands primary, then the flush re-admits it).
@@ -1026,9 +1144,13 @@ void SimEngine::Impl::run_into(const Schedule& schedule,
           if (c != dead) events.push(Ev{resume, kDispatch, c, 0, 0});
         }
         // Flush incomplete frames onto the remapped schedule; drop the ones
-        // whose deadline already expired.
+        // whose deadline already expired. Shed frames are already out of
+        // the system and are skipped.
         for (int f = 0; f < jobs; ++f) {
-          if (frame_done[static_cast<std::size_t>(f)]) continue;
+          if (frame_done[static_cast<std::size_t>(f)] ||
+              frame_shed[static_cast<std::size_t>(f)]) {
+            continue;
+          }
           ++epoch_of[static_cast<std::size_t>(f)];
           const double admit_t = admit_of[static_cast<std::size_t>(f)];
           if (admit_t > now) continue;  // not yet admitted
@@ -1044,7 +1166,23 @@ void SimEngine::Impl::run_into(const Schedule& schedule,
           prog_of[static_cast<std::size_t>(f)] = &c.degraded->prog;
           c.degraded_used = true;
           init_frame(f);
+          // The re-admitted frame is queued again in the new epoch (and so
+          // shed-eligible again); its queue delay stays attributed to the
+          // FIRST dispatch (frame_qd_done is sticky).
+          frame_started[static_cast<std::size_t>(f)] = 0;
           admit_frame(f, now);
+        }
+        // The flush invalidated the incremental queue accounting (started
+        // flags were reset, deadline drops left the queue): recompute it
+        // wholesale. Every kAdmit at time <= now has already popped (kAdmit
+        // sorts before kFault at equal timestamps).
+        std::fill(queue_len.begin(), queue_len.end(), 0);
+        for (int f = 0; f < jobs; ++f) {
+          const std::size_t k = static_cast<std::size_t>(f);
+          if (admit_of[k] <= now && !frame_done[k] && !frame_dropped[k] &&
+              !frame_shed[k] && !frame_started[k]) {
+            ++queue_len[static_cast<std::size_t>(tenant_of[k])];
+          }
         }
         break;
       }
@@ -1071,6 +1209,31 @@ void SimEngine::Impl::run_into(const Schedule& schedule,
                               pend.top().item, pend.top().shard});
           pend.pop();
         }
+        if (shed_any) {
+          // Dispatch-set re-formation: before committing the chiplet,
+          // evict shed frames' stale heap entries, and under shed_expired
+          // evict queued frames whose deadline has already passed — online
+          // decisions made against what is queued NOW.
+          while (!rdy.empty()) {
+            const int j = rdy.top().job;
+            const std::size_t jk = static_cast<std::size_t>(j);
+            if (frame_shed[jk]) {
+              rdy.pop();
+              continue;
+            }
+            const int tn = tenant_of[jk];
+            const StreamSpec& st = streams[static_cast<std::size_t>(tn)];
+            if (st.admission->shed_expired && st.deadline > 0.0 &&
+                !frame_started[jk] && now - admit_of[jk] >= st.deadline) {
+              frame_shed[jk] = 1;
+              ++shed_count[static_cast<std::size_t>(tn)];
+              --queue_len[static_cast<std::size_t>(tn)];
+              rdy.pop();
+              continue;
+            }
+            break;
+          }
+        }
         if (rdy.empty()) {
           if (!pend.empty()) {
             events.push(Ev{pend.top().ready, kDispatch, ev.a, 0, 0});
@@ -1079,6 +1242,24 @@ void SimEngine::Impl::run_into(const Schedule& schedule,
         }
         const ReadyShard task = rdy.top();
         rdy.pop();
+        if (!frame_started[static_cast<std::size_t>(task.job)]) {
+          // The frame leaves the queue: it can no longer be shed, and its
+          // queue delay (admission -> first dispatch) is attributed once
+          // (sticky across fault flushes, which reset frame_started).
+          frame_started[static_cast<std::size_t>(task.job)] = 1;
+          const int tn = tenant_of[static_cast<std::size_t>(task.job)];
+          --queue_len[static_cast<std::size_t>(tn)];
+          if (!frame_qd_done[static_cast<std::size_t>(task.job)]) {
+            frame_qd_done[static_cast<std::size_t>(task.job)] = 1;
+            const double qd =
+                now - admit_of[static_cast<std::size_t>(task.job)];
+            qd_sum[static_cast<std::size_t>(tn)] += qd;
+            if (qd > qd_peak[static_cast<std::size_t>(tn)]) {
+              qd_peak[static_cast<std::size_t>(tn)] = qd;
+            }
+            ++qd_count[static_cast<std::size_t>(tn)];
+          }
+        }
         const double service =
             prog_of[static_cast<std::size_t>(task.job)]
                 ->shards_of_item[static_cast<std::size_t>(task.item)]
@@ -1096,11 +1277,13 @@ void SimEngine::Impl::run_into(const Schedule& schedule,
   }
 
   const double nan = std::numeric_limits<double>::quiet_NaN();
-  if (faulted) {
-    // Dropped frames carry NaN; every other admitted frame must have
-    // completed (conservation, per tenant and in aggregate).
+  if (faulted || shed_any) {
+    // Dropped and shed frames carry NaN; every other offered frame must
+    // have completed (conservation, per tenant and in aggregate:
+    // frames == completed + dropped + shed).
     for (int f = 0; f < jobs; ++f) {
-      if (frame_dropped[static_cast<std::size_t>(f)]) {
+      if (frame_dropped[static_cast<std::size_t>(f)] ||
+          frame_shed[static_cast<std::size_t>(f)]) {
         result.frame_completion_s[static_cast<std::size_t>(f)] = nan;
       } else if (!frame_done[static_cast<std::size_t>(f)]) {
         throw std::logic_error(
@@ -1108,7 +1291,7 @@ void SimEngine::Impl::run_into(const Schedule& schedule,
             "dropped (conservation violated)");
       }
     }
-  } else if (multi) {
+  } else if (multi || open) {
     for (int f = 0; f < jobs; ++f) {
       if (!frame_done[static_cast<std::size_t>(f)]) {
         throw std::logic_error(
@@ -1118,7 +1301,13 @@ void SimEngine::Impl::run_into(const Schedule& schedule,
     }
   }
 
-  if (!multi) {
+  // The generalized (multi-tenant-style) reduction handles every new
+  // regime — open-loop admission and/or active admission control — even
+  // for a single stream; the legacy single-stream branch below is entered
+  // ONLY in the bitwise-pinned pre-arrivals regime, keeping its float-op
+  // sequence untouched.
+  const bool legacy_single = !multi && !open && !shed_any;
+  if (legacy_single) {
     // Single stream: exactly the pre-serving reductions, so an implicit
     // single stream — and an explicit one-tenant list with the same
     // parameters — is bitwise-identical to the legacy simulator
@@ -1228,9 +1417,11 @@ void SimEngine::Impl::run_into(const Schedule& schedule,
       }
     }
   } else {
-    // Multi-tenant package-level reductions over the tenant-major job
+    // Generalized package-level reductions over the tenant-major job
     // stream: aggregates cover every completed frame of every tenant,
-    // through the same reduce_tail the per-tenant slices use.
+    // through the same reduce_tail the per-tenant slices use. Latency is
+    // measured from the REALIZED admission instant (admit_of), which for
+    // closed-loop streams holds exactly the legacy f * interval products.
     result.frame_latency_s.reserve(static_cast<std::size_t>(jobs));
     for (int f = 0; f < jobs; ++f) {
       result.frame_latency_s.push_back(
@@ -1240,11 +1431,19 @@ void SimEngine::Impl::run_into(const Schedule& schedule,
     const TailStats tail = reduce_tail(result.frame_latency_s,
                                        result.frame_completion_s, scr_lat,
                                        scr_times);
+    int shed_total = 0;
+    for (int t = 0; t < num_tenants; ++t) {
+      shed_total += shed_count[static_cast<std::size_t>(t)];
+    }
     result.frames_completed = tail.completed;
-    result.dropped_frames = jobs - tail.completed;
+    result.shed_frames = shed_total;
+    result.dropped_frames = jobs - tail.completed - shed_total;
     result.first_frame_latency_s = result.frame_latency_s.front();
     result.makespan_s = tail.makespan_s;
-    result.steady_interval_s = tail.steady_interval_s;
+    // The steady-interval estimator assumes periodic admission; under any
+    // open-loop stream it would conflate queueing with the service
+    // interval, so it is a documented NaN (see SimResult).
+    result.steady_interval_s = open ? nan : tail.steady_interval_s;
     result.p50_latency_s = tail.p50_s;
     result.p95_latency_s = tail.p95_s;
     result.p99_latency_s = tail.p99_s;
@@ -1254,12 +1453,18 @@ void SimEngine::Impl::run_into(const Schedule& schedule,
   // Per-tenant slices (one entry even for single-stream runs).
   for (int t = 0; t < num_tenants; ++t) {
     const TenantCtx& c = ctx[static_cast<std::size_t>(t)];
-    reduce_tenant_into(streams[static_cast<std::size_t>(t)],
+    const std::size_t tk = static_cast<std::size_t>(t);
+    const double qd_mean =
+        qd_count[tk] > 0 ? qd_sum[tk] / static_cast<double>(qd_count[tk])
+                         : nan;
+    reduce_tenant_into(streams[tk],
                        result.frame_completion_s.data() + c.job_base,
-                       tenant_wait[static_cast<std::size_t>(t)], scr_lat,
-                       scr_times, result.tenants[static_cast<std::size_t>(t)]);
+                       admit_of.data() + c.job_base, shed_count[tk],
+                       streams[tk].arrivals->active(), tenant_wait[tk],
+                       qd_mean, qd_count[tk] > 0 ? qd_peak[tk] : nan,
+                       scr_lat, scr_times, result.tenants[tk]);
   }
-  if (multi) {
+  if (!legacy_single) {
     for (const TenantResult& tr : result.tenants) {
       result.deadline_miss_frames += tr.deadline_miss_frames;
     }

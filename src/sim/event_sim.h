@@ -70,6 +70,32 @@
 // primary, so its placements are untouched, but it still restarts the
 // flushed frames and can deadline-drop them). Partitioned isolation is a
 // steady-state load guarantee, not a fault-transient one.
+//
+// Open-loop arrivals (TenantStream::arrivals / SimOptions::arrivals): a
+// tenant with an active ArrivalSpec (src/sim/arrivals.h) admits its frames
+// at the process's generated instants — Poisson, bursty, trace-replayed,
+// or rate-profiled — instead of the closed-loop f * frame_interval_s
+// schedule. Frame latency is measured from the REALIZED admission instant;
+// steady_interval_s is NaN for open-loop streams (the estimator assumes
+// periodic admission, see SimResult). When no process is set the closed-
+// loop path is bitwise-identical to the pre-arrivals simulator
+// (regression-pinned in tests/test_sim.cc).
+//
+// Continuous-batching dispatch + admission control (AdmissionControl):
+// the dispatch set is re-formed at every task completion from the
+// currently-queued requests — eligible work is re-ranked against what is
+// queued NOW (admission-order FIFO, priority preemption under kPriority),
+// shed frames are evicted, and with shed_expired a queued frame whose
+// deadline has already passed is evicted at dispatch-set re-formation
+// instead of burning chiplet time on a guaranteed miss. A bounded queue
+// (queue_capacity) applies one of three load-shedding policies when a
+// frame arrives to a full per-tenant queue: reject the arrival, evict the
+// newest queued frame, or evict the oldest (head drop — the right policy
+// for perception, where the freshest camera frame matters most). Shed
+// frames carry NaN completion/latency and count in shed_frames, never in
+// deadline_miss_frames; conservation is frames == completed + dropped +
+// shed, per tenant (fuzz-enforced). Queue delay (admission -> first
+// dispatch) is attributed per tenant in TenantResult.
 #pragma once
 
 #include <memory>
@@ -77,6 +103,7 @@
 #include <vector>
 
 #include "core/schedule.h"
+#include "sim/arrivals.h"
 #include "sim/nop_sim.h"
 
 namespace cnpu {
@@ -120,6 +147,38 @@ enum class PlacementPolicy {
   kPriority,
 };
 
+// What happens when a frame arrives to a full per-tenant queue (see
+// AdmissionControl). "Queued" means admitted but not yet dispatched: once
+// any of a frame's shards starts executing, the frame can no longer be
+// shed by a bounded-queue eviction.
+enum class ShedPolicy {
+  kNone,        // unbounded queue, nothing is ever shed
+  kRejectNew,   // the arriving frame is refused (tail drop)
+  kDropNewest,  // the newest queued frame is evicted to admit the arrival
+  kDropOldest,  // the oldest queued frame is evicted (head drop: keep the
+                // freshest data — the perception-serving default)
+};
+
+// Per-tenant admission control for the continuous-batching dispatcher.
+// Inactive by default: the closed-loop dispatch path is bitwise-identical
+// to the pre-arrivals engine when neither knob is set.
+struct AdmissionControl {
+  // Maximum queued (admitted, not yet started) frames; <= 0 = unbounded.
+  // A ShedPolicy other than kNone requires a positive capacity.
+  int queue_capacity = 0;
+  ShedPolicy policy = ShedPolicy::kNone;
+  // Evict a queued frame whose deadline has already expired when the
+  // dispatch set is re-formed (it could only complete late — shedding it
+  // frees the machine for frames that can still meet their deadline).
+  // Inert when the stream has no deadline.
+  bool shed_expired = false;
+
+  bool active() const {
+    return (policy != ShedPolicy::kNone && queue_capacity > 0) ||
+           shed_expired;
+  }
+};
+
 // One tenant's frame stream in a multi-tenant run.
 struct TenantStream {
   std::string name = "tenant";
@@ -141,6 +200,11 @@ struct TenantStream {
   // tenant's static pool so a mid-stream fault cannot leak work across the
   // partition (falls back to all survivors only when the whole pool died).
   std::vector<int> allowed_chiplets;
+  // Open-loop admission: when active, this tenant's frames are admitted at
+  // the process's generated instants and frame_interval_s is ignored.
+  ArrivalSpec arrivals;
+  // Bounded-queue load shedding for this tenant (inactive by default).
+  AdmissionControl admission;
 };
 
 struct SimOptions {
@@ -156,6 +220,11 @@ struct SimOptions {
   // flush, frames that can no longer meet it are dropped outright.
   double deadline_s = 0.0;
   FaultPlan fault;
+  // Open-loop admission for the implicit single stream (tenants empty);
+  // same semantics as TenantStream::arrivals.
+  ArrivalSpec arrivals;
+  // Admission control for the implicit single stream.
+  AdmissionControl admission;
   // Dispatch tie-break policy between tenants; inert with a single stream.
   PlacementPolicy policy = PlacementPolicy::kShared;
   // Multi-tenant serving: when non-empty, these streams are admitted
@@ -167,13 +236,18 @@ struct SimOptions {
 
 // Per-tenant slice of a multi-tenant run (also filled, with one entry, for
 // single-stream runs). Aggregates cover the tenant's completed frames;
-// dropped frames carry NaN and are excluded (the percentile_finite
-// filter-then-rank convention, see docs/METRICS.md).
+// dropped and shed frames carry NaN and are excluded (the
+// percentile_finite filter-then-rank convention, see docs/METRICS.md).
+// Conservation: frames == frames_completed + dropped_frames + shed_frames.
 struct TenantResult {
   std::string name;
-  int frames = 0;  // admitted
+  int frames = 0;  // offered (generated arrivals / configured stream length)
   int frames_completed = 0;
-  int dropped_frames = 0;
+  int dropped_frames = 0;  // fault-flush deadline drops
+  // Frames evicted by admission control: bounded-queue shedding or
+  // expired-deadline eviction at dispatch. Never counted as deadline
+  // misses (they did not complete).
+  int shed_frames = 0;
   int deadline_miss_frames = 0;
   double p50_latency_s = 0.0;
   double p95_latency_s = 0.0;
@@ -181,8 +255,17 @@ struct TenantResult {
   double mean_latency_s = 0.0;
   double peak_latency_s = 0.0;
   // Mean inter-completion time over the second half of this tenant's
-  // completed frames (same degradation rules as SimResult).
+  // completed frames (same degradation rules as SimResult). NaN when this
+  // tenant admits through an arrival process: the estimator assumes
+  // periodic admission, and under open-loop arrivals it would silently
+  // conflate queueing with the service interval (see docs/METRICS.md).
   double steady_interval_s = 0.0;
+  // Queue-delay attribution: time from admission to the dispatch of the
+  // frame's FIRST shard — the latency injected by waiting behind other
+  // queued work, before any execution or NoP transfer of this frame's own.
+  // Mean and peak over the frames that began execution; NaN when none did.
+  double mean_queue_delay_s = 0.0;
+  double peak_queue_delay_s = 0.0;
   // Critical-path FIFO link-queueing wait this tenant suffered (kContended
   // only): the per-edge wait actually added to arrival times — the max
   // across an edge's parallel shard messages, summed over the tenant's
@@ -191,7 +274,8 @@ struct TenantResult {
   // undercounts LinkStats::total_queue_wait_s, which sums EVERY message's
   // wait including ones off the critical path.
   double nop_wait_s = 0.0;
-  // One per admitted frame; NaN for frames dropped at a fault flush.
+  // One per offered frame; NaN for frames dropped at a fault flush or
+  // shed by admission control.
   std::vector<double> frame_completion_s;
   std::vector<double> frame_latency_s;
 };
@@ -204,14 +288,19 @@ struct SimResult {
   // meaningful with frames >= 4: shorter streams have no steady half, so
   // the fill latency folds in and this degrades to makespan / frames.
   // Under a fault, measured over the completed (non-dropped) frames'
-  // sorted completion times.
+  // sorted completion times. NaN when any stream admits through an
+  // arrival process: the estimator assumes periodic admission (see
+  // TenantResult::steady_interval_s).
   double steady_interval_s = 0.0;
   double makespan_s = 0.0;
-  // One per frame; NaN for frames dropped at a fault flush.
+  // One per frame; NaN for frames dropped at a fault flush or shed by
+  // admission control.
   std::vector<double> frame_completion_s;
-  // Per-frame admission-to-completion latency (completion minus
-  // frame_interval_s * frame), and its percentiles over the completed
-  // frames of the stream. Dropped frames are NaN and excluded.
+  // Per-frame admission-to-completion latency (completion minus the
+  // REALIZED admission instant: frame_interval_s * frame closed-loop, the
+  // generated arrival instant open-loop), and its percentiles over the
+  // completed frames of the stream. Dropped/shed frames are NaN and
+  // excluded.
   std::vector<double> frame_latency_s;
   double p50_latency_s = 0.0;
   double p95_latency_s = 0.0;
@@ -228,6 +317,9 @@ struct SimResult {
   // Frames abandoned at the fault flush because their deadline had already
   // expired (deadline_s > 0 only).
   int dropped_frames = 0;
+  // Frames evicted by admission control, summed over tenants (bounded
+  // queue or expired-deadline eviction; see AdmissionControl).
+  int shed_frames = 0;
   // Completed frames whose latency exceeded deadline_s (0 when disabled).
   int deadline_miss_frames = 0;
   // Worst completed-frame latency: the fault's latency spike.
@@ -317,8 +409,10 @@ class SimEngine {
 // Throws std::invalid_argument on a 0-item schedule (top-level or any
 // tenant's), a TenantStream whose schedule references a different
 // PackageConfig than `schedule`, a FaultPlan naming a chiplet not in the
-// package (or with no survivor to remap onto), a negative fail time, or
-// recover_time_s in [0, fail_time_s); throws std::logic_error when any
+// package (or with no survivor to remap onto), a negative fail time,
+// recover_time_s in [0, fail_time_s), an invalid ArrivalSpec (see
+// generate_arrivals), or a ShedPolicy other than kNone with a
+// non-positive queue_capacity; throws std::logic_error when any
 // item is unassigned (matching evaluate_schedule). A fault on the chiplet
 // whose router hosts the I/O port propagates the routing layer's
 // std::runtime_error — ingress has no route around that position.

@@ -94,21 +94,25 @@ ServingPlan::ServingPlan(const PackageConfig& package,
     stream.frame_interval_s = tenants[t].frame_interval_s;
     stream.deadline_s = tenants[t].deadline_s;
     stream.priority = tenants[t].priority;
+    stream.arrivals = tenants[t].arrivals;
+    stream.admission = tenants[t].admission;
     // Restrict fault remaps to the tenant's pool only when the pool is a
     // genuine partition; under shared placement any survivor may help.
     if (options.policy == PlacementPolicy::kPartitioned) {
       stream.allowed_chiplets = placement_.pools[t];
     }
     base_interval_s_.push_back(tenants[t].frame_interval_s);
+    base_rate_fps_.push_back(tenants[t].arrivals.rate_fps);
     sim_.tenants.push_back(std::move(stream));
   }
 }
 
 void ServingPlan::run_into(SimResult& out) {
-  // Restore the workloads' own intervals (a prior run_at_rate overrode
-  // them in place).
+  // Restore the workloads' own intervals and arrival rates (a prior
+  // run_at_rate overrode them in place).
   for (std::size_t t = 0; t < sim_.tenants.size(); ++t) {
     sim_.tenants[t].frame_interval_s = base_interval_s_[t];
+    sim_.tenants[t].arrivals.rate_fps = base_rate_fps_[t];
   }
   engine_.run_into(placement_.schedules.front(), sim_, out);
 }
@@ -120,8 +124,13 @@ SimResult ServingPlan::run() {
 }
 
 void ServingPlan::run_at_rate_into(double fps, SimResult& out) {
+  // Offered load fps for every tenant: the closed-loop knob is the frame
+  // interval, the open-loop knob is the process's mean rate (a kTrace
+  // tenant has neither — it replays its recorded instants regardless of
+  // the probed rate, and rate_fps is ignored by trace generation).
   for (TenantStream& stream : sim_.tenants) {
     stream.frame_interval_s = 1.0 / fps;
+    if (stream.arrivals.active()) stream.arrivals.rate_fps = fps;
   }
   engine_.run_into(placement_.schedules.front(), sim_, out);
 }
@@ -175,6 +184,11 @@ LoadSearchResult max_sustainable_load(const PackageConfig& package,
   std::vector<SimResult> slot_results(
       static_cast<std::size_t>(runner.worker_slots()));
 
+  int offered_total = 0;
+  for (const TenantWorkload& w : tenants) {
+    offered_total += std::max(w.frames, 1);
+  }
+
   const auto probe_rate = [&](double fps) {
     const std::size_t slot =
         static_cast<std::size_t>(ThreadPool::current_worker_index() + 1);
@@ -189,6 +203,7 @@ LoadSearchResult max_sustainable_load(const PackageConfig& package,
     for (std::size_t t = 0; t < r.tenants.size(); ++t) {
       const TenantResult& tr = r.tenants[t];
       p.deadline_misses += tr.deadline_miss_frames;
+      p.shed_frames += tr.shed_frames;
       if (std::isnan(tr.p99_latency_s) || tr.frames_completed == 0) {
         // Nothing completed: poisoned tail, never feasible.
         p.worst_p99_s = std::numeric_limits<double>::quiet_NaN();
@@ -199,6 +214,12 @@ LoadSearchResult max_sustainable_load(const PackageConfig& package,
         p.worst_p99_s = std::max(p.worst_p99_s, tr.p99_latency_s);
       }
       if (tr.p99_latency_s > tenants[t].deadline_s) p.feasible = false;
+    }
+    // An overload probe that survives only by shedding is not sustained
+    // service: cap the tolerated shed fraction (strictly 0 by default).
+    if (static_cast<double>(p.shed_frames) >
+        search.max_shed_fraction * static_cast<double>(offered_total)) {
+      p.feasible = false;
     }
     return p;
   };
@@ -227,6 +248,7 @@ LoadSearchResult max_sustainable_load(const PackageConfig& package,
       SweepRecord rec;
       rec.set("worst_p99_s", p.worst_p99_s)
           .set("deadline_misses", static_cast<double>(p.deadline_misses))
+          .set("shed_frames", static_cast<double>(p.shed_frames))
           .set("feasible", p.feasible ? 1.0 : 0.0);
       return rec;
     });
@@ -239,6 +261,7 @@ LoadSearchResult max_sustainable_load(const PackageConfig& package,
       p.fps = pt.point.double_at("fps");
       p.worst_p99_s = pt.record.get("worst_p99_s");
       p.deadline_misses = static_cast<int>(pt.record.get("deadline_misses"));
+      p.shed_frames = static_cast<int>(pt.record.get("shed_frames"));
       p.feasible = pt.record.get("feasible") != 0.0;
       result.probes.push_back(p);
       if (p.feasible) {

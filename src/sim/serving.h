@@ -45,6 +45,14 @@ struct TenantWorkload {
   double frame_interval_s = 0.0;
   double deadline_s = 0.0;  // 0 disables deadline accounting
   int priority = 0;         // kPriority dispatch order (higher wins)
+  // Open-loop admission (see src/sim/arrivals.h): when active, this
+  // tenant's frames are offered at the process's generated instants and
+  // frame_interval_s is ignored. Under run_at_rate / max_sustainable_load
+  // the probe overrides rate_fps (kTrace tenants replay their trace
+  // unchanged: a recorded trace has no rate knob).
+  ArrivalSpec arrivals;
+  // Bounded-queue load shedding for this tenant (inactive by default).
+  AdmissionControl admission;
 };
 
 // Policy-resolved placement: one Schedule per tenant, all on `package`,
@@ -96,11 +104,13 @@ class ServingPlan {
               const std::vector<TenantWorkload>& tenants,
               const ServingOptions& options = {});
 
-  // Co-simulates at each tenant's own frame_interval_s.
+  // Co-simulates at each tenant's own frame_interval_s / arrival process.
   SimResult run();
   void run_into(SimResult& out);  // allocation-free once warm
-  // Co-simulates with EVERY tenant's frame interval overridden to 1/fps
-  // (the max_sustainable_load probe shape).
+  // Co-simulates with EVERY tenant's offered load overridden to fps: a
+  // closed-loop tenant's frame interval becomes 1/fps, an open-loop
+  // tenant's ArrivalSpec::rate_fps becomes fps (kTrace replays its trace
+  // unchanged) — the max_sustainable_load probe shape.
   SimResult run_at_rate(double fps);
   void run_at_rate_into(double fps, SimResult& out);
 
@@ -110,6 +120,7 @@ class ServingPlan {
  private:
   TenantPlacement placement_;
   std::vector<double> base_interval_s_;  // the workloads' own intervals
+  std::vector<double> base_rate_fps_;    // the workloads' own arrival rates
   SimOptions sim_;
   SimEngine engine_;
 };
@@ -137,14 +148,23 @@ struct LoadSearchOptions {
   int probes_per_round = 4;
   int max_rounds = 10;
   int threads = 0;  // sweep-engine worker threads; 0 = hardware
+  // Largest tolerated shed fraction (shed frames / offered frames, summed
+  // over tenants) for a probe to stay feasible. The default 0.0 is strict:
+  // with admission control active, ANY shed frame makes the rate
+  // infeasible — sustained load then means "served without shedding".
+  // Inert when no tenant sheds (shed_frames is always 0 there, preserving
+  // the pre-arrivals feasibility semantics bitwise).
+  double max_shed_fraction = 0.0;
 };
 
-// One evaluated injection rate.
+// One evaluated offered load (per-tenant injection rate).
 struct LoadProbe {
   double fps = 0.0;
   double worst_p99_s = 0.0;  // max over tenants (NaN when nothing completed)
   int deadline_misses = 0;   // summed over tenants
-  bool feasible = false;     // every tenant's p99 <= its deadline
+  int shed_frames = 0;       // summed over tenants (admission control)
+  bool feasible = false;     // every tenant's p99 <= its deadline, and the
+                             // shed fraction <= max_shed_fraction
 };
 
 struct LoadSearchResult {

@@ -45,7 +45,12 @@ inline void expect_tenants_bits_eq(const TenantResult& a,
   EXPECT_EQ(a.frames, b.frames);
   EXPECT_EQ(a.frames_completed, b.frames_completed);
   EXPECT_EQ(a.dropped_frames, b.dropped_frames);
+  EXPECT_EQ(a.shed_frames, b.shed_frames);
   EXPECT_EQ(a.deadline_miss_frames, b.deadline_miss_frames);
+  expect_bits_eq(a.mean_queue_delay_s, b.mean_queue_delay_s,
+                 "tenant mean_queue_delay_s");
+  expect_bits_eq(a.peak_queue_delay_s, b.peak_queue_delay_s,
+                 "tenant peak_queue_delay_s");
   expect_bits_eq(a.p50_latency_s, b.p50_latency_s, "tenant p50_latency_s");
   expect_bits_eq(a.p95_latency_s, b.p95_latency_s, "tenant p95_latency_s");
   expect_bits_eq(a.p99_latency_s, b.p99_latency_s, "tenant p99_latency_s");
@@ -77,6 +82,7 @@ inline void expect_sim_results_bits_eq(const SimResult& a, const SimResult& b) {
   EXPECT_EQ(a.tasks_executed, b.tasks_executed);
   EXPECT_EQ(a.frames_completed, b.frames_completed);
   EXPECT_EQ(a.dropped_frames, b.dropped_frames);
+  EXPECT_EQ(a.shed_frames, b.shed_frames);
   EXPECT_EQ(a.deadline_miss_frames, b.deadline_miss_frames);
   expect_bits_eq(a.peak_latency_s, b.peak_latency_s, "peak_latency_s");
   expect_bits_eq(a.recovery_time_s, b.recovery_time_s, "recovery_time_s");

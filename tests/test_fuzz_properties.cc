@@ -625,6 +625,120 @@ TEST_P(FuzzSeed, ReusedEngineBitwiseIdenticalToOneShot) {
   }
 }
 
+// Open-loop conservation, fuzzed: random fleets x arrival processes x shed
+// policies. For EVERY tenant, admitted frames == completed + dropped +
+// shed; exactly the non-completed frames carry NaN completions; tenants
+// with an active process report NaN steady intervals; and a warm
+// ServingPlan reproduces one-shot serve_tenants bit for bit even with
+// arrival generation and load shedding in the loop.
+TEST_P(FuzzSeed, OpenLoopConservationAndWarmEngineIdentity) {
+  Lcg rng(static_cast<std::uint64_t>(GetParam()) * 88651u + 31u);
+  for (int trial = 0; trial < 3; ++trial) {
+    SCOPED_TRACE("seed " + std::to_string(GetParam()) + " trial " +
+                 std::to_string(trial));
+    const int rows = static_cast<int>(rng.range(2, 3));
+    const int cols = static_cast<int>(rng.range(2, 4));
+    const PackageConfig pkg = make_simba_package(rows, cols);
+
+    const int n_tenants = static_cast<int>(rng.range(1, 3));
+    std::vector<PerceptionPipeline> pipes;
+    for (int t = 0; t < n_tenants; ++t) {
+      PerceptionPipeline pipe;
+      Model m;
+      m.name = "ol_chain_" + std::to_string(t);
+      const int layers = static_cast<int>(rng.range(2, 4));
+      for (int l = 0; l < layers; ++l) {
+        m.layers.push_back(gemm("o" + std::to_string(t) + "_g" +
+                                    std::to_string(l),
+                                rng.range(512, 8192), rng.range(16, 128),
+                                rng.range(16, 128)));
+      }
+      pipe.stages.push_back(Stage{"S", {{m, false}}});
+      pipes.push_back(std::move(pipe));
+    }
+    std::vector<TenantWorkload> fleet;
+    for (int t = 0; t < n_tenants; ++t) {
+      TenantWorkload w;
+      w.name = "t" + std::to_string(t);
+      w.pipeline = &pipes[static_cast<std::size_t>(t)];
+      w.frames = static_cast<int>(rng.range(4, 12));
+      w.frame_interval_s = static_cast<double>(rng.range(1, 50)) * 1e-5;
+      // Tenant 0 always runs open-loop so the property is never vacuous;
+      // later tenants may stay closed-loop (the mixed regime is legal).
+      const std::int64_t kind = t == 0 ? rng.range(1, 3) : rng.range(0, 3);
+      if (kind == 1) {
+        w.arrivals.kind = ArrivalKind::kPeriodic;
+      } else if (kind == 2) {
+        w.arrivals.kind = ArrivalKind::kPoisson;
+      } else if (kind == 3) {
+        w.arrivals.kind = ArrivalKind::kBursty;
+        w.arrivals.on_mean_s = static_cast<double>(rng.range(1, 20)) * 1e-4;
+        w.arrivals.off_mean_s = static_cast<double>(rng.range(1, 20)) * 1e-4;
+      }
+      if (kind != 0) {
+        // 1e3..1e5 fps straddles the fleet's service rate: some trials
+        // underload, some overload hard enough to shed.
+        w.arrivals.rate_fps = static_cast<double>(rng.range(1, 100)) * 1e3;
+        w.arrivals.seed = static_cast<std::uint64_t>(rng.range(1, 1000));
+      }
+      if (rng.range(0, 1) == 0) {
+        w.deadline_s = static_cast<double>(rng.range(1, 80)) * 1e-5;
+      }
+      const std::int64_t shed = rng.range(0, 3);
+      if (shed > 0) {
+        w.admission.queue_capacity = static_cast<int>(rng.range(1, 6));
+        w.admission.policy = shed == 1   ? ShedPolicy::kRejectNew
+                             : shed == 2 ? ShedPolicy::kDropOldest
+                                         : ShedPolicy::kDropNewest;
+      }
+      if (w.deadline_s > 0.0 && rng.range(0, 1) == 0) {
+        w.admission.shed_expired = true;
+      }
+      w.priority = static_cast<int>(rng.range(0, 2));
+      fleet.push_back(w);
+    }
+
+    ServingOptions opt;
+    const std::int64_t pol = rng.range(0, 2);
+    opt.policy = pol == 0   ? PlacementPolicy::kShared
+                 : pol == 1 ? PlacementPolicy::kPartitioned
+                            : PlacementPolicy::kPriority;
+    if (rng.range(0, 3) == 0) opt.nop_mode = NopMode::kContended;
+
+    const SimResult a = serve_tenants(pkg, fleet, opt);
+
+    // (a) conservation with shedding in the ledger, per tenant.
+    ASSERT_EQ(a.tenants.size(), fleet.size());
+    int total_shed = 0;
+    for (std::size_t t = 0; t < a.tenants.size(); ++t) {
+      const TenantResult& tr = a.tenants[t];
+      ASSERT_EQ(tr.frames_completed + tr.dropped_frames + tr.shed_frames,
+                tr.frames)
+          << tr.name;
+      EXPECT_GE(tr.shed_frames, 0) << tr.name;
+      int nan_count = 0;
+      for (const double comp : tr.frame_completion_s) {
+        if (std::isnan(comp)) ++nan_count;
+      }
+      ASSERT_EQ(nan_count, tr.dropped_frames + tr.shed_frames) << tr.name;
+      if (fleet[t].arrivals.active()) {
+        EXPECT_TRUE(std::isnan(tr.steady_interval_s)) << tr.name;
+      }
+      total_shed += tr.shed_frames;
+    }
+    ASSERT_EQ(a.shed_frames, total_shed);
+
+    // (b) warm-engine identity with arrivals + shedding active.
+    ServingPlan plan(pkg, fleet, opt);
+    const SimResult warm1 = plan.run();
+    SimResult warm2;
+    plan.run_into(warm2);
+    testutil::expect_sim_results_bits_eq(a, warm1);
+    testutil::expect_sim_results_bits_eq(a, warm2);
+    if (::testing::Test::HasFailure()) return;
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeed, ::testing::Range(1, 9));
 
 }  // namespace

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <memory>
 #include <stdexcept>
 
 #include "core/baselines.h"
@@ -926,6 +927,265 @@ TEST(Serving, ValidationThrows) {
   inverted.fps_hi = 10.0;
   EXPECT_THROW(max_sustainable_load(s.pkg, fine, {}, inverted),
                std::invalid_argument);
+}
+
+// --- open-loop arrivals + continuous-batching admission control ---
+
+// A deliberately tiny serving scenario with an exactly-known service time:
+// one gemm on one chiplet, so frame timing under any arrival process can
+// be reasoned about in closed form.
+struct MiniServing {
+  PerceptionPipeline p;
+  PackageConfig pkg = make_simba_package(1, 1);
+  std::unique_ptr<Schedule> sched;
+  double service = 0.0;  // one frame's exact service time
+
+  MiniServing() {
+    Model m;
+    m.name = "M";
+    m.layers = {gemm("A", 4096, 64, 64)};
+    p.stages.push_back(Stage{"S", {{m, false}}});
+    sched = std::make_unique<Schedule>(p, pkg);
+    sched->assign(0, 0);
+    service = analyze_layer(m.layers[0], pkg.chiplet(0).array).latency_s;
+  }
+
+  SimOptions base(int frames) const {
+    SimOptions opt;
+    opt.frames = frames;
+    opt.model_nop_delays = false;
+    return opt;
+  }
+};
+
+// Satellite regression: the steady-interval estimate assumes periodic
+// admission; with an arrival process active it must be a documented NaN
+// (package-level and per-tenant), not a silently wrong number.
+TEST(OpenLoop, SteadyIntervalIsNaNUnderArrivalProcess) {
+  const MiniServing s;
+  SimOptions opt = s.base(8);
+  opt.arrivals.kind = ArrivalKind::kPoisson;
+  opt.arrivals.rate_fps = 0.25 / s.service;  // underload: no queue growth
+  opt.arrivals.seed = 3;
+  const SimResult r = simulate_schedule(*s.sched, opt);
+  EXPECT_TRUE(std::isnan(r.steady_interval_s));
+  ASSERT_EQ(r.tenants.size(), 1u);
+  EXPECT_TRUE(std::isnan(r.tenants.front().steady_interval_s));
+  // Everything else stays well-defined.
+  EXPECT_EQ(r.frames_completed, 8);
+  EXPECT_EQ(r.dropped_frames, 0);
+  EXPECT_EQ(r.shed_frames, 0);
+  EXPECT_FALSE(std::isnan(r.p99_latency_s));
+
+  // Closed-loop control: same options minus the process -> finite steady.
+  SimOptions closed = s.base(8);
+  const SimResult c = simulate_schedule(*s.sched, closed);
+  EXPECT_FALSE(std::isnan(c.steady_interval_s));
+  EXPECT_FALSE(std::isnan(c.tenants.front().steady_interval_s));
+}
+
+// Latency is measured from the REALIZED admission instant: regenerating
+// the same seeded process reproduces admit instants, and latency must be
+// exactly completion - admit, bit for bit.
+TEST(OpenLoop, LatencyMeasuredFromRealizedAdmissionInstant) {
+  const MiniServing s;
+  SimOptions opt = s.base(16);
+  opt.arrivals.kind = ArrivalKind::kPoisson;
+  opt.arrivals.rate_fps = 0.5 / s.service;
+  opt.arrivals.seed = 77;
+  const SimResult r = simulate_schedule(*s.sched, opt);
+  const std::vector<double> admit = generate_arrivals(opt.arrivals, 16);
+  ASSERT_EQ(r.frame_latency_s.size(), 16u);
+  for (int f = 0; f < 16; ++f) {
+    const std::size_t k = static_cast<std::size_t>(f);
+    EXPECT_EQ(r.frame_latency_s[k], r.frame_completion_s[k] - admit[k]) << f;
+    EXPECT_GE(r.frame_completion_s[k], admit[k]) << f;
+  }
+}
+
+// A periodic process at a power-of-two rate admits at f / 32 — the exact
+// doubles closed-loop f * (1/32) admission produces — so the two paths
+// must agree bitwise on every completion and latency (steady interval
+// excepted: it is NaN open-loop by contract).
+TEST(OpenLoop, PeriodicProcessMatchesClosedLoopBitwise) {
+  const MiniServing s;
+  SimOptions closed = s.base(12);
+  closed.frame_interval_s = 1.0 / 32.0;
+  const SimResult c = simulate_schedule(*s.sched, closed);
+
+  SimOptions open = s.base(12);
+  open.arrivals.kind = ArrivalKind::kPeriodic;
+  open.arrivals.rate_fps = 32.0;
+  const SimResult o = simulate_schedule(*s.sched, open);
+
+  EXPECT_TRUE(o.frame_completion_s == c.frame_completion_s);
+  EXPECT_TRUE(o.frame_latency_s == c.frame_latency_s);
+  EXPECT_EQ(o.p99_latency_s, c.p99_latency_s);
+  EXPECT_EQ(o.tasks_executed, c.tasks_executed);
+  EXPECT_TRUE(std::isnan(o.steady_interval_s));
+  EXPECT_FALSE(std::isnan(c.steady_interval_s));
+}
+
+// Satellite pin: the hexfloat acceptance constants of
+// NoFaultOutputBitwiseIdenticalToPreFaultBehavior, re-asserted with the
+// arrivals/admission fields EXPLICITLY set to their default-constructed
+// (inactive) state — proving "compiled in but unset" is zero-drift vs the
+// PR 6 closed-loop behavior.
+TEST(OpenLoop, ClosedLoopUnsetArrivalsBitwiseIdenticalToPinnedBehavior) {
+  const PerceptionPipeline p = build_fanin_pipeline(8);
+  const PackageConfig pkg = make_simba_package(1, 9);
+  const Schedule sched = build_fanin_schedule(p, pkg);
+  SimOptions a;
+  a.frames = 48;
+  a.arrivals = ArrivalSpec{};
+  a.admission = AdmissionControl{};
+  TenantStream stream;
+  stream.frames = 48;
+  stream.arrivals = ArrivalSpec{};
+  stream.admission = AdmissionControl{};
+  for (const bool explicit_tenant : {false, true}) {
+    SimOptions opt = a;
+    if (explicit_tenant) opt.tenants.push_back(stream);
+    const SimResult ra = simulate_schedule(sched, opt);
+    EXPECT_EQ(ra.first_frame_latency_s, 0x1.5b184e5b4fd86p-9);
+    EXPECT_EQ(ra.steady_interval_s, 0x1.49db9116db68p-10);
+    EXPECT_EQ(ra.makespan_s, 0x1.fa2c01ff473dap-5);
+    EXPECT_EQ(ra.p99_latency_s, 0x1.f553be2fa99e4p-5);
+    EXPECT_EQ(ra.tasks_executed, 432);
+    EXPECT_EQ(ra.shed_frames, 0);
+  }
+}
+
+TEST(Shedding, RejectNewBoundsTheQueue) {
+  const MiniServing s;
+  SimOptions opt = s.base(8);  // interval 0: all 8 admits at t = 0
+  opt.admission.queue_capacity = 2;
+  opt.admission.policy = ShedPolicy::kRejectNew;
+  const SimResult r = simulate_schedule(*s.sched, opt);
+  // Admissions pop before any dispatch at t = 0, so the queue fills with
+  // frames 0 and 1 and every later arrival is refused.
+  EXPECT_EQ(r.frames_completed, 2);
+  EXPECT_EQ(r.shed_frames, 6);
+  EXPECT_EQ(r.dropped_frames, 0);
+  ASSERT_EQ(r.tenants.size(), 1u);
+  EXPECT_EQ(r.tenants.front().shed_frames, 6);
+  for (int f = 0; f < 8; ++f) {
+    const std::size_t k = static_cast<std::size_t>(f);
+    if (f < 2) {
+      EXPECT_FALSE(std::isnan(r.frame_completion_s[k])) << f;
+    } else {
+      EXPECT_TRUE(std::isnan(r.frame_completion_s[k])) << f;
+      EXPECT_TRUE(std::isnan(r.frame_latency_s[k])) << f;
+    }
+  }
+  EXPECT_NEAR(r.frame_completion_s[0], s.service, s.service * 1e-9);
+  EXPECT_NEAR(r.frame_completion_s[1], 2 * s.service, s.service * 1e-9);
+}
+
+TEST(Shedding, DropOldestKeepsTheFreshestFrames) {
+  const MiniServing s;
+  SimOptions opt = s.base(8);
+  opt.admission.queue_capacity = 2;
+  opt.admission.policy = ShedPolicy::kDropOldest;
+  const SimResult r = simulate_schedule(*s.sched, opt);
+  // Head drop: each arrival evicts the oldest queued frame, so the queue
+  // ends holding the two NEWEST frames (6 and 7).
+  EXPECT_EQ(r.frames_completed, 2);
+  EXPECT_EQ(r.shed_frames, 6);
+  for (int f = 0; f < 6; ++f) {
+    EXPECT_TRUE(std::isnan(r.frame_completion_s[static_cast<std::size_t>(f)]))
+        << f;
+  }
+  EXPECT_FALSE(std::isnan(r.frame_completion_s[6]));
+  EXPECT_FALSE(std::isnan(r.frame_completion_s[7]));
+}
+
+TEST(Shedding, DropNewestKeepsTheHeadOfTheQueue) {
+  const MiniServing s;
+  SimOptions opt = s.base(8);
+  opt.admission.queue_capacity = 2;
+  opt.admission.policy = ShedPolicy::kDropNewest;
+  const SimResult r = simulate_schedule(*s.sched, opt);
+  // Tail drop with eviction: each arrival replaces the newest queued
+  // frame, so frame 0 and the LAST arrival (7) survive.
+  EXPECT_EQ(r.frames_completed, 2);
+  EXPECT_EQ(r.shed_frames, 6);
+  EXPECT_FALSE(std::isnan(r.frame_completion_s[0]));
+  EXPECT_FALSE(std::isnan(r.frame_completion_s[7]));
+  for (int f = 1; f < 7; ++f) {
+    EXPECT_TRUE(std::isnan(r.frame_completion_s[static_cast<std::size_t>(f)]))
+        << f;
+  }
+}
+
+TEST(Shedding, ExpiredEvictionShedsGuaranteedMissesAndImprovesMissRate) {
+  const MiniServing s;
+  // 4x overload: the queue grows by 3/4 frame per admission, so later
+  // frames are doomed to miss a 2-service deadline long before dispatch.
+  SimOptions opt = s.base(16);
+  opt.frame_interval_s = s.service / 4.0;
+  opt.deadline_s = 2.0 * s.service;
+  const SimResult no_shed = simulate_schedule(*s.sched, opt);
+  EXPECT_GT(no_shed.deadline_miss_frames, 8);  // most frames miss
+
+  opt.admission.shed_expired = true;
+  const SimResult shed = simulate_schedule(*s.sched, opt);
+  EXPECT_GT(shed.shed_frames, 0);
+  EXPECT_EQ(shed.frames_completed + shed.dropped_frames + shed.shed_frames,
+            16);
+  // Shed frames never count as misses, and the completed frames meet the
+  // deadline more often than the no-shed stream's.
+  EXPECT_LT(shed.deadline_miss_frames, no_shed.deadline_miss_frames);
+}
+
+TEST(Shedding, QueueDelayAttributedPerTenant) {
+  const MiniServing s;
+  // Three back-to-back frames on one chiplet: first dispatches at 0, the
+  // next at 1 service, the third at 2 — mean queue delay 1 service, peak 2.
+  const SimResult r = simulate_schedule(*s.sched, s.base(3));
+  ASSERT_EQ(r.tenants.size(), 1u);
+  const TenantResult& tr = r.tenants.front();
+  EXPECT_NEAR(tr.mean_queue_delay_s, s.service, s.service * 1e-9);
+  EXPECT_NEAR(tr.peak_queue_delay_s, 2 * s.service, s.service * 1e-9);
+}
+
+TEST(Shedding, PolicyWithoutCapacityThrows) {
+  const MiniServing s;
+  SimOptions opt = s.base(4);
+  opt.admission.policy = ShedPolicy::kDropOldest;  // capacity left at 0
+  EXPECT_THROW(simulate_schedule(*s.sched, opt), std::invalid_argument);
+}
+
+// The serving layer forwards arrivals + admission: an overloaded Poisson
+// tenant with a bounded queue sheds, and the load search reports the shed
+// frames while treating them as infeasible by default.
+TEST(Serving, OpenLoopShedRatePropagatesThroughLoadSearch) {
+  const ServingScenario s;
+  std::vector<TenantWorkload> fleet = s.fleet(2, 0.0, s.healthy * 6.0);
+  for (TenantWorkload& w : fleet) {
+    w.arrivals.kind = ArrivalKind::kPoisson;
+    w.arrivals.seed = 17;
+    w.admission.queue_capacity = 4;
+    w.admission.policy = ShedPolicy::kDropOldest;
+  }
+  LoadSearchOptions search;
+  search.fps_lo = 0.05 / s.healthy;
+  search.fps_hi = 4.0 / s.healthy;
+  search.probes_per_round = 3;
+  search.max_rounds = 3;
+  const LoadSearchResult res =
+      max_sustainable_load(s.pkg, fleet, {}, search);
+  ASSERT_FALSE(res.probes.empty());
+  bool any_shed = false;
+  for (const LoadProbe& p : res.probes) {
+    if (p.shed_frames > 0) {
+      any_shed = true;
+      EXPECT_FALSE(p.feasible)
+          << "default max_shed_fraction 0 must reject shedding probes";
+    }
+  }
+  EXPECT_TRUE(any_shed) << "the 4x-overload ceiling probe must shed";
+  EXPECT_LT(res.max_fps, search.fps_hi);
 }
 
 TEST(EventSim, FrameCompletionsMonotone) {
