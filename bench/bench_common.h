@@ -20,6 +20,19 @@ inline void print_header(const std::string& what, const std::string& paper_ref) 
   std::printf("================================================================\n");
 }
 
+// Where a bench drops its CSV/JSON artifacts. CNPU_ARTIFACT_DIR (set by CI
+// to a directory under build/) prefixes the file name; unset, artifacts land
+// in the bench's working directory. Either way the root .gitignore guards
+// bench_*.{csv,json}, so a bench run from the repo checkout never dirties
+// `git status`.
+inline std::string artifact_path(const std::string& file_name) {
+  const char* dir = std::getenv("CNPU_ARTIFACT_DIR");
+  if (dir == nullptr || dir[0] == '\0') return file_name;
+  std::string out(dir);
+  if (out.back() != '/') out += '/';
+  return out + file_name;
+}
+
 // Benches want fail-fast sweeps: a failed point means the reproduction is
 // wrong, so surface the captured per-point error and abort instead of
 // rendering a table with holes.

@@ -83,7 +83,7 @@ void print_hot_link_demo(bool smoke) {
                 format_fixed(l.max_queue_wait_s * 1e6, 1)});
   }
   std::printf("%s", lt.to_string().c_str());
-  if (!links_csv.write_file("bench_contention_links.csv")) {
+  if (!links_csv.write_file(bench::artifact_path("bench_contention_links.csv"))) {
     std::fprintf(stderr,
                  "bench_contention: failed to write bench_contention_links.csv\n");
     std::exit(1);
@@ -159,8 +159,8 @@ void print_sweep(bool smoke) {
                format_fixed(p.record.get("max_link_util"), 2)});
   }
   std::printf("%s", t.to_string().c_str());
-  const bool csv_ok = sweep.write_csv("bench_contention_sweep.csv");
-  const bool json_ok = sweep.write_json("bench_contention_sweep.json");
+  const bool csv_ok = sweep.write_csv(bench::artifact_path("bench_contention_sweep.csv"));
+  const bool json_ok = sweep.write_json(bench::artifact_path("bench_contention_sweep.json"));
   std::printf("sweep artifacts: bench_contention_sweep.csv%s, "
               "bench_contention_sweep.json%s\n\n",
               csv_ok ? "" : " (WRITE FAILED)", json_ok ? "" : " (WRITE FAILED)");

@@ -111,7 +111,7 @@ void print_autopilot_demo(bool smoke) {
          format_fixed(faulted.frame_latency_s[static_cast<std::size_t>(f)] * 1e3,
                       3)});
   }
-  if (!timeline.write_file("bench_fault_dynamic_timeline.csv")) {
+  if (!timeline.write_file(bench::artifact_path("bench_fault_dynamic_timeline.csv"))) {
     std::fprintf(stderr, "bench_fault_dynamic: failed to write timeline CSV\n");
     std::exit(1);
   }
@@ -209,8 +209,8 @@ void print_sweep(bool smoke) {
                format_fixed(p.record.get("recovery_ms"), 2)});
   }
   std::printf("%s", t.to_string().c_str());
-  const bool csv_ok = sweep.write_csv("bench_fault_dynamic_sweep.csv");
-  const bool json_ok = sweep.write_json("bench_fault_dynamic_sweep.json");
+  const bool csv_ok = sweep.write_csv(bench::artifact_path("bench_fault_dynamic_sweep.csv"));
+  const bool json_ok = sweep.write_json(bench::artifact_path("bench_fault_dynamic_sweep.json"));
   std::printf("sweep artifacts: bench_fault_dynamic_sweep.csv%s, "
               "bench_fault_dynamic_sweep.json%s\n\n",
               csv_ok ? "" : " (WRITE FAILED)", json_ok ? "" : " (WRITE FAILED)");

@@ -336,7 +336,7 @@ void write_artifacts(const std::vector<SectionResult>& sections, bool pass) {
                  fmt(s.speedup_vs_oneshot()), fmt(s.parallel_pps),
                  fmt(s.floor)});
   }
-  const bool csv_ok = csv.write_file("bench_simspeed.csv");
+  const bool csv_ok = csv.write_file(bench::artifact_path("bench_simspeed.csv"));
 
   JsonWriter w;
   w.begin_object();
@@ -357,7 +357,7 @@ void write_artifacts(const std::vector<SectionResult>& sections, bool pass) {
   }
   w.end_array();
   w.end_object();
-  std::ofstream json("bench_simspeed.json");
+  std::ofstream json(bench::artifact_path("bench_simspeed.json"));
   bool json_ok = static_cast<bool>(json);
   if (json_ok) {
     json << w.str() << '\n';

@@ -2,15 +2,40 @@
 
 #include <cstdlib>
 
+#include "util/strings.h"
+
 namespace cnpu {
 
 int mesh_hops(const GridCoord& a, const GridCoord& b) {
   return std::abs(a.row - b.row) + std::abs(a.col - b.col);
 }
 
+namespace {
+
+std::string format_capacity(double bytes) {
+  if (bytes <= 0.0) return "inf";
+  return format_si(bytes, 1) + "B";
+}
+
+}  // namespace
+
+std::string MemorySpec::describe() const {
+  if (!active()) return "mem[unbounded]";
+  std::string s = "mem[w=" + format_capacity(weight_capacity_bytes) +
+                  " a=" + format_capacity(activation_capacity_bytes) +
+                  " reload=";
+  s += reload_bandwidth_bytes_per_s > 0.0
+           ? format_si(reload_bandwidth_bytes_per_s, 1) + "B/s"
+           : "inf";
+  return s + "]";
+}
+
 std::string ChipletSpec::describe() const {
-  return "chiplet#" + std::to_string(id) + "@(" + std::to_string(coord.row) +
-         "," + std::to_string(coord.col) + ") " + array.describe();
+  std::string s = "chiplet#" + std::to_string(id) + "@(" +
+                  std::to_string(coord.row) + "," + std::to_string(coord.col) +
+                  ") " + array.describe();
+  if (memory.active()) s += " " + memory.describe();
+  return s;
 }
 
 ChipletSpec make_chiplet(int id, int row, int col, DataflowKind kind,
@@ -20,6 +45,14 @@ ChipletSpec make_chiplet(int id, int row, int col, DataflowKind kind,
   c.coord = GridCoord{row, col};
   c.array = make_pe_array(kind, num_pes);
   return c;
+}
+
+MemorySpec make_calibrated_memory() {
+  MemorySpec m;
+  m.weight_capacity_bytes = cal::kWeightCapacityBytes;
+  m.activation_capacity_bytes = cal::kActivationCapacityBytes;
+  m.reload_bandwidth_bytes_per_s = cal::kReloadBandwidthBytesPerS;
+  return m;
 }
 
 }  // namespace cnpu

@@ -20,6 +20,31 @@ struct GridCoord {
 // Manhattan distance (number of mesh hops under XY routing).
 int mesh_hops(const GridCoord& a, const GridCoord& b);
 
+// Per-chiplet memory model. Any field <= 0 means "unbounded" (capacities)
+// or "infinite" (reload bandwidth); the all-defaults spec is therefore
+// inactive and every placement/sim path behaves exactly as if the memory
+// model did not exist. Calibrated opt-in values live in
+// dataflow/calibration.h (make_calibrated_memory()).
+struct MemorySpec {
+  // On-die SRAM reserved for resident weights. Weights are replicated per
+  // shard: every chiplet hosting a shard of a layer holds the full weight
+  // tensor (core/residency.h).
+  double weight_capacity_bytes = 0.0;
+  // Buffer for per-layer activation working sets (peak transient, not sum).
+  double activation_capacity_bytes = 0.0;
+  // Sustained DRAM-to-SRAM fill bandwidth used when weights must be
+  // (re)loaded after a shard moves home chiplet (fault remap, recovery).
+  double reload_bandwidth_bytes_per_s = 0.0;
+
+  // Any capacity is finite: placement must respect this chiplet's footprint.
+  bool bounded() const {
+    return weight_capacity_bytes > 0.0 || activation_capacity_bytes > 0.0;
+  }
+  // The memory model participates at all (capacity checks or reload cost).
+  bool active() const { return bounded() || reload_bandwidth_bytes_per_s > 0.0; }
+  std::string describe() const;
+};
+
 struct ChipletSpec {
   int id = 0;
   GridCoord coord;
@@ -27,6 +52,8 @@ struct ChipletSpec {
   // NPUs costs extra substrate hops (see PackageConfig).
   int npu = 0;
   PeArrayConfig array;
+  // Default-inactive: infinite capacity, zero-cost reload.
+  MemorySpec memory;
 
   DataflowKind dataflow() const { return array.dataflow; }
   std::string describe() const;
@@ -36,5 +63,9 @@ struct ChipletSpec {
 ChipletSpec make_chiplet(int id, int row, int col,
                          DataflowKind kind = DataflowKind::kOutputStationary,
                          std::int64_t num_pes = cal::kPesPerChiplet);
+
+// Calibrated per-chiplet memory (cal::kWeightCapacityBytes etc.). Opt-in:
+// nothing applies it automatically.
+MemorySpec make_calibrated_memory();
 
 }  // namespace cnpu

@@ -334,6 +334,27 @@ void PackageConfig::set_chiplet_dataflow(int id, DataflowKind kind) {
   throw std::out_of_range("no chiplet with id " + std::to_string(id));
 }
 
+void PackageConfig::set_memory(const MemorySpec& memory) {
+  for (auto& c : chiplets_) c.memory = memory;
+}
+
+void PackageConfig::set_chiplet_memory(int id, const MemorySpec& memory) {
+  for (auto& c : chiplets_) {
+    if (c.id == id) {
+      c.memory = memory;
+      return;
+    }
+  }
+  throw std::out_of_range("no chiplet with id " + std::to_string(id));
+}
+
+bool PackageConfig::memory_model_active() const {
+  for (const auto& c : chiplets_) {
+    if (c.memory.active()) return true;
+  }
+  return false;
+}
+
 PackageConfig PackageConfig::without_chiplet(int id) const {
   std::vector<ChipletSpec> remaining;
   remaining.reserve(chiplets_.size());

@@ -111,6 +111,18 @@ class PackageConfig {
   // Replaces the dataflow style of one chiplet (heterogeneous integration).
   void set_chiplet_dataflow(int id, DataflowKind kind);
 
+  // Applies one MemorySpec to every chiplet (homogeneous memory provisioning;
+  // the common case). Apply before building schedules/programs — SimEngine
+  // caches compiled programs per schedule and does not watch for later spec
+  // edits. without_chiplet copies survive the specs.
+  void set_memory(const MemorySpec& memory);
+  // Per-chiplet override (heterogeneous memory provisioning).
+  void set_chiplet_memory(int id, const MemorySpec& memory);
+  // True when any chiplet's memory model participates (capacity checks or
+  // reload charging); false for the default all-unbounded package, which is
+  // the bitwise-identical legacy behavior.
+  bool memory_model_active() const;
+
   // A copy of this package with one chiplet removed (fault isolation /
   // yield-degraded parts - a key modularity argument for chiplets). The
   // removed position is recorded as a FailedSite: its router dies with the

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "core/residency.h"
+
 namespace cnpu {
 namespace {
 
@@ -116,14 +118,62 @@ Schedule build_pool_schedule(const PerceptionPipeline& pipeline,
     }
   }
   Schedule sched(pipeline, package);
+  // Capacity tracking per pool member: resident weight bytes accumulate
+  // across the chains a member hosts; the activation working set is the peak
+  // over hosted layers. With all-unbounded memory (the default) the
+  // preferred member always fits, reproducing the legacy round-robin
+  // bitwise.
+  const std::size_t psize = pool.size();
+  std::vector<double> weight_used(psize, 0.0);
+  std::vector<double> act_peak(psize, 0.0);
   int k = std::max(offset, 0);
   for (int st = 0; st < pipeline.num_stages(); ++st) {
     for (int mod = 0; mod < pipeline.stages[static_cast<std::size_t>(st)]
                                 .num_models();
          ++mod) {
-      const int id = pool[static_cast<std::size_t>(k) % pool.size()];
-      for (const int item : sched.items_of_model(st, mod)) {
-        sched.assign(item, id);
+      const auto& items = sched.items_of_model(st, mod);
+      double chain_weight = 0.0;
+      double chain_act = 0.0;
+      for (const int item : items) {
+        const LayerDesc& desc = *sched.item(item).desc;
+        chain_weight += layer_weight_bytes(desc);
+        chain_act = std::max(chain_act, shard_activation_bytes(desc, 1.0));
+      }
+      // Round-robin preference with spill: probe forward from the preferred
+      // member to the first one with room (deterministic; the round-robin
+      // pointer itself still advances by one chain).
+      int chosen = -1;
+      for (std::size_t j = 0; j < psize; ++j) {
+        const std::size_t m = (static_cast<std::size_t>(k) + j) % psize;
+        const MemorySpec& mem =
+            package.chiplet(pool[m]).memory;
+        const bool w_ok = mem.weight_capacity_bytes <= 0.0 ||
+                          weight_used[m] + chain_weight <=
+                              mem.weight_capacity_bytes;
+        const bool a_ok = mem.activation_capacity_bytes <= 0.0 ||
+                          std::max(act_peak[m], chain_act) <=
+                              mem.activation_capacity_bytes;
+        if (w_ok && a_ok) {
+          chosen = static_cast<int>(m);
+          break;
+        }
+      }
+      if (chosen < 0) {
+        const auto& stage = pipeline.stages[static_cast<std::size_t>(st)];
+        throw std::invalid_argument(
+            "build_pool_schedule: no chiplet in the pool has memory room for "
+            "model '" +
+            stage.models[static_cast<std::size_t>(mod)].model.name +
+            "' (stage '" + stage.name + "', chain weights " +
+            std::to_string(chain_weight) + " B, peak activations " +
+            std::to_string(chain_act) + " B, pool size " +
+            std::to_string(psize) + ")");
+      }
+      const std::size_t m = static_cast<std::size_t>(chosen);
+      weight_used[m] += chain_weight;
+      act_peak[m] = std::max(act_peak[m], chain_act);
+      for (const int item : items) {
+        sched.assign(item, pool[m]);
       }
       ++k;
     }

@@ -57,8 +57,13 @@ Schedule build_chainwise_schedule(const PerceptionPipeline& pipeline,
 // the multi-tenant serving layer (src/sim/serving.h) uses the pool to
 // confine a tenant to its static chiplet set (`partitioned` policy) and
 // the offset to interleave tenants across the full mesh (`shared`).
-// Throws std::invalid_argument on an empty pool or a pool member not in
-// the package.
+// Capacity-aware (core/residency.h): when pool members carry a finite
+// MemorySpec, a chain that would overflow the preferred member's weight or
+// activation capacity spills forward to the next member with room
+// (deterministic probe order); with the default unbounded memory the
+// placement is bitwise-identical to the legacy round robin.
+// Throws std::invalid_argument on an empty pool, a pool member not in
+// the package, or a chain that fits no pool member's memory.
 Schedule build_pool_schedule(const PerceptionPipeline& pipeline,
                              const PackageConfig& package,
                              const std::vector<int>& pool, int offset = 0);

@@ -13,9 +13,26 @@
 
 namespace cnpu {
 
+// One aggregated DRAM->chiplet weight-reload transfer implied by a remap.
+struct ReloadTransfer {
+  int chiplet_id = -1;  // destination (survivor) chiplet
+  double bytes = 0.0;   // weight bytes newly resident there
+};
+
 struct RemapStats {
   int touched_items = 0;  // items whose placement changed
   int moved_shards = 0;   // shards re-homed off the failed chiplet
+  // Weight bytes that acquired a new home chiplet. Weights are replicated
+  // per shard, so a shard moving to a chiplet that already holds the same
+  // item's weights (an existing shard it merges into) costs nothing; every
+  // other move makes the full weight tensor newly resident. Zero for
+  // weightless / streaming-weight layers.
+  double weights_moved_bytes = 0.0;
+  // weights_moved_bytes broken down per destination chiplet, in first-move
+  // order. The event simulator charges exactly these transfers as cold-start
+  // reloads over the NoP ingress routes when its memory model is active
+  // (SimResult::reload_bytes).
+  std::vector<ReloadTransfer> reloads;
 };
 
 // Rebuilds `schedule` onto `degraded` — typically
@@ -27,6 +44,14 @@ struct RemapStats {
 // chiplet's quadrant pool (NoP locality), then the lowest chiplet id, so
 // the remap is deterministic. A shard landing on a chiplet that already
 // holds a shard of the same item merges into it (fractions add).
+//
+// Capacity-respecting survivor choice (core/residency.h): when survivors
+// carry finite weight capacity, candidates without room for the moved
+// weights are filtered out first, and the least-loaded survivor WITH room
+// wins (same deterministic tie-break). If no allowed survivor has room the
+// filter is dropped — a degraded-but-running placement beats refusing to
+// remap. With the default unbounded memory the choice is bitwise-identical
+// to the legacy least-loaded rule.
 //
 // `allowed_pool` restricts the candidate survivors (the multi-tenant
 // serving layer passes the tenant's static chiplet set so a fault cannot

@@ -1,0 +1,73 @@
+// Per-chiplet memory residency accounting for a Schedule.
+//
+// Weights are replicated per shard: every chiplet hosting a shard of a layer
+// keeps the layer's full weight tensor resident (the shard splits output
+// rows, not the kernel). Activations are transient per-layer working sets —
+// a chiplet's activation footprint is the PEAK over its resident shards, not
+// the sum, because a chiplet executes one task at a time and working sets
+// are recycled between layers. Both are measured in int8 bytes
+// (dataflow/layer.h kActivationBytesPerElem).
+//
+// Streaming-weight layers (attention score/context matmuls) contribute no
+// resident weight: their "weights" are activations produced by the previous
+// layer and stream through the same transient buffer.
+//
+// Capacity checks compare against each chiplet's MemorySpec
+// (arch/chiplet.h); an unbounded spec (<= 0) never overflows, which keeps
+// the default memory model inactive.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/schedule.h"
+
+namespace cnpu {
+
+// Resident weight bytes one chiplet holds for hosting any shard of `layer`
+// (full tensor per shard; 0 for weightless and streaming-weight layers).
+double layer_weight_bytes(const LayerDesc& layer);
+
+// Transient activation working set (input + output bytes) of `fraction` of
+// `layer`'s rows.
+double shard_activation_bytes(const LayerDesc& layer, double fraction);
+
+struct ChipletResidency {
+  int chiplet_id = -1;
+  double weight_bytes = 0.0;
+  // Peak per-layer working set among resident shards (see file comment).
+  double activation_bytes = 0.0;
+  bool weight_overflow = false;
+  bool activation_overflow = false;
+
+  bool overflow() const { return weight_overflow || activation_overflow; }
+};
+
+struct ResidencyReport {
+  // Package chiplet order (one entry per chiplet, including idle ones).
+  std::vector<ChipletResidency> per_chiplet;
+  double total_weight_bytes = 0.0;
+  // Any chiplet exceeds any finite capacity.
+  bool overflow = false;
+
+  // nullptr when the package has no chiplet with that id.
+  const ChipletResidency* find(int chiplet_id) const;
+  // Human-readable list of the overflowing chiplets ("chiplet 3: resident
+  // weights 12.5 MB > capacity 8.4 MB"); empty string when none overflow.
+  // This is the diagnostic capacity-infeasible placements throw with.
+  std::string describe_overflow() const;
+};
+
+// Footprint of one schedule on its package.
+ResidencyReport compute_residency(const Schedule& schedule);
+
+// Combined footprint of co-resident schedules on one package (shared
+// tenancy). Tenants are distinct model instances, so weights accumulate
+// across schedules even for identical pipelines; activation peaks also
+// accumulate across tenants — interleaved frames from different tenants
+// must be simultaneously buffered — while staying peak-of-shards within
+// each tenant.
+ResidencyReport compute_residency(const std::vector<const Schedule*>& schedules,
+                                  const PackageConfig& package);
+
+}  // namespace cnpu

@@ -2,13 +2,23 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <set>
+#include <stdexcept>
 
 #include "core/partition.h"
+#include "core/residency.h"
 #include "util/logging.h"
 
 namespace cnpu {
 namespace {
+
+bool package_memory_bounded(const PackageConfig& pkg) {
+  for (const auto& c : pkg.chiplets()) {
+    if (c.memory.bounded()) return true;
+  }
+  return false;
+}
 
 bool rides_with_predecessor(const LayerDesc& l) {
   return l.kind == OpKind::kElementwise || l.kind == OpKind::kPool;
@@ -39,6 +49,32 @@ std::vector<int> placement_chiplets(const Placement& p) {
 void initial_quadrant_assignment(Schedule& schedule,
                                  const std::vector<std::vector<int>>& pools) {
   const PerceptionPipeline& pipe = schedule.pipeline();
+  const PackageConfig& pkg = schedule.package();
+  // Running weight residency per chiplet id, for the capacity-aware probe.
+  // With the default unbounded memory every preferred member fits and the
+  // placement is bitwise-identical to the legacy round robin.
+  std::map<int, double> weight_used;
+  auto fits = [&](int id, double add_bytes) {
+    const MemorySpec& mem = pkg.chiplet(id).memory;
+    if (mem.weight_capacity_bytes <= 0.0) return true;
+    return weight_used[id] + add_bytes <= mem.weight_capacity_bytes;
+  };
+  // First pool member with weight room, probing forward from `preferred`
+  // (weightless riders follow their predecessor and never gate the probe).
+  auto pick = [&](const std::vector<int>& pool, std::size_t preferred,
+                  double add_bytes, int st) {
+    for (std::size_t j = 0; j < pool.size(); ++j) {
+      const int id = pool[(preferred + j) % pool.size()];
+      if (fits(id, add_bytes)) {
+        weight_used[id] += add_bytes;
+        return id;
+      }
+    }
+    throw std::invalid_argument(
+        "initial_quadrant_assignment: no chiplet in stage " +
+        std::to_string(st) + "'s pool has weight-memory room for " +
+        std::to_string(add_bytes) + " B");
+  };
   for (int st = 0; st < pipe.num_stages(); ++st) {
     const Stage& stage = pipe.stages[static_cast<std::size_t>(st)];
     const std::vector<int>& pool =
@@ -47,8 +83,12 @@ void initial_quadrant_assignment(Schedule& schedule,
     if (stage.num_models() > 1) {
       // Parallel-model stage: one chiplet per model, round-robin.
       for (int mod = 0; mod < stage.num_models(); ++mod) {
+        double chain_weight = 0.0;
+        for (int idx : schedule.items_of_model(st, mod)) {
+          chain_weight += layer_weight_bytes(*schedule.item(idx).desc);
+        }
         const int chiplet =
-            pool[static_cast<std::size_t>(mod) % pool.size()];
+            pick(pool, static_cast<std::size_t>(mod), chain_weight, st);
         for (int idx : schedule.items_of_model(st, mod)) {
           schedule.assign(idx, chiplet);
         }
@@ -61,7 +101,7 @@ void initial_quadrant_assignment(Schedule& schedule,
       for (int idx : schedule.items_of_model(st, 0)) {
         const LayerDesc& l = *schedule.item(idx).desc;
         if (first || !rides_with_predecessor(l)) {
-          current = pool[next % pool.size()];
+          current = pick(pool, next % pool.size(), layer_weight_bytes(l), st);
           ++next;
           first = false;
         }
@@ -115,6 +155,26 @@ MatchResult throughput_matching_with_pools(
   Schedule& sched = result.schedule;
 
   initial_quadrant_assignment(sched, pools);
+
+  // Capacity-aware matching: a sharding step replicates the bottleneck
+  // layer's weights onto the target chiplet, so targets without weight room
+  // are skipped. Residency is refreshed alongside the metrics after every
+  // mutation; with unbounded memory (the default) every check passes and
+  // the algorithm is unchanged.
+  const bool mem_bounded = package_memory_bounded(package);
+  ResidencyReport residency;
+  auto refresh_residency = [&] {
+    if (mem_bounded) residency = compute_residency(sched);
+  };
+  auto weight_room = [&](int id, double add_bytes) {
+    if (!mem_bounded) return true;
+    const MemorySpec& mem = package.chiplet(id).memory;
+    if (mem.weight_capacity_bytes <= 0.0) return true;
+    const ChipletResidency* r = residency.find(id);
+    return (r ? r->weight_bytes : 0.0) + add_bytes <=
+           mem.weight_capacity_bytes;
+  };
+  refresh_residency();
 
   // Stage pools are mutable: surplus chiplets flow to bottleneck stages.
   const int num_stages = pipeline.num_stages();
@@ -201,12 +261,17 @@ MatchResult throughput_matching_with_pools(
         }
       }
       if (worst_item < 0) continue;
+      if (!weight_room(target,
+                       layer_weight_bytes(*sched.item(worst_item).desc))) {
+        continue;
+      }
       stage_pool[static_cast<std::size_t>(st)].insert(target);
       std::vector<int> chiplets =
           placement_chiplets(sched.placement(worst_item));
       chiplets.push_back(target);
       rebalance(sched, worst_item, chiplets);
       metrics = evaluate_schedule(sched);
+      refresh_residency();
       latbase = metrics.stages.front().pipe_s;
       record("absorb-surplus " + sched.item(worst_item).desc->name + " x" +
                  std::to_string(chiplets.size()),
@@ -240,7 +305,20 @@ MatchResult throughput_matching_with_pools(
       if (options.allow_base_split && !base_split_done) {
         const Stage& fe = pipeline.stages.front();
         std::vector<int> frees = free_list();
-        if (static_cast<int>(frees.size()) >= fe.num_models()) {
+        bool splittable = static_cast<int>(frees.size()) >= fe.num_models();
+        if (splittable && mem_bounded) {
+          // The moved chain suffix's weights must fit the fresh chiplet;
+          // gate on the whole chain as a safe upper bound.
+          for (int mod = 0; mod < fe.num_models() && splittable; ++mod) {
+            double chain_w = 0.0;
+            for (int idx : sched.items_of_model(0, mod)) {
+              chain_w += layer_weight_bytes(*sched.item(idx).desc);
+            }
+            splittable =
+                weight_room(frees[static_cast<std::size_t>(mod)], chain_w);
+          }
+        }
+        if (splittable) {
           for (int mod = 0; mod < fe.num_models(); ++mod) {
             const int fresh = frees[static_cast<std::size_t>(mod)];
             split_model_chain(sched, 0, mod, fresh);
@@ -249,6 +327,7 @@ MatchResult throughput_matching_with_pools(
           base_split_done = true;
           saturated.clear();
           metrics = evaluate_schedule(sched);
+          refresh_residency();
           latbase = metrics.stages.front().pipe_s;
           record("split FE chains into 2 pipeline sub-stages", metrics, latbase);
           continue;
@@ -284,10 +363,12 @@ MatchResult throughput_matching_with_pools(
       }
       return 0.0;
     };
+    const double item_weight = layer_weight_bytes(*sched.item(worst_item).desc);
     int target = -1;
     double target_busy = 0.0;
     for (int id : stage_pool[static_cast<std::size_t>(bottleneck)]) {
       if (cur.uses_chiplet(id)) continue;
+      if (!weight_room(id, item_weight)) continue;
       const double estimated = worst_lat / static_cast<double>(cur.num_shards() + 1);
       if (busy_of(id) + estimated > latbase * (1.0 + options.tolerance)) continue;
       if (target < 0 || busy_of(id) < target_busy) {
@@ -297,11 +378,12 @@ MatchResult throughput_matching_with_pools(
     }
     std::string how = "shard";
     if (target < 0) {
-      std::vector<int> frees = free_list();
-      if (!frees.empty()) {
-        target = frees.front();
+      for (int id : free_list()) {
+        if (!weight_room(id, item_weight)) continue;
+        target = id;
         stage_pool[static_cast<std::size_t>(bottleneck)].insert(target);
         how = "reallocate+shard";
+        break;
       }
     }
     if (target < 0) {
@@ -313,6 +395,7 @@ MatchResult throughput_matching_with_pools(
     chiplets.push_back(target);
     rebalance(sched, worst_item, chiplets);
     metrics = evaluate_schedule(sched);
+    refresh_residency();
     latbase = metrics.stages.front().pipe_s;
     record(how + " " + sched.item(worst_item).desc->name + " x" +
                std::to_string(chiplets.size()),

@@ -63,4 +63,16 @@ inline constexpr double kEnergyDramPj = 20.0; // off-chip fill (weights)
 // Elementwise/pool ops run on the vector path at this fraction of MAC cost.
 inline constexpr double kEnergySimpleOpPj = 0.2;
 
+// --- Per-chiplet memory (opt-in; see arch/chiplet.h MemorySpec) ---
+// Simba-class dies carry a few MiB of global buffer; an AV inference die
+// pairing a 256-PE array with weight-resident execution needs tens of MiB
+// of weight SRAM (cf. TPUv1's 24 MiB unified buffer + on-chip weight FIFO
+// fed at ~30 GiB/s). We size weights at 32 MiB, activations at 8 MiB, and
+// the DRAM reload port at 25 GB/s (one LPDDR5 channel's worth per die).
+// These are defaults for make_calibrated_memory(); MemorySpec{} (all zero)
+// keeps the memory model inactive.
+inline constexpr double kWeightCapacityBytes = 32.0 * 1024.0 * 1024.0;
+inline constexpr double kActivationCapacityBytes = 8.0 * 1024.0 * 1024.0;
+inline constexpr double kReloadBandwidthBytesPerS = 25.0e9;
+
 }  // namespace cnpu::cal

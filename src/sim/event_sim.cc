@@ -13,6 +13,7 @@
 
 #include "core/evaluator.h"
 #include "core/remap.h"
+#include "core/residency.h"
 #include "util/stats.h"
 
 namespace cnpu {
@@ -471,6 +472,18 @@ void reduce_tenant_into(const StreamSpec& stream, const double* completion,
   }
 }
 
+// One DRAM->chiplet weight-reload transfer: destination chiplet (dense
+// package-order index), bytes, the precomputed analytical delay (NoP
+// ingress latency plus SRAM fill at the destination's reload bandwidth),
+// and the resolved ingress route for contended-mode queueing (empty when
+// not contended). Built only when the package's memory model is active.
+struct ReloadPlan {
+  int dense_chiplet = -1;
+  double bytes = 0.0;
+  double delay_s = 0.0;
+  std::vector<int> route;
+};
+
 // One fault-remapped variant of a cached program, keyed by the failed
 // chiplet and the allowed-pool restriction the remap honored (the same
 // schedule remaps differently under different tenant pools).
@@ -481,6 +494,14 @@ struct DegradedEntry {
   Program prog;
   RemapStats remap_stats;
   std::vector<int> build_links;  // resolved link indices, resolve order
+  // Weight reloads charged when this variant takes over (empty / zero with
+  // the memory model inactive). fault_reloads re-home the remapped weights
+  // onto the survivors at the fault instant (one aggregated transfer per
+  // RemapStats::reloads destination, over the DEGRADED package's detoured
+  // ingress routes); recover_reload restores the revived chiplet's
+  // primary-resident weights at recovery (original healthy routes).
+  std::vector<ReloadPlan> fault_reloads;
+  ReloadPlan recover_reload;
 };
 
 // Cache value for one (schedule, NoP mode): the compiled primary program
@@ -635,6 +656,42 @@ struct SimEngine::Impl {
                                        *stream.allowed));
     d->prog = build_program(*d->remapped, nop, contended, fabric, pkg,
                             contended ? &d->build_links : nullptr);
+    // Reload plans (memory model active only — resolving them otherwise
+    // would perturb the pinned link_stats order of the inactive model).
+    if (pkg.memory_model_active()) {
+      const auto dense_of = [&](int chiplet_id) {
+        const auto& specs = pkg.chiplets();
+        for (std::size_t i = 0; i < specs.size(); ++i) {
+          if (specs[i].id == chiplet_id) return static_cast<int>(i);
+        }
+        throw std::out_of_range("reload destination not in package");
+      };
+      const auto plan = [&](const PackageConfig& routed, int chiplet_id,
+                            double bytes) {
+        ReloadPlan rp;
+        rp.dense_chiplet = dense_of(chiplet_id);
+        rp.bytes = bytes;
+        rp.delay_s =
+            nop ? routed.transfer_cost(-1, chiplet_id, bytes).latency_s : 0.0;
+        const double bw =
+            pkg.chiplet(chiplet_id).memory.reload_bandwidth_bytes_per_s;
+        if (bw > 0.0) rp.delay_s += bytes / bw;
+        if (contended) {
+          rp.route = fabric.resolve(routed.route_from_io(chiplet_id));
+          d->build_links.insert(d->build_links.end(), rp.route.begin(),
+                                rp.route.end());
+        }
+        return rp;
+      };
+      for (const ReloadTransfer& r : d->remap_stats.reloads) {
+        d->fault_reloads.push_back(plan(*pit->second, r.chiplet_id, r.bytes));
+      }
+      const ResidencyReport res = compute_residency(*stream.sched);
+      const ChipletResidency* cr = res.find(fault.chiplet_id);
+      if (cr != nullptr && cr->weight_bytes > 0.0) {
+        d->recover_reload = plan(pkg, fault.chiplet_id, cr->weight_bytes);
+      }
+    }
     ++stats.program_builds;
     entry.degraded.push_back(std::move(d));
     return *entry.degraded.back();
@@ -968,6 +1025,8 @@ void SimEngine::Impl::run_into(const Schedule& schedule,
   result.peak_latency_s = 0.0;
   result.recovery_time_s = 0.0;
   result.remapped_items = 0;
+  result.reload_bytes = 0.0;
+  result.reload_time_s = 0.0;
   result.tenants.resize(static_cast<std::size_t>(num_tenants));
 
   const auto enqueue_item_shards = [&](int job, int item, double at) {
@@ -1143,6 +1202,30 @@ void SimEngine::Impl::run_into(const Schedule& schedule,
               c == dead ? std::numeric_limits<double>::infinity() : resume;
           if (c != dead) events.push(Ev{resume, kDispatch, c, 0, 0});
         }
+        // Cold-start weight reloads (memory model active only; the plans
+        // are empty otherwise): every tenant's remap destinations refill
+        // their newly-resident weights from DRAM over the NoP ingress
+        // route. Transfers to one chiplet serialize on its reload port, so
+        // the chiplet resumes dispatch only after the reschedule stall AND
+        // its reloads land. Charged for every tenant at the fault instant —
+        // re-replication starts the moment the fault is known, whether or
+        // not a frame later runs the degraded program.
+        for (int t = 0; t < num_tenants; ++t) {
+          const DegradedEntry& de = *ctx[static_cast<std::size_t>(t)].degraded;
+          for (const ReloadPlan& rp : de.fault_reloads) {
+            double wait = 0.0;
+            if (contended && !rp.route.empty()) {
+              wait = fabric.inject(rp.route, rp.bytes, now);
+              tenant_wait[static_cast<std::size_t>(t)] += wait;
+            }
+            const double delay = rp.delay_s + wait;
+            const std::size_t c = static_cast<std::size_t>(rp.dense_chiplet);
+            chiplet_free[c] += delay;
+            events.push(Ev{chiplet_free[c], kDispatch, rp.dense_chiplet, 0, 0});
+            result.reload_bytes += rp.bytes;
+            result.reload_time_s += delay;
+          }
+        }
         // Flush incomplete frames onto the remapped schedule; drop the ones
         // whose deadline already expired. Shed frames are already out of
         // the system and are skipped.
@@ -1194,7 +1277,26 @@ void SimEngine::Impl::run_into(const Schedule& schedule,
         // work here (kAdmit and its kDispatch both sort before kRecover at
         // equal timestamps) and bounced off the still-infinite calendar.
         chiplet_free[static_cast<std::size_t>(dead)] = now;
-        events.push(Ev{now, kDispatch, dead, 0, 0});
+        // Cold SRAM (memory model active only): the revived chiplet
+        // re-fills each tenant's primary-resident weights before accepting
+        // work, serialized on its reload port.
+        for (int t = 0; t < num_tenants; ++t) {
+          const ReloadPlan& rp =
+              ctx[static_cast<std::size_t>(t)].degraded->recover_reload;
+          if (rp.bytes <= 0.0) continue;
+          double wait = 0.0;
+          if (contended && !rp.route.empty()) {
+            wait = fabric.inject(rp.route, rp.bytes, now);
+            tenant_wait[static_cast<std::size_t>(t)] += wait;
+          }
+          const double delay = rp.delay_s + wait;
+          chiplet_free[static_cast<std::size_t>(dead)] += delay;
+          result.reload_bytes += rp.bytes;
+          result.reload_time_s += delay;
+        }
+        events.push(
+            Ev{chiplet_free[static_cast<std::size_t>(dead)], kDispatch, dead,
+               0, 0});
         break;
       }
       case kDispatch:

@@ -333,6 +333,22 @@ struct SimResult {
   // tenants in a multi-tenant run).
   int remapped_items = 0;
 
+  // --- weight-residency / reload accounting ---
+  // Both are 0 unless the package's memory model is active
+  // (PackageConfig::memory_model_active(); arch/chiplet.h MemorySpec) AND a
+  // fault fired: the sim then charges DRAM->chiplet weight-reload transfers
+  // whenever a shard's home chiplet changes — at the fault, every
+  // destination in RemapStats::reloads (summed over tenants) refills its
+  // newly-resident weights over the NoP ingress route (contended mode
+  // queues the transfer on real links; analytical mode prices the route
+  // hop-by-hop) plus bytes / reload_bandwidth_bytes_per_s, and at recovery
+  // the revived chiplet's cold SRAM re-fills each tenant's primary-resident
+  // weights the same way. reload_bytes totals the bytes charged;
+  // reload_time_s sums the per-transfer delays (the cold-start stall added
+  // to the destination chiplets' availability).
+  double reload_bytes = 0.0;
+  double reload_time_s = 0.0;
+
   // --- multi-tenant serving ---
   // One entry per stream (a single entry for single-stream runs). In a
   // multi-tenant run the package-level vectors above concatenate the

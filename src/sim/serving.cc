@@ -8,6 +8,7 @@
 
 #include "core/baselines.h"
 #include "core/partition.h"
+#include "core/residency.h"
 #include "exp/sweep_runner.h"
 #include "exp/thread_pool.h"
 
@@ -69,6 +70,26 @@ TenantPlacement place_tenants(const std::vector<TenantWorkload>& tenants,
       placement.schedules.push_back(build_pool_schedule(
           *tenants[static_cast<std::size_t>(t)].pipeline, package, all, t));
       placement.pools.push_back(all);
+    }
+  }
+  // Capacity check across co-resident tenants (core/residency.h). Each
+  // build_pool_schedule call above fits its OWN tenant (spilling or
+  // throwing per-pool), but shared/priority tenants place themselves as if
+  // alone, so their combined weights can stack one chiplet past capacity —
+  // and partitioned pools are reused cyclically when tenants outnumber
+  // quadrants. The combined residency is the honest footprint; an
+  // overflowing placement is infeasible and throws with a diagnostic
+  // rather than silently pretending the weights fit.
+  if (package.memory_model_active()) {
+    std::vector<const Schedule*> scheds;
+    scheds.reserve(placement.schedules.size());
+    for (const auto& s : placement.schedules) scheds.push_back(&s);
+    const ResidencyReport combined = compute_residency(scheds, package);
+    if (combined.overflow) {
+      throw std::invalid_argument(
+          std::string("place_tenants: ") + placement_policy_name(policy) +
+          " placement overflows chiplet memory with " + std::to_string(n) +
+          " co-resident tenant(s) — " + combined.describe_overflow());
     }
   }
   return placement;

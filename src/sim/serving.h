@@ -65,7 +65,15 @@ struct TenantPlacement {
 };
 
 // Builds the per-tenant schedules for `policy` (see the header comment).
-// Throws std::invalid_argument on an empty tenant list or a null pipeline.
+// Capacity-aware for all three policies when the package's memory model is
+// active (arch/chiplet.h MemorySpec, core/residency.h): each tenant's
+// chains spill within its pool to chiplets with room, and the COMBINED
+// residency of all co-resident tenants must fit every chiplet —
+// shared/priority packing that stacks tenants past a chiplet's weight or
+// activation capacity is infeasible, as is a partitioned pool too small
+// for its tenant(s). Throws std::invalid_argument on an empty tenant list,
+// a null pipeline, or a capacity-infeasible placement (the message names
+// the overflowing chiplets and footprints).
 TenantPlacement place_tenants(const std::vector<TenantWorkload>& tenants,
                               const PackageConfig& package,
                               PlacementPolicy policy);
@@ -185,6 +193,12 @@ struct LoadSearchResult {
 // std::invalid_argument when any tenant's deadline_s is <= 0 (feasibility
 // would be vacuous), on a non-positive/inverted [fps_lo, fps_hi], or
 // probes_per_round < 2.
+//
+// With an active memory model and a fault in `options`, the probes run the
+// full reload charging (SimResult::reload_bytes/reload_time_s): cold-start
+// reload stalls inflate the post-fault tail, so the sustainable rate under
+// finite reload bandwidth is at most the infinite-bandwidth one — the
+// search reflects reload-induced tail inflation with no extra knobs.
 LoadSearchResult max_sustainable_load(const PackageConfig& package,
                                       const std::vector<TenantWorkload>& tenants,
                                       const ServingOptions& options,

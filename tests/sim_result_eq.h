@@ -87,6 +87,8 @@ inline void expect_sim_results_bits_eq(const SimResult& a, const SimResult& b) {
   expect_bits_eq(a.peak_latency_s, b.peak_latency_s, "peak_latency_s");
   expect_bits_eq(a.recovery_time_s, b.recovery_time_s, "recovery_time_s");
   EXPECT_EQ(a.remapped_items, b.remapped_items);
+  expect_bits_eq(a.reload_bytes, b.reload_bytes, "reload_bytes");
+  expect_bits_eq(a.reload_time_s, b.reload_time_s, "reload_time_s");
 
   ASSERT_EQ(a.link_stats.size(), b.link_stats.size());
   for (std::size_t i = 0; i < a.link_stats.size(); ++i) {
