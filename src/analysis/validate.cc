@@ -1,0 +1,530 @@
+#include "analysis/validate.h"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+#include <utility>
+
+#include "core/evaluator.h"
+#include "core/remap.h"
+#include "core/report.h"
+#include "core/residency.h"
+#include "sim/arrivals.h"
+
+namespace cnpu::analysis {
+namespace {
+
+std::string fmt_seconds(double s) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", s);
+  return std::string(buf) + " s";
+}
+
+// One admitted frame stream, resolved exactly like SimEngine's run_into
+// resolves SimOptions (implicit single stream vs explicit tenants) so the
+// validators see the same streams the simulator would admit.
+struct StreamView {
+  const Schedule* sched = nullptr;
+  std::string locus;  // "schedule" / "tenant 1 \"vit\""
+  std::string name;   // the stream name the runtime messages use
+  int frames = 1;
+  double deadline_s = 0.0;
+  const std::vector<int>* allowed = nullptr;
+  const ArrivalSpec* arrivals = nullptr;
+  const AdmissionControl* admission = nullptr;
+};
+
+const std::vector<int> kNoAllowedChiplets;
+
+std::string item_locus(const StreamView& v, int idx) {
+  const Schedule::Item& it = v.sched->item(idx);
+  return v.locus + " / item " + std::to_string(idx) + " (stage " +
+         std::to_string(it.stage) + " model " + std::to_string(it.model) +
+         " layer " + it.desc->name + ")";
+}
+
+// True when `chiplet_id` resolves on `pkg`; classifies the miss.
+enum class ChipletRef { kPresent, kDead, kDangling };
+ChipletRef classify_chiplet(const PackageConfig& pkg, int chiplet_id) {
+  for (const ChipletSpec& c : pkg.chiplets()) {
+    if (c.id == chiplet_id) return ChipletRef::kPresent;
+  }
+  for (const FailedSite& f : pkg.failed_sites()) {
+    if (f.chiplet_id == chiplet_id) return ChipletRef::kDead;
+  }
+  return ChipletRef::kDangling;
+}
+
+// Per-item structural walk, mirroring build_program's item loop
+// (sim/event_sim.cc): unassigned first, then every shard's chiplet
+// reference, in item order. Returns true when the stream is structurally
+// clean (every item assigned, every reference resolves) — the gate for the
+// route / residency / deadline analyses, which would throw on a broken
+// structure.
+bool collect_structure(const StreamView& v, Diagnostics& out) {
+  const Schedule& s = *v.sched;
+  const PackageConfig& pkg = s.package();
+  bool clean = true;
+  for (int i = 0; i < s.num_items(); ++i) {
+    const Placement& p = s.placement(i);
+    if (!p.assigned()) {
+      out.add(kRuleSchedUnassigned, item_locus(v, i),
+              "unassigned layer: " + s.item(i).desc->name);
+      clean = false;
+      continue;
+    }
+    double sum = 0.0;
+    bool bad_fraction = false;
+    for (const ShardAssignment& sh : p.shards) {
+      switch (classify_chiplet(pkg, sh.chiplet_id)) {
+        case ChipletRef::kPresent:
+          break;
+        case ChipletRef::kDead:
+          out.add(kRuleSchedDeadChiplet, item_locus(v, i),
+                  "shard references chiplet " + std::to_string(sh.chiplet_id) +
+                      ", which without_chiplet removed from the package");
+          clean = false;
+          break;
+        case ChipletRef::kDangling:
+          out.add(kRuleSchedDanglingChiplet, item_locus(v, i),
+                  "shard references chiplet " + std::to_string(sh.chiplet_id) +
+                      ", which the package never had");
+          clean = false;
+          break;
+      }
+      if (!(sh.fraction > 0.0) || !std::isfinite(sh.fraction)) {
+        bad_fraction = true;
+      }
+      sum += sh.fraction;
+    }
+    if (bad_fraction || std::abs(sum - 1.0) > 1e-6) {
+      out.add(kRuleSchedShardFraction, item_locus(v, i),
+              "shard fractions sum to " + std::to_string(sum) +
+                  (bad_fraction ? " with a non-positive fraction" : ""));
+    }
+  }
+  return clean;
+}
+
+// The exact edge set build_program wires (and the analytical evaluator
+// prices): camera ingress into every stage-0 model, intra-model chains,
+// stage-prefix handoffs, and cross-stage gathers into the models that
+// receive stage input. Enumeration order matches build_program so route
+// findings land in the order the runtime would have tripped over them.
+template <typename IngressFn, typename EdgeFn>
+void for_each_edge(const Schedule& s, IngressFn&& ingress, EdgeFn&& edge) {
+  const PerceptionPipeline& pipe = s.pipeline();
+  for (int st = 0; st < pipe.num_stages(); ++st) {
+    const Stage& stage = pipe.stages[static_cast<std::size_t>(st)];
+    for (int mod = 0; mod < stage.num_models(); ++mod) {
+      const StageModel& sm = stage.models[static_cast<std::size_t>(mod)];
+      const std::vector<int>& items = s.items_of_model(st, mod);
+      if (items.empty()) continue;
+      if (st == 0) ingress(items.front());
+      for (std::size_t li = 1; li < items.size(); ++li) {
+        edge(items[li - 1], items[li]);
+      }
+      if (!sm.prefix) {
+        for (int pm = 0; pm < stage.num_models(); ++pm) {
+          if (!stage.models[static_cast<std::size_t>(pm)].prefix) continue;
+          const std::vector<int>& pre = s.items_of_model(st, pm);
+          if (!pre.empty()) edge(pre.back(), items.front());
+        }
+      }
+      const bool receives_stage_input =
+          sm.prefix || stage.prefix_models().empty();
+      if (st > 0 && receives_stage_input) {
+        const Stage& prev = pipe.stages[static_cast<std::size_t>(st - 1)];
+        for (int pm = 0; pm < prev.num_models(); ++pm) {
+          if (prev.models[static_cast<std::size_t>(pm)].prefix) continue;
+          const std::vector<int>& src = s.items_of_model(st - 1, pm);
+          if (!src.empty()) edge(src.back(), items.front());
+        }
+      }
+    }
+  }
+}
+
+// Route reachability of every priced edge of `sched` on `sched.package()`.
+// A healthy mesh is always fully connected, so this only runs against a
+// package with failed sites (a degraded copy, or a without_chiplet package
+// handed in directly). `enforced` is model_nop_delays: with NoP delays off
+// the runtime never resolves a route, so an unroutable edge is lint-only.
+// Returns true when every edge routed.
+bool collect_routes(const StreamView& v, const Schedule& sched, bool enforced,
+                    Diagnostics& out) {
+  const PackageConfig& pkg = sched.package();
+  if (pkg.failed_sites().empty()) return true;
+  bool ok = true;
+  for_each_edge(
+      sched,
+      [&](int item) {
+        const int dst = sched.placement(item).primary_chiplet();
+        try {
+          (void)pkg.hops_from_io(dst);
+        } catch (const std::runtime_error& e) {
+          out.add(kRuleRouteIoSevered,
+                  v.locus + " / ingress -> item " + std::to_string(item) +
+                      " (chiplet " + std::to_string(dst) + ")",
+                  e.what(), enforced);
+          ok = false;
+        }
+      },
+      [&](int producer, int consumer) {
+        const int dst = sched.placement(consumer).primary_chiplet();
+        for (const ShardAssignment& sh : sched.placement(producer).shards) {
+          try {
+            (void)pkg.hops_between(sh.chiplet_id, dst);
+          } catch (const std::runtime_error& e) {
+            out.add(kRuleRouteUnreachable,
+                    v.locus + " / edge item " + std::to_string(producer) +
+                        " -> item " + std::to_string(consumer) + " (chiplet " +
+                        std::to_string(sh.chiplet_id) + " -> " +
+                        std::to_string(dst) + ")",
+                    e.what(), enforced);
+            ok = false;
+          }
+        }
+      });
+  return ok;
+}
+
+// Rule evaluation over the simulate_schedule input shape. Findings are
+// inserted in the legacy throw-site order of SimEngine's run_into ->
+// build_program -> degraded_for -> generate_arrivals sequence, so
+// throw_if_enforced surfaces the same violation the runtime would have.
+void collect_sim(const Schedule& schedule, const SimOptions& options,
+                 Diagnostics& out) {
+  const PackageConfig& pkg = schedule.package();
+  const bool nop = options.model_nop_delays;
+
+  if (schedule.num_items() == 0) {
+    out.add(kRuleSchedEmpty, "schedule",
+            "schedule has no items (empty pipeline)");
+  }
+
+  // Resolve the stream list exactly like run_into: explicit tenants, or
+  // the single implicit stream described by the top-level options fields.
+  std::vector<StreamView> streams;
+  if (options.tenants.empty()) {
+    streams.push_back(StreamView{&schedule, "schedule", "stream",
+                                 std::max(options.frames, 1),
+                                 options.deadline_s, &kNoAllowedChiplets,
+                                 &options.arrivals, &options.admission});
+  } else {
+    for (std::size_t t = 0; t < options.tenants.size(); ++t) {
+      const TenantStream& ten = options.tenants[t];
+      const Schedule* sched =
+          ten.schedule != nullptr ? ten.schedule : &schedule;
+      const std::string locus =
+          "tenant " + std::to_string(t) + " \"" + ten.name + "\"";
+      if (&sched->package() != &schedule.package()) {
+        out.add(kRuleTenantForeignPackage, locus,
+                "tenant \"" + ten.name +
+                    "\" is scheduled on a different package");
+        continue;  // every deeper check would compare apples to oranges
+      }
+      if (sched->num_items() == 0) {
+        out.add(kRuleSchedEmpty, locus,
+                "tenant \"" + ten.name + "\" has an empty schedule");
+        continue;
+      }
+      streams.push_back(StreamView{sched, locus, ten.name,
+                                   std::max(ten.frames, 1), ten.deadline_s,
+                                   &ten.allowed_chiplets, &ten.arrivals,
+                                   &ten.admission});
+    }
+  }
+
+  for (const StreamView& v : streams) {
+    if (v.admission->policy != ShedPolicy::kNone &&
+        v.admission->queue_capacity <= 0) {
+      out.add(kRuleAdmissionCapacity, v.locus + " / admission",
+              "stream \"" + v.name +
+                  "\" sets a ShedPolicy without a positive queue_capacity");
+    }
+    if (v.admission->shed_expired && !(v.deadline_s > 0.0)) {
+      out.add(kRuleAdmissionInertExpiry, v.locus + " / admission",
+              "shed_expired is set but the stream has no deadline, so the "
+              "knob is inert");
+    }
+  }
+
+  const FaultPlan& fault = options.fault;
+  if (fault.active()) {
+    if (fault.fail_time_s < 0.0) {
+      out.add(kRuleFaultOrder, "options.fault", "negative fail_time_s");
+    }
+    if (fault.recover_time_s >= 0.0 &&
+        fault.recover_time_s < fault.fail_time_s) {
+      out.add(kRuleFaultOrder, "options.fault",
+              "recover_time_s precedes fail_time_s");
+    }
+    if (fault.reschedule_penalty_s < 0.0) {
+      out.add(kRuleFaultPenaltySign, "options.fault",
+              "reschedule_penalty_s is negative (a backwards-in-time "
+              "reconfiguration stall)");
+    }
+  }
+
+  // Program-build order: per stream, structure first, then the priced
+  // routes (which only a package with failed sites can break).
+  std::vector<bool> clean(streams.size(), false);
+  for (std::size_t t = 0; t < streams.size(); ++t) {
+    clean[t] = collect_structure(streams[t], out);
+    if (clean[t]) {
+      clean[t] = collect_routes(streams[t], *streams[t].sched, nop, out);
+    }
+  }
+
+  if (fault.active()) {
+    const bool known =
+        classify_chiplet(pkg, fault.chiplet_id) == ChipletRef::kPresent;
+    if (!known) {
+      out.add(kRuleFaultUnknownChiplet, "options.fault",
+              "FaultPlan chiplet " + std::to_string(fault.chiplet_id) +
+                  " is not in the package");
+    } else if (fault.fail_time_s >= 0.0) {
+      // Mirror degraded_for: remap every structurally-clean stream onto the
+      // degraded package, then check the remapped routes (which include the
+      // ingress re-route around the dead router). remap failure order
+      // matches the runtime: no-survivor fires before the severed-I/O-port
+      // route error.
+      const PackageConfig degraded = pkg.without_chiplet(fault.chiplet_id);
+      for (std::size_t t = 0; t < streams.size(); ++t) {
+        if (!clean[t]) continue;
+        const StreamView& v = streams[t];
+        try {
+          const Schedule remapped = remap_schedule(
+              *v.sched, degraded, fault.chiplet_id, nullptr, *v.allowed);
+          collect_routes(v, remapped, nop, out);
+        } catch (const std::invalid_argument& e) {
+          out.add(kRuleFaultNoSurvivor, v.locus + " / fault remap", e.what());
+        }
+      }
+      if (pkg.io_port_attached_to(fault.chiplet_id) &&
+          !out.has_rule(kRuleRouteIoSevered)) {
+        // Belt-and-braces: the remap itself may park every placement on
+        // survivors, but ingress still has no route into ANY of them when
+        // the dead router carries the I/O port.
+        out.add(kRuleRouteIoSevered, "options.fault",
+                "chiplet " + std::to_string(fault.chiplet_id) +
+                    " hosts the west-edge I/O port router; removing it "
+                    "severs ingress",
+                nop);
+      }
+    }
+  }
+
+  for (const StreamView& v : streams) {
+    if (!v.arrivals->active()) continue;
+    const std::string err = describe_arrival_spec_error(*v.arrivals, v.frames);
+    if (!err.empty()) {
+      out.add(kRuleArrivalSpecInvalid, v.locus + " / arrivals", err);
+    }
+  }
+
+  // Lint-only analyses from here on: the simulate_schedule path accepts
+  // these at run time, so nothing below is enforced.
+  if (pkg.memory_model_active()) {
+    std::vector<const Schedule*> scheds;
+    scheds.reserve(streams.size());
+    bool all_clean = !streams.empty();
+    for (std::size_t t = 0; t < streams.size(); ++t) {
+      scheds.push_back(streams[t].sched);
+      all_clean = all_clean && clean[t];
+    }
+    if (all_clean) {
+      const ResidencyReport r = compute_residency(scheds, pkg);
+      if (r.overflow) {
+        out.add(kRuleResidencyOverflow, "package",
+                "co-resident streams overflow chiplet memory — " +
+                    r.describe_overflow(),
+                /*enforced=*/false);
+      }
+    }
+  }
+
+  if (nop) {
+    // The analytical evaluator's E2E is an uncongested lower bound on any
+    // frame's latency (contention and queueing only add); a deadline below
+    // it cannot be met by a single frame. Metrics are cached per schedule:
+    // N identical tenants evaluate once.
+    std::vector<std::pair<const Schedule*, double>> e2e_cache;
+    for (std::size_t t = 0; t < streams.size(); ++t) {
+      const StreamView& v = streams[t];
+      if (!(v.deadline_s > 0.0) || !clean[t]) continue;
+      double bound = -1.0;
+      for (const auto& [sched, e2e] : e2e_cache) {
+        if (sched == v.sched) bound = e2e;
+      }
+      if (bound < 0.0) {
+        try {
+          bound = evaluate_schedule(*v.sched).e2e_s;
+        } catch (...) {
+          continue;  // structurally fine but unpriceable: nothing to bound
+        }
+        e2e_cache.emplace_back(v.sched, bound);
+      }
+      if (v.deadline_s < bound) {
+        out.add(kRuleDeadlineInfeasible, v.locus,
+                "deadline " + fmt_seconds(v.deadline_s) +
+                    " is below the analytical E2E lower bound " +
+                    fmt_seconds(bound) + ": every frame must miss");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Diagnostics validate(const Schedule& schedule, const SimOptions& options) {
+  Diagnostics out;
+  collect_sim(schedule, options, out);
+  return out;
+}
+
+void validate_or_throw(const Schedule& schedule, const SimOptions& options) {
+  validate(schedule, options).throw_if_enforced();
+}
+
+Diagnostics validate(const PackageConfig& package,
+                     const std::vector<TenantWorkload>& tenants,
+                     const ServingOptions& options) {
+  Diagnostics out;
+  if (tenants.empty()) {
+    out.add(kRuleFleetEmpty, "tenants", "no tenant workloads");
+    return out;
+  }
+  bool have_pipelines = true;
+  for (std::size_t t = 0; t < tenants.size(); ++t) {
+    if (tenants[t].pipeline == nullptr) {
+      out.add(kRuleTenantNoPipeline, "tenant " + std::to_string(t),
+              "tenant " + std::to_string(t) + " has no pipeline");
+      have_pipelines = false;
+    }
+  }
+  if (!have_pipelines) return out;
+
+  // Placement is part of what is validated: a capacity-infeasible fleet
+  // surfaces the placement layer's own diagnostic as M001 (enforced — the
+  // serving path rejects it at run time with the same invalid_argument).
+  TenantPlacement placement;
+  try {
+    placement = place_tenants(tenants, package, options.policy);
+  } catch (const std::invalid_argument& e) {
+    out.add(kRuleResidencyOverflow, "placement", e.what());
+    return out;
+  }
+
+  // Assemble the SimOptions the ServingPlan constructor would run, then
+  // reuse the simulate_schedule validators over it.
+  SimOptions sim;
+  sim.model_nop_delays = options.model_nop_delays;
+  sim.nop_mode = options.nop_mode;
+  sim.fault = options.fault;
+  sim.policy = options.policy;
+  sim.tenants.reserve(tenants.size());
+  for (std::size_t t = 0; t < tenants.size(); ++t) {
+    TenantStream stream;
+    stream.name = tenants[t].name.empty()
+                      ? "tenant" + std::to_string(t)
+                      : tenants[t].name;
+    stream.schedule = &placement.schedules[t];
+    stream.frames = tenants[t].frames;
+    stream.frame_interval_s = tenants[t].frame_interval_s;
+    stream.deadline_s = tenants[t].deadline_s;
+    stream.priority = tenants[t].priority;
+    stream.arrivals = tenants[t].arrivals;
+    stream.admission = tenants[t].admission;
+    if (options.policy == PlacementPolicy::kPartitioned) {
+      stream.allowed_chiplets = placement.pools[t];
+    }
+    sim.tenants.push_back(std::move(stream));
+  }
+  collect_sim(placement.schedules.front(), sim, out);
+  return out;
+}
+
+void validate_or_throw(const PackageConfig& package,
+                       const std::vector<TenantWorkload>& tenants,
+                       const ServingOptions& options) {
+  validate(package, tenants, options).throw_if_enforced();
+}
+
+Diagnostics validate(const SweepSpec& spec) {
+  Diagnostics out;
+  const std::string spec_locus = "sweep \"" + spec.name() + "\"";
+  for (std::size_t a = 0; a < spec.axes().size(); ++a) {
+    const SweepAxis& axis = spec.axes()[a];
+    const std::string locus = spec_locus + " / axis \"" + axis.name + "\"";
+    for (std::size_t b = 0; b < a; ++b) {
+      if (spec.axes()[b].name == axis.name) {
+        out.add(kRuleSweepDuplicateAxis, locus,
+                "axis name \"" + axis.name +
+                    "\" repeats; point lookups resolve to the first");
+        break;
+      }
+    }
+    if (axis.values.empty()) {
+      out.add(kRuleSweepEmptyAxis, locus,
+              "axis has no values: the sweep enumerates zero points");
+    }
+  }
+  if (spec.combine() == SweepCombine::kZipped && !spec.axes().empty()) {
+    const std::size_t len = spec.axes().front().values.size();
+    for (const SweepAxis& axis : spec.axes()) {
+      if (axis.values.size() != len) {
+        out.add(kRuleSweepZipMismatch,
+                spec_locus + " / axis \"" + axis.name + "\"",
+                "zipped axes must have equal lengths (axis \"" + axis.name +
+                    "\" has " + std::to_string(axis.values.size()) +
+                    ", expected " + std::to_string(len) + ")");
+      }
+    }
+  }
+  if (spec.combine() == SweepCombine::kCartesian) {
+    constexpr std::size_t kMax = 2147483647;  // INT_MAX: point indices are int
+    std::size_t n = 1;
+    for (const SweepAxis& axis : spec.axes()) {
+      if (!axis.values.empty() && n > kMax / axis.values.size()) {
+        out.add(kRuleSweepOverflow, spec_locus,
+                "cartesian product exceeds INT_MAX points");
+        break;
+      }
+      n *= axis.values.size();
+    }
+  }
+  return out;
+}
+
+void validate_or_throw(const SweepSpec& spec) {
+  validate(spec).throw_if_enforced();
+}
+
+Diagnostics check_csv_contract(const std::vector<std::string>& header,
+                               const std::vector<std::vector<std::string>>& rows,
+                               const std::string& locus) {
+  Diagnostics out;
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    if (rows[r].size() != header.size()) {
+      out.add(kRuleReportWidth, locus + " / row " + std::to_string(r),
+              "row is " + std::to_string(rows[r].size()) +
+                  " cells wide, header has " + std::to_string(header.size()));
+    }
+  }
+  return out;
+}
+
+Diagnostics validate_report_contracts(const PackageConfig& package) {
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(package.chiplets().size());
+  for (const ChipletSpec& c : package.chiplets()) {
+    ChipletResidency r;
+    r.chiplet_id = c.id;
+    rows.push_back(residency_csv_row(r, package));
+  }
+  return check_csv_contract(residency_csv_header(), rows, "residency_csv");
+}
+
+}  // namespace cnpu::analysis

@@ -1,0 +1,97 @@
+// Static verification of simulation inputs (the domain config linter).
+//
+// validate() evaluates every registered rule (src/analysis/rules.h) over a
+// bundle of simulation inputs WITHOUT running the simulator, and returns
+// the findings as a Diagnostics collection — the engine behind the
+// cnpu_lint CLI (tools/cnpu_lint.cc). validate_or_throw() is the single
+// enforcement entry point the runtime calls (simulate_schedule,
+// serve_tenants / ServingPlan, SweepRunner): it replays the legacy
+// scattered ad-hoc throws exactly — same exception types, same precedence
+// order — so currently-accepted inputs keep simulating and currently-
+// rejected inputs fail with the same type they always did (the `what()`
+// text gains a "[<rule-id> <name>] <locus>: " prefix).
+//
+// The checks mirror the structures the simulator actually builds:
+//  * schedule structure  — the per-item walk of build_program
+//    (sim/event_sim.cc): unassigned items (S002), chiplet references that
+//    dangle (S003) or point at a without_chiplet casualty (S004), shard
+//    fractions that do not sum to 1 (S005).
+//  * route reachability  — the exact edge set build_program and the
+//    analytical evaluator price (ingress into every stage-0 model, stage
+//    prefix handoffs, cross-stage gathers, intra-model chains): each
+//    shard -> consumer-primary pair must have a route on the schedule's
+//    package, including post-fault BFS detours on the degraded copy (R001)
+//    and the severed-I/O-port case (R002). Only enforced when
+//    model_nop_delays is set — with NoP delays off the runtime never
+//    resolves routes, so an unroutable edge is lint-only there.
+//  * fault plans         — sane fail/recover ordering (F002), a victim
+//    that exists (F001), a surviving remap target (F004, via
+//    core/remap.h), non-negative penalties (F003, lint-only).
+//  * arrivals/admission  — generate_arrivals' precondition via
+//    describe_arrival_spec_error (A001), ShedPolicy vs queue_capacity
+//    (A002), inert shed_expired knobs (A003, note).
+//  * residency           — compute_residency (core/residency.h) overflow
+//    (M001): enforced on the serving placement path (place_tenants
+//    rejects it), lint-only on the simulate_schedule path (the simulator
+//    deliberately runs overflowing remaps — degraded beats refusing).
+//  * deadlines           — deadline_s strictly below the analytical
+//    evaluator's E2E (the uncongested lower bound on any frame's latency):
+//    every frame must miss (D001, lint-only — the runtime accepts it).
+//  * sweeps              — zipped axis length mismatches (W001), cartesian
+//    overflow past INT_MAX points (W002), duplicate axis names (W003),
+//    empty axes (W004).
+//  * report contracts    — CSV rows whose width disagrees with their
+//    header (C001), via check_csv_contract / validate_report_contracts.
+//
+// validate() itself NEVER throws on bad input (that is its point); it
+// throws only on programmer errors (unregistered rule IDs).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/rules.h"
+#include "arch/package.h"
+#include "core/schedule.h"
+#include "exp/sweep.h"
+#include "sim/event_sim.h"
+#include "sim/serving.h"
+
+namespace cnpu::analysis {
+
+// Full rule evaluation over one simulation bundle (the simulate_schedule
+// input shape: the top-level schedule plus options carrying fault plan,
+// arrivals, admission control, and tenant streams).
+[[nodiscard]] Diagnostics validate(const Schedule& schedule,
+                                   const SimOptions& options = {});
+// throw_if_enforced() over the same findings: drop-in for the legacy
+// scattered throws (simulate_schedule calls this before running).
+void validate_or_throw(const Schedule& schedule, const SimOptions& options = {});
+
+// Full rule evaluation over a tenant fleet BEFORE placement (the
+// serve_tenants input shape). Placement itself is part of what is
+// validated: a capacity-infeasible placement surfaces as M001.
+[[nodiscard]] Diagnostics validate(const PackageConfig& package,
+                                   const std::vector<TenantWorkload>& tenants,
+                                   const ServingOptions& options = {});
+void validate_or_throw(const PackageConfig& package,
+                       const std::vector<TenantWorkload>& tenants,
+                       const ServingOptions& options = {});
+
+// Sweep-spec rules (W001..W004). validate_or_throw matches
+// SweepSpec::num_points(): std::logic_error on a zipped length mismatch,
+// std::overflow_error past INT_MAX points.
+[[nodiscard]] Diagnostics validate(const SweepSpec& spec);
+void validate_or_throw(const SweepSpec& spec);
+
+// C001: every row must be exactly header.size() cells wide. `locus` names
+// the table being checked (e.g. "residency_csv").
+[[nodiscard]] Diagnostics check_csv_contract(
+    const std::vector<std::string>& header,
+    const std::vector<std::vector<std::string>>& rows, const std::string& locus);
+
+// Checks the shipped report emitters' CSV width contracts against a real
+// package (currently the residency table, core/report.h).
+[[nodiscard]] Diagnostics validate_report_contracts(const PackageConfig& package);
+
+}  // namespace cnpu::analysis

@@ -75,6 +75,10 @@ void Schedule::assign_weighted(int idx, std::vector<ShardAssignment> shards) {
   placements_[static_cast<std::size_t>(idx)].shards = std::move(shards);
 }
 
+void Schedule::restore_placement(int idx, std::vector<ShardAssignment> shards) {
+  placements_[static_cast<std::size_t>(idx)].shards = std::move(shards);
+}
+
 void Schedule::clear_assignment(int idx) {
   placements_[static_cast<std::size_t>(idx)].shards.clear();
 }

@@ -60,6 +60,12 @@ class Schedule {
   void assign_sharded(int idx, const std::vector<int>& chiplets);
   // Arbitrary weighted shards (fractions are normalized to sum to 1).
   void assign_weighted(int idx, std::vector<ShardAssignment> shards);
+  // Deserialization restore: stores `shards` verbatim — no normalization, no
+  // positivity check, empty means unassigned. Round-trips exported bundles
+  // bitwise and lets the linter (src/analysis/validate.h) see malformed
+  // placements exactly as they appeared on disk instead of a silently
+  // repaired copy. Everything else should use the assign_* checked paths.
+  void restore_placement(int idx, std::vector<ShardAssignment> shards);
   void clear_assignment(int idx);
 
   // Item indices of one stage / one model, in execution order.

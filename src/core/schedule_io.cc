@@ -1,6 +1,10 @@
 #include "core/schedule_io.h"
 
 #include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
 
 #include "util/json.h"
 
@@ -97,6 +101,297 @@ bool write_json_file(const std::string& path, const std::string& json) {
   if (!file) return false;
   file << json << "\n";
   return static_cast<bool>(file);
+}
+
+// --- Round-trip bundle format ---
+
+namespace {
+
+constexpr const char* kBundleFormat = "cnpu_schedule_bundle_v1";
+
+OpKind op_kind_from_name(const std::string& name) {
+  for (OpKind k : {OpKind::kConv2D, OpKind::kDepthwiseConv,
+                   OpKind::kTransposedConv, OpKind::kGemm, OpKind::kElementwise,
+                   OpKind::kPool}) {
+    if (name == op_kind_name(k)) return k;
+  }
+  throw std::invalid_argument("schedule bundle: unknown op kind \"" + name +
+                              "\"");
+}
+
+DataflowKind dataflow_from_name(const std::string& name) {
+  for (DataflowKind k :
+       {DataflowKind::kOutputStationary, DataflowKind::kWeightStationary}) {
+    if (name == dataflow_name(k)) return k;
+  }
+  throw std::invalid_argument("schedule bundle: unknown dataflow \"" + name +
+                              "\"");
+}
+
+void emit_layer(JsonWriter& w, const LayerDesc& d) {
+  w.begin_object();
+  w.key("name").value(d.name);
+  w.key("op").value(op_kind_name(d.kind));
+  w.key("k").value_precise(static_cast<double>(d.k));
+  w.key("c").value_precise(static_cast<double>(d.c));
+  w.key("y").value_precise(static_cast<double>(d.y));
+  w.key("x").value_precise(static_cast<double>(d.x));
+  w.key("r").value_precise(static_cast<double>(d.r));
+  w.key("s").value_precise(static_cast<double>(d.s));
+  w.key("stride").value_precise(static_cast<double>(d.stride));
+  w.key("heads").value(d.heads);
+  w.key("streaming_weights").value(d.streaming_weights);
+  w.end_object();
+}
+
+LayerDesc parse_layer(const JsonValue& j) {
+  LayerDesc d;
+  d.name = j.at("name").as_string();
+  d.kind = op_kind_from_name(j.at("op").as_string());
+  d.k = j.at("k").as_int();
+  d.c = j.at("c").as_int();
+  d.y = j.at("y").as_int();
+  d.x = j.at("x").as_int();
+  d.r = j.at("r").as_int();
+  d.s = j.at("s").as_int();
+  d.stride = j.at("stride").as_int();
+  d.heads = static_cast<int>(j.at("heads").as_int());
+  d.streaming_weights = j.at("streaming_weights").as_bool();
+  return d;
+}
+
+void emit_chiplet(JsonWriter& w, const ChipletSpec& c) {
+  w.begin_object();
+  w.key("id").value(c.id);
+  w.key("npu").value(c.npu);
+  w.key("row").value(c.coord.row);
+  w.key("col").value(c.coord.col);
+  w.key("array").begin_object();
+  w.key("dataflow").value(dataflow_name(c.array.dataflow));
+  w.key("num_pes").value_precise(static_cast<double>(c.array.num_pes));
+  w.key("array_h").value_precise(static_cast<double>(c.array.array_h));
+  w.key("array_w").value_precise(static_cast<double>(c.array.array_w));
+  w.key("tile_h").value_precise(static_cast<double>(c.array.tile_h));
+  w.key("tile_w").value_precise(static_cast<double>(c.array.tile_w));
+  w.key("frequency_hz").value_precise(c.array.frequency_hz);
+  w.key("gb_bandwidth").value_precise(c.array.gb_bandwidth);
+  w.end_object();
+  w.key("memory").begin_object();
+  w.key("weight_capacity_bytes").value_precise(c.memory.weight_capacity_bytes);
+  w.key("activation_capacity_bytes")
+      .value_precise(c.memory.activation_capacity_bytes);
+  w.key("reload_bandwidth_bytes_per_s")
+      .value_precise(c.memory.reload_bandwidth_bytes_per_s);
+  w.end_object();
+  w.end_object();
+}
+
+ChipletSpec parse_chiplet(const JsonValue& j) {
+  ChipletSpec c;
+  c.id = static_cast<int>(j.at("id").as_int());
+  c.npu = static_cast<int>(j.at("npu").as_int());
+  c.coord.row = static_cast<int>(j.at("row").as_int());
+  c.coord.col = static_cast<int>(j.at("col").as_int());
+  const JsonValue& a = j.at("array");
+  c.array.dataflow = dataflow_from_name(a.at("dataflow").as_string());
+  c.array.num_pes = a.at("num_pes").as_int();
+  c.array.array_h = a.at("array_h").as_int();
+  c.array.array_w = a.at("array_w").as_int();
+  c.array.tile_h = a.at("tile_h").as_int();
+  c.array.tile_w = a.at("tile_w").as_int();
+  c.array.frequency_hz = a.at("frequency_hz").as_double();
+  c.array.gb_bandwidth = a.at("gb_bandwidth").as_double();
+  const JsonValue& m = j.at("memory");
+  c.memory.weight_capacity_bytes = m.at("weight_capacity_bytes").as_double();
+  c.memory.activation_capacity_bytes =
+      m.at("activation_capacity_bytes").as_double();
+  c.memory.reload_bandwidth_bytes_per_s =
+      m.at("reload_bandwidth_bytes_per_s").as_double();
+  return c;
+}
+
+}  // namespace
+
+std::string bundle_to_json(const Schedule& schedule) {
+  const PerceptionPipeline& pipe = schedule.pipeline();
+  const PackageConfig& pkg = schedule.package();
+  JsonWriter w;
+  w.begin_object();
+  w.key("format").value(kBundleFormat);
+
+  w.key("pipeline").begin_object();
+  w.key("name").value(pipe.name);
+  w.key("stages").begin_array();
+  for (const Stage& stage : pipe.stages) {
+    w.begin_object();
+    w.key("name").value(stage.name);
+    w.key("models").begin_array();
+    for (const StageModel& sm : stage.models) {
+      w.begin_object();
+      w.key("name").value(sm.model.name);
+      w.key("prefix").value(sm.prefix);
+      w.key("layers").begin_array();
+      for (const LayerDesc& d : sm.model.layers) emit_layer(w, d);
+      w.end_array();
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+
+  w.key("package").begin_object();
+  w.key("inter_npu_hops").value(pkg.inter_npu_hops());
+  w.key("nop").begin_object();
+  w.key("bandwidth_bytes_per_s").value_precise(pkg.nop().bandwidth_bytes_per_s);
+  w.key("hop_latency_s").value_precise(pkg.nop().hop_latency_s);
+  w.key("energy_per_bit_pj").value_precise(pkg.nop().energy_per_bit_pj);
+  w.end_object();
+  w.key("chiplets").begin_array();
+  for (const ChipletSpec& c : pkg.chiplets()) emit_chiplet(w, c);
+  w.end_array();
+  w.key("failed_sites").begin_array();
+  for (const FailedSite& f : pkg.failed_sites()) {
+    w.begin_object();
+    w.key("chiplet_id").value(f.chiplet_id);
+    w.key("row").value(f.coord.row);
+    w.key("col").value(f.coord.col);
+    w.key("npu").value(f.npu);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+
+  // Index-aligned with the schedule's item list (which is fully determined
+  // by the pipeline structure); an empty shard list means unassigned.
+  w.key("placements").begin_array();
+  for (int i = 0; i < schedule.num_items(); ++i) {
+    w.begin_array();
+    for (const ShardAssignment& sh : schedule.placement(i).shards) {
+      w.begin_object();
+      w.key("chiplet").value(sh.chiplet_id);
+      w.key("fraction").value_precise(sh.fraction);
+      w.end_object();
+    }
+    w.end_array();
+  }
+  w.end_array();
+
+  w.end_object();
+  return w.str();
+}
+
+ScheduleBundle bundle_from_json(const std::string& json) {
+  const JsonValue doc = parse_json(json);
+  const std::string& format = doc.at("format").as_string();
+  if (format != kBundleFormat) {
+    throw std::invalid_argument("schedule bundle: unsupported format \"" +
+                                format + "\" (expected " + kBundleFormat +
+                                ")");
+  }
+
+  ScheduleBundle bundle;
+  bundle.pipeline = std::make_unique<PerceptionPipeline>();
+  const JsonValue& pj = doc.at("pipeline");
+  bundle.pipeline->name = pj.at("name").as_string();
+  for (const JsonValue& sj : pj.at("stages").items()) {
+    Stage stage;
+    stage.name = sj.at("name").as_string();
+    for (const JsonValue& mj : sj.at("models").items()) {
+      StageModel sm;
+      sm.model.name = mj.at("name").as_string();
+      sm.prefix = mj.at("prefix").as_bool();
+      for (const JsonValue& lj : mj.at("layers").items()) {
+        sm.model.layers.push_back(parse_layer(lj));
+      }
+      stage.models.push_back(std::move(sm));
+    }
+    bundle.pipeline->stages.push_back(std::move(stage));
+  }
+
+  const JsonValue& kj = doc.at("package");
+  std::vector<ChipletSpec> specs;
+  std::set<int> seen_ids;
+  for (const JsonValue& cj : kj.at("chiplets").items()) {
+    specs.push_back(parse_chiplet(cj));
+    if (!seen_ids.insert(specs.back().id).second) {
+      throw std::invalid_argument("schedule bundle: duplicate chiplet id " +
+                                  std::to_string(specs.back().id));
+    }
+  }
+  // Failed positions re-enter the package as placeholder dies (appended
+  // after the survivors, so the surviving list keeps its exported order)
+  // and are then removed in the recorded order: without_chiplet replays
+  // each failure, recreating identical degraded-routing state.
+  struct FailedEntry {
+    int chiplet_id;
+  };
+  std::vector<FailedEntry> removals;
+  for (const JsonValue& fj : kj.at("failed_sites").items()) {
+    ChipletSpec ph = make_chiplet(static_cast<int>(fj.at("chiplet_id").as_int()),
+                                  static_cast<int>(fj.at("row").as_int()),
+                                  static_cast<int>(fj.at("col").as_int()));
+    ph.npu = static_cast<int>(fj.at("npu").as_int());
+    if (!seen_ids.insert(ph.id).second) {
+      throw std::invalid_argument(
+          "schedule bundle: failed site reuses chiplet id " +
+          std::to_string(ph.id));
+    }
+    removals.push_back(FailedEntry{ph.id});
+    specs.push_back(ph);
+  }
+  const JsonValue& nj = kj.at("nop");
+  NopParams nop;
+  nop.bandwidth_bytes_per_s = nj.at("bandwidth_bytes_per_s").as_double();
+  nop.hop_latency_s = nj.at("hop_latency_s").as_double();
+  nop.energy_per_bit_pj = nj.at("energy_per_bit_pj").as_double();
+  bundle.package =
+      std::make_unique<PackageConfig>(std::move(specs), nop);
+  bundle.package->set_inter_npu_hops(
+      static_cast<int>(kj.at("inter_npu_hops").as_int()));
+  for (const FailedEntry& f : removals) {
+    *bundle.package = bundle.package->without_chiplet(f.chiplet_id);
+  }
+
+  bundle.schedule =
+      std::make_unique<Schedule>(*bundle.pipeline, *bundle.package);
+  const JsonValue& placements = doc.at("placements");
+  if (static_cast<int>(placements.size()) != bundle.schedule->num_items()) {
+    std::ostringstream msg;
+    msg << "schedule bundle: " << placements.size()
+        << " placements for a pipeline with " << bundle.schedule->num_items()
+        << " schedulable layers";
+    throw std::invalid_argument(msg.str());
+  }
+  for (int i = 0; i < bundle.schedule->num_items(); ++i) {
+    std::vector<ShardAssignment> shards;
+    for (const JsonValue& shj :
+         placements.at(static_cast<std::size_t>(i)).items()) {
+      ShardAssignment sh;
+      sh.chiplet_id = static_cast<int>(shj.at("chiplet").as_int());
+      sh.fraction = shj.at("fraction").as_double();
+      shards.push_back(sh);
+    }
+    // Verbatim restore: malformed placements (bad fractions, dangling ids)
+    // must survive the load so the linter can report them.
+    bundle.schedule->restore_placement(i, std::move(shards));
+  }
+  return bundle;
+}
+
+ScheduleBundle load_schedule_bundle(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    throw std::runtime_error("schedule bundle: cannot read " + path);
+  }
+  std::ostringstream text;
+  text << file.rdbuf();
+  return bundle_from_json(text.str());
+}
+
+bool save_schedule_bundle(const std::string& path, const Schedule& schedule) {
+  return write_json_file(path, bundle_to_json(schedule));
 }
 
 }  // namespace cnpu

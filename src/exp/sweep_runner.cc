@@ -6,6 +6,7 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "analysis/validate.h"
 #include "util/csv.h"
 #include "util/json.h"
 
@@ -163,6 +164,10 @@ int SweepRunner::threads() const {
 
 SweepResult SweepRunner::run(const SweepSpec& spec, const SweepFn& fn) const {
   const auto t0 = std::chrono::steady_clock::now();
+  // Static spec verification (src/analysis/validate.h): same exception
+  // types num_points() raises, plus rule IDs in the message. Lint-only
+  // findings (duplicate axis names, empty axes) pass through.
+  analysis::validate_or_throw(spec);
   SweepResult result;
   result.name = spec.name();
   const int n = spec.num_points();  // validates zipped axis lengths up front

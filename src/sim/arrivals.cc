@@ -39,67 +39,67 @@ class SplitMix64 {
 };
 
 void validate(const ArrivalSpec& spec, int frames) {
+  const std::string err = describe_arrival_spec_error(spec, frames);
+  if (!err.empty()) throw std::invalid_argument(err);
+}
+
+}  // namespace
+
+std::string describe_arrival_spec_error(const ArrivalSpec& spec, int frames) {
   if (!spec.active()) {
-    throw std::invalid_argument(
-        "generate_arrivals: ArrivalKind::kNone has no arrivals to generate");
+    return "generate_arrivals: ArrivalKind::kNone has no arrivals to "
+           "generate";
   }
   if (frames <= 0) {
-    throw std::invalid_argument("generate_arrivals: frames must be positive");
+    return "generate_arrivals: frames must be positive";
   }
   if (spec.kind == ArrivalKind::kTrace) {
     if (static_cast<int>(spec.trace_s.size()) < frames) {
-      throw std::invalid_argument(
-          "generate_arrivals: trace holds " +
-          std::to_string(spec.trace_s.size()) + " instants but " +
-          std::to_string(frames) + " frames were requested");
+      return "generate_arrivals: trace holds " +
+             std::to_string(spec.trace_s.size()) + " instants but " +
+             std::to_string(frames) + " frames were requested";
     }
     double prev = 0.0;
     for (const double t : spec.trace_s) {
       if (!(t >= prev)) {
-        throw std::invalid_argument(
-            "generate_arrivals: trace instants must be nonnegative and "
-            "nondecreasing");
+        return "generate_arrivals: trace instants must be nonnegative and "
+               "nondecreasing";
       }
       prev = t;
     }
-    return;
+    return "";
   }
   if (!(spec.rate_fps > 0.0)) {
-    throw std::invalid_argument("generate_arrivals: rate_fps must be > 0");
+    return "generate_arrivals: rate_fps must be > 0";
   }
   if (!spec.profile.empty()) {
     bool any_positive = false;
     for (const RatePhase& ph : spec.profile) {
       if (!(ph.duration_s > 0.0)) {
-        throw std::invalid_argument(
-            "generate_arrivals: profile phase duration must be > 0");
+        return "generate_arrivals: profile phase duration must be > 0";
       }
       if (!(ph.scale >= 0.0)) {
-        throw std::invalid_argument(
-            "generate_arrivals: profile phase scale must be >= 0");
+        return "generate_arrivals: profile phase scale must be >= 0";
       }
       if (ph.scale > 0.0) any_positive = true;
     }
     if (!any_positive) {
-      throw std::invalid_argument(
-          "generate_arrivals: profile cycle carries no rate (all scales 0)");
+      return "generate_arrivals: profile cycle carries no rate (all scales "
+             "0)";
     }
   }
   if (spec.kind == ArrivalKind::kBursty) {
     if (!(spec.on_mean_s > 0.0) || !(spec.off_mean_s > 0.0)) {
-      throw std::invalid_argument(
-          "generate_arrivals: bursty sojourn means must be > 0");
+      return "generate_arrivals: bursty sojourn means must be > 0";
     }
     if (!(spec.on_scale >= 0.0) || !(spec.off_scale >= 0.0) ||
         !(spec.on_scale > 0.0 || spec.off_scale > 0.0)) {
-      throw std::invalid_argument(
-          "generate_arrivals: bursty state scales must be >= 0 with at "
-          "least one positive");
+      return "generate_arrivals: bursty state scales must be >= 0 with at "
+             "least one positive";
     }
   }
+  return "";
 }
-
-}  // namespace
 
 void generate_arrivals(const ArrivalSpec& spec, int frames,
                        std::vector<double>& out) {

@@ -102,6 +102,12 @@ void generate_arrivals(const ArrivalSpec& spec, int frames,
                        std::vector<double>& out);
 std::vector<double> generate_arrivals(const ArrivalSpec& spec, int frames);
 
+// The exact message generate_arrivals(spec, frames) would throw
+// std::invalid_argument with; empty when the spec can generate. Single
+// source of truth for the generator's precondition and the static linter
+// (rule A001, src/analysis/validate.h).
+std::string describe_arrival_spec_error(const ArrivalSpec& spec, int frames);
+
 // Trace files: one admission instant per line, written as C hexfloat
 // ("%a") so that save -> load round-trips every double bit for bit.
 // Blank lines and lines starting with '#' are skipped on load. Throws

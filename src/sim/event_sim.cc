@@ -11,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/validate.h"
 #include "core/evaluator.h"
 #include "core/remap.h"
 #include "core/residency.h"
@@ -1617,6 +1618,13 @@ void SimEngine::reset() { impl_->reset(); }
 const EngineStats& SimEngine::stats() const { return impl_->stats; }
 
 SimResult simulate_schedule(const Schedule& schedule, const SimOptions& options) {
+  // Full static verification up front (src/analysis/validate.h): every
+  // enforced rule replays the legacy in-engine throw (same type, same
+  // precedence), so this rejects exactly what the engine always rejected —
+  // with a rule ID and locus. The engine's own cheap precondition checks
+  // below then never fire on this path; SimEngine::run keeps them because
+  // DSE loops calling a warm engine cannot afford the deep analyses.
+  analysis::validate_or_throw(schedule, options);
   SimEngine engine;
   return engine.run(schedule, options);
 }

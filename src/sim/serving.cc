@@ -6,6 +6,7 @@
 #include <memory>
 #include <stdexcept>
 
+#include "analysis/validate.h"
 #include "core/baselines.h"
 #include "core/partition.h"
 #include "core/residency.h"
@@ -165,6 +166,12 @@ SimResult ServingPlan::run_at_rate(double fps) {
 SimResult serve_tenants(const PackageConfig& package,
                         const std::vector<TenantWorkload>& tenants,
                         const ServingOptions& options) {
+  // Full static verification up front (src/analysis/validate.h); enforced
+  // rules replay the legacy placement/engine throws type-for-type, so only
+  // always-rejected fleets are refused. The warm ServingPlan path skips it:
+  // max_sustainable_load builds one plan per worker slot and revalidating
+  // an unchanged fleet per slot would be pure setup churn.
+  analysis::validate_or_throw(package, tenants, options);
   ServingPlan plan(package, tenants, options);
   return plan.run();
 }

@@ -17,10 +17,10 @@ class CsvWriter {
   void add_row(std::vector<std::string> row);
 
   // RFC-4180-ish encoding: fields containing comma/quote/newline are quoted.
-  std::string to_string() const;
+  [[nodiscard]] std::string to_string() const;
 
   // Writes to `path`; returns false on I/O failure.
-  bool write_file(const std::string& path) const;
+  [[nodiscard]] bool write_file(const std::string& path) const;
 
  private:
   std::vector<std::string> header_;

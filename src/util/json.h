@@ -1,6 +1,7 @@
-// Minimal JSON emitter (no parsing) for exporting schedules and metrics.
+// Minimal JSON emitter + parser for exporting and re-loading schedules,
+// metrics, and diagnostics.
 //
-// Usage:
+// Emitting:
 //   JsonWriter w;
 //   w.begin_object();
 //   w.key("pipe_ms").value(83.5);
@@ -8,9 +9,17 @@
 //   ... w.end_array();
 //   w.end_object();
 //   std::string out = w.str();
+//
+// Parsing:
+//   JsonValue v = parse_json(text);            // throws std::invalid_argument
+//   double ms = v.at("pipe_ms").as_double();   // throws on shape mismatch
+//   for (const JsonValue& s : v.at("stages").items()) { ... }
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace cnpu {
@@ -27,10 +36,17 @@ class JsonWriter {
   JsonWriter& value(double v);
   JsonWriter& value(int v);
   JsonWriter& value(bool v);
+  // Shortest-round-trip formatting (%.17g): parse_json recovers the exact
+  // double. Use for values that must survive an export/import cycle (shard
+  // fractions, calibrated bandwidths); the default value(double) keeps the
+  // compact %.9g used by the pinned report formats.
+  JsonWriter& value_precise(double v);
 
-  const std::string& str() const { return out_; }
+  [[nodiscard]] const std::string& str() const { return out_; }
   // True when all containers are closed.
-  bool complete() const { return stack_.empty() && !out_.empty(); }
+  [[nodiscard]] bool complete() const {
+    return stack_.empty() && !out_.empty();
+  }
 
  private:
   void maybe_comma();
@@ -41,5 +57,58 @@ class JsonWriter {
   bool needs_comma_ = false;
   bool after_key_ = false;
 };
+
+// A parsed JSON document node. Object member order is preserved; duplicate
+// keys keep the first occurrence (find/at return it). Shape-mismatched
+// accessors throw std::invalid_argument naming the expected kind, so loaders
+// get a usable error without checking every node by hand.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const { return kind_ == Kind::kBool; }
+  [[nodiscard]] bool is_number() const { return kind_ == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::kString; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
+
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_double() const;
+  // Number that must be integral (and representable): 3.5 or 1e30 throw.
+  [[nodiscard]] std::int64_t as_int() const;
+  [[nodiscard]] const std::string& as_string() const;
+
+  // Array element count / object member count (0 for scalars).
+  [[nodiscard]] std::size_t size() const;
+  // Array element by index; throws on non-arrays and out-of-range indices.
+  [[nodiscard]] const JsonValue& at(std::size_t index) const;
+  // Object member; find() returns nullptr when absent, at() throws.
+  [[nodiscard]] const JsonValue* find(const std::string& key) const;
+  [[nodiscard]] const JsonValue& at(const std::string& key) const;
+
+  [[nodiscard]] const std::vector<JsonValue>& items() const;  // array elements
+  [[nodiscard]] const std::vector<std::pair<std::string, JsonValue>>&
+  members() const;
+
+ private:
+  friend class JsonParser;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+// Parses one JSON document (trailing whitespace allowed, trailing garbage
+// rejected). Throws std::invalid_argument with a byte offset on malformed
+// input. Nesting deeper than 200 containers is rejected rather than
+// risking stack exhaustion on adversarial input.
+[[nodiscard]] JsonValue parse_json(const std::string& text);
 
 }  // namespace cnpu

@@ -15,7 +15,7 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
 // Global log threshold; messages below it are discarded.
 void set_log_level(LogLevel level);
-LogLevel log_level();
+[[nodiscard]] LogLevel log_level();
 
 // Emits a single formatted line to stderr if `level` passes the threshold.
 void log_message(LogLevel level, const std::string& message);

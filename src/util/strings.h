@@ -8,25 +8,26 @@
 namespace cnpu {
 
 // Fixed-point decimal with `digits` fraction digits, e.g. 12.346.
-std::string format_fixed(double value, int digits);
+[[nodiscard]] std::string format_fixed(double value, int digits);
 
 // Engineering formatting with SI suffix: 1.25 k, 3.4 M, 9.2 G.
-std::string format_si(double value, int digits = 2);
+[[nodiscard]] std::string format_si(double value, int digits = 2);
 
 // Latency pretty-printer: picks ns/us/ms/s based on magnitude.
-std::string format_seconds(double seconds, int digits = 2);
+[[nodiscard]] std::string format_seconds(double seconds, int digits = 2);
 
 // Energy pretty-printer: picks pJ/nJ/uJ/mJ/J based on magnitude (input J).
-std::string format_joules(double joules, int digits = 2);
+[[nodiscard]] std::string format_joules(double joules, int digits = 2);
 
 // Percentage with sign, e.g. "-17.4%".
-std::string format_percent_delta(double ratio, int digits = 1);
+[[nodiscard]] std::string format_percent_delta(double ratio, int digits = 1);
 
 // Joins `parts` with `sep`.
-std::string join(const std::vector<std::string>& parts, const std::string& sep);
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               const std::string& sep);
 
 // Left/right padding to `width` (no truncation).
-std::string pad_left(const std::string& s, std::size_t width);
-std::string pad_right(const std::string& s, std::size_t width);
+[[nodiscard]] std::string pad_left(const std::string& s, std::size_t width);
+[[nodiscard]] std::string pad_right(const std::string& s, std::size_t width);
 
 }  // namespace cnpu

@@ -24,10 +24,10 @@ class Table {
   // Horizontal separator between row groups.
   void add_separator();
 
-  std::size_t num_rows() const { return rows_.size(); }
-  std::size_t num_columns() const;
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+  [[nodiscard]] std::size_t num_columns() const;
 
-  std::string to_string() const;
+  [[nodiscard]] std::string to_string() const;
 
  private:
   struct Row {

@@ -9,6 +9,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "analysis/validate.h"
 #include "core/baselines.h"
 #include "core/evaluator.h"
 #include "core/partition.h"
@@ -853,6 +854,127 @@ TEST_P(FuzzSeed, CapacityAwarePlacementRespectsResidency) {
       // The combined-residency check may reject the capped fleet; that is
       // the documented contract, not a property violation.
     }
+  }
+}
+
+// The static verifier (src/analysis/validate.h) must agree with the legacy
+// runtime checks in BOTH directions, over arbitrary configurations:
+//  * any config validate() accepts (no enforced finding) must run through
+//    SimEngine::run without throwing — the linter never green-lights a
+//    config the engine rejects;
+//  * any config with an enforced finding must make the engine throw the
+//    exact exception type the first such finding maps to — the linter
+//    never cries wolf, and its precedence order matches the engine's.
+// SimEngine::run is the layer BELOW the validate_or_throw wrapper, so this
+// pins validator-vs-engine agreement, not the validator against itself.
+TEST_P(FuzzSeed, ValidatorAgreesWithEngineAcceptance) {
+  using analysis::ThrowKind;
+  Lcg rng(static_cast<std::uint64_t>(GetParam()) * 88811u + 5u);
+  for (int trial = 0; trial < 12; ++trial) {
+    SCOPED_TRACE("seed " + std::to_string(GetParam()) + " trial " +
+                 std::to_string(trial));
+    // Small random package, sometimes degraded (possibly disconnected or
+    // with its I/O router gone — the validator must track all of it).
+    const int rows = static_cast<int>(rng.range(1, 2));
+    const int cols = static_cast<int>(rng.range(1, 4));
+    PackageConfig pkg = make_simba_package(rows, cols);
+    if (pkg.num_chiplets() > 1 && rng.range(0, 2) == 0) {
+      const std::size_t victim =
+          static_cast<std::size_t>(rng.range(0, pkg.num_chiplets() - 1));
+      pkg = pkg.without_chiplet(pkg.chiplets()[victim].id);
+    }
+
+    // 1-2 models x 1-2 layers; mostly-valid random placements with seeded
+    // dangling ids and unassigned holes.
+    PerceptionPipeline pipe;
+    pipe.name = "fuzz";
+    Stage stage;
+    stage.name = "s0";
+    const int models = static_cast<int>(rng.range(1, 2));
+    for (int m = 0; m < models; ++m) {
+      StageModel sm;
+      sm.model.name = "m" + std::to_string(m);
+      const int layers = static_cast<int>(rng.range(1, 2));
+      for (int l = 0; l < layers; ++l) {
+        sm.model.layers.push_back(conv2d("c" + std::to_string(l), 3, 8, 8, 8,
+                                         3));
+      }
+      stage.models.push_back(std::move(sm));
+    }
+    pipe.stages.push_back(std::move(stage));
+    Schedule sched(pipe, pkg);
+    for (int i = 0; i < sched.num_items(); ++i) {
+      const std::int64_t roll = rng.range(0, 9);
+      if (roll == 0) continue;  // unassigned (S002)
+      if (roll == 1) {
+        sched.assign(i, 99);  // dangling (S003)
+        continue;
+      }
+      const std::size_t pick =
+          static_cast<std::size_t>(rng.range(0, pkg.num_chiplets() - 1));
+      sched.assign(i, pkg.chiplets()[pick].id);
+    }
+
+    SimOptions opt;
+    opt.frames = 2;
+    opt.model_nop_delays = rng.range(0, 3) != 0;
+    if (rng.range(0, 1) == 0) {  // random fault plan, sometimes nonsense
+      const std::int64_t kind = rng.range(0, 3);
+      opt.fault.chiplet_id =
+          kind == 0 ? 99
+                    : pkg.chiplets()[static_cast<std::size_t>(rng.range(
+                                         0, pkg.num_chiplets() - 1))]
+                          .id;
+      opt.fault.fail_time_s = kind == 1 ? -0.5 : 1e-4;
+      if (kind == 2) opt.fault.recover_time_s = 1e-5;  // before the failure
+    }
+    if (rng.range(0, 2) == 0) {  // random arrivals, sometimes invalid
+      opt.arrivals.kind =
+          rng.range(0, 1) == 0 ? ArrivalKind::kPeriodic : ArrivalKind::kTrace;
+      opt.arrivals.rate_fps = rng.range(0, 1) == 0 ? 0.0 : 100.0;
+      if (rng.range(0, 1) == 0) opt.arrivals.trace_s = {0.0, 1e-3};
+    }
+    if (rng.range(0, 2) == 0) {  // random admission, sometimes capacity-less
+      opt.admission.policy = ShedPolicy::kDropOldest;
+      opt.admission.queue_capacity = static_cast<int>(rng.range(0, 2));
+    }
+    if (rng.range(0, 3) == 0) opt.deadline_s = 1e-12;  // infeasible: lint-only
+
+    const analysis::Diagnostics diags = analysis::validate(sched, opt);
+    const analysis::Diagnostic* expected = nullptr;
+    for (const auto& d : diags.items()) {
+      if (d.enforced) {
+        expected = &d;
+        break;
+      }
+    }
+
+    SimEngine engine;
+    ThrowKind caught = ThrowKind::kNone;
+    try {
+      (void)engine.run(sched, opt);
+    } catch (const std::invalid_argument&) {
+      caught = ThrowKind::kInvalidArgument;
+    } catch (const std::out_of_range&) {
+      caught = ThrowKind::kOutOfRange;
+    } catch (const std::logic_error&) {
+      caught = ThrowKind::kLogicError;
+    } catch (const std::overflow_error&) {
+      caught = ThrowKind::kOverflowError;
+    } catch (const std::runtime_error&) {
+      caught = ThrowKind::kRuntimeError;
+    }
+
+    if (expected == nullptr) {
+      ASSERT_EQ(caught, ThrowKind::kNone)
+          << "validator accepted a config the engine rejects";
+    } else {
+      ASSERT_EQ(static_cast<int>(caught),
+                static_cast<int>(expected->rule->throws_as))
+          << "engine exception disagrees with enforced rule "
+          << expected->rule->id << " (" << expected->message << ")";
+    }
+    if (::testing::Test::HasFailure()) return;
   }
 }
 

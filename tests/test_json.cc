@@ -1,0 +1,86 @@
+// util/json: the emitter's output must be parseable by the new parser
+// (round trip), and the parser must reject malformed documents with
+// std::invalid_argument rather than misparse them.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "util/json.h"
+
+namespace cnpu {
+namespace {
+
+TEST(JsonWriterTest, EmitterOutputParsesBack) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("name").value("six\"ty \\ lines\n");
+  w.key("count").value(42);
+  w.key("ratio").value(0.25);
+  w.key("exact").value_precise(1.0 / 3.0);
+  w.key("on").value(true);
+  w.key("items").begin_array();
+  w.value(1).value(2.5).value("three");
+  w.end_array();
+  w.end_object();
+  ASSERT_TRUE(w.complete());
+
+  const JsonValue doc = parse_json(w.str());
+  EXPECT_EQ(doc.at("name").as_string(), "six\"ty \\ lines\n");
+  EXPECT_EQ(doc.at("count").as_int(), 42);
+  EXPECT_DOUBLE_EQ(doc.at("ratio").as_double(), 0.25);
+  // %.17g round-trips the exact double.
+  EXPECT_EQ(doc.at("exact").as_double(), 1.0 / 3.0);
+  EXPECT_TRUE(doc.at("on").as_bool());
+  ASSERT_EQ(doc.at("items").size(), 3u);
+  EXPECT_EQ(doc.at("items").at(0u).as_int(), 1);
+  EXPECT_EQ(doc.at("items").at(2u).as_string(), "three");
+}
+
+TEST(JsonParserTest, ScalarsAndNesting) {
+  const JsonValue v = parse_json(
+      " { \"a\" : [ -1.5e3 , null , { \"b\" : false } ] , \"c\" : \"\" } ");
+  EXPECT_DOUBLE_EQ(v.at("a").at(0u).as_double(), -1500.0);
+  EXPECT_TRUE(v.at("a").at(1u).is_null());
+  EXPECT_FALSE(v.at("a").at(2u).at("b").as_bool());
+  EXPECT_EQ(v.at("c").as_string(), "");
+  EXPECT_EQ(v.find("missing"), nullptr);
+  EXPECT_THROW((void)v.at("missing"), std::invalid_argument);
+}
+
+TEST(JsonParserTest, EscapesAndUnicode) {
+  const JsonValue v = parse_json(R"("a\/bAé\t")");
+  EXPECT_EQ(v.as_string(), "a/bA\xC3\xA9\t");
+}
+
+TEST(JsonParserTest, KindMismatchesThrow) {
+  const JsonValue v = parse_json("{\"n\": 1.5}");
+  EXPECT_THROW((void)v.at("n").as_string(), std::invalid_argument);
+  EXPECT_THROW((void)v.at("n").as_int(),
+               std::invalid_argument);  // not integral
+  EXPECT_THROW((void)v.at(0u), std::invalid_argument);  // not an array
+  EXPECT_THROW((void)v.at("n").items(), std::invalid_argument);
+}
+
+TEST(JsonParserTest, MalformedDocumentsThrow) {
+  for (const char* bad :
+       {"", "{", "[1,", "{\"a\" 1}", "{\"a\":1,}", "[1] trailing", "tru",
+        "\"unterminated", "\"bad\\q\"", "01x", "{\"a\":}", "nan"}) {
+    EXPECT_THROW((void)parse_json(bad), std::invalid_argument) << bad;
+  }
+}
+
+TEST(JsonParserTest, DeepNestingIsRejectedNotCrashed) {
+  std::string deep;
+  for (int i = 0; i < 5000; ++i) deep += '[';
+  EXPECT_THROW((void)parse_json(deep), std::invalid_argument);
+}
+
+TEST(JsonParserTest, DuplicateKeysKeepTheFirst) {
+  const JsonValue v = parse_json("{\"k\":1,\"k\":2}");
+  EXPECT_EQ(v.at("k").as_int(), 1);
+  EXPECT_EQ(v.size(), 2u);  // both members preserved for inspection
+}
+
+}  // namespace
+}  // namespace cnpu

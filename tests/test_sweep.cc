@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <stdexcept>
 #include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -123,6 +124,45 @@ TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
     // No wait_idle: destruction must still run everything exactly once.
   }
   EXPECT_EQ(count.load(), 50);
+}
+
+// Race-detection regression (run under -DCNPU_SANITIZE=thread in CI): the
+// pool's shutdown path and the thread-local current_worker_index() have
+// been audited data-race-clean — every queue/counter access is under mu_,
+// the worker index is written once per thread before any task runs, and
+// jthread's stop/join pair orders destruction after the drain. This stress
+// keeps TSan pointed at the risky interleavings: external submitter
+// threads racing each other, workers reading their index mid-task, and
+// destruction without wait_idle while the backlog is still draining.
+TEST(ThreadPoolTest, ConcurrentSubmittersAndShutdownStress) {
+  constexpr int kWorkers = 3;
+  constexpr int kSubmitters = 3;
+  constexpr int kTasksPerSubmitter = 50;
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> count{0};
+    std::atomic<bool> bad_index{false};
+    {
+      ThreadPool pool(kWorkers);
+      {
+        std::vector<std::jthread> submitters;
+        for (int t = 0; t < kSubmitters; ++t) {
+          submitters.emplace_back([&pool, &count, &bad_index] {
+            for (int i = 0; i < kTasksPerSubmitter; ++i) {
+              pool.submit([&count, &bad_index] {
+                const int idx = ThreadPool::current_worker_index();
+                if (idx < 0 || idx >= kWorkers) bad_index = true;
+                ++count;
+              });
+            }
+          });
+        }
+      }  // submitters joined; the backlog may still be draining
+    }  // pool destruction drains the remaining tasks
+    EXPECT_EQ(count.load(), kSubmitters * kTasksPerSubmitter);
+    EXPECT_FALSE(bad_index.load());
+  }
+  // Never a pool worker: the calling thread keeps the -1 sentinel.
+  EXPECT_EQ(ThreadPool::current_worker_index(), -1);
 }
 
 // Regression (exception-loss bugfix): a throwing task used to escape the

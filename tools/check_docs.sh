@@ -1,53 +1,61 @@
 #!/usr/bin/env bash
-# Fails when docs/ARCHITECTURE.md references a source directory or bench
-# target that no longer exists, so the module map and bench table cannot rot
-# silently. Run from anywhere: paths resolve relative to the repo root.
+# Fails when docs/ARCHITECTURE.md or docs/DIAGNOSTICS.md references a source
+# directory, file, or bench target that no longer exists, so the module map,
+# rule catalogue, and bench table cannot rot silently. Run from anywhere:
+# paths resolve relative to the repo root.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
-doc="$repo_root/docs/ARCHITECTURE.md"
 failed=0
 
-if [[ ! -f "$doc" ]]; then
-  echo "check_docs: missing $doc" >&2
-  exit 1
-fi
+check_doc() {
+  local doc="$1"
 
-# Every `src/<dir>/`, `tests/`, `bench/`, ... style directory reference
-# (directory references end with a slash; `src/foo/bar.h` is a file ref).
-while IFS= read -r dir; do
-  if [[ ! -d "$repo_root/$dir" ]]; then
-    echo "check_docs: ARCHITECTURE.md references missing directory: $dir" >&2
+  if [[ ! -f "$doc" ]]; then
+    echo "check_docs: missing $doc" >&2
     failed=1
+    return
   fi
-done < <(grep -oE '(src|tests|bench|examples|tools)(/[A-Za-z0-9_-]+)*/' "$doc" \
-           | sed 's:/$::' | sort -u)
 
-# Every `path/file.ext` reference (module headers, test files).
-while IFS= read -r file; do
-  if [[ ! -f "$repo_root/$file" ]]; then
-    echo "check_docs: ARCHITECTURE.md references missing file: $file" >&2
-    failed=1
-  fi
-done < <(grep -oE '(src|tests|bench|examples|tools)/[A-Za-z0-9_/-]+\.[a-z]+' "$doc" | sort -u)
+  # Every `src/<dir>/`, `tests/`, `bench/`, ... style directory reference
+  # (directory references end with a slash; `src/foo/bar.h` is a file ref).
+  while IFS= read -r dir; do
+    if [[ ! -d "$repo_root/$dir" ]]; then
+      echo "check_docs: $(basename "$doc") references missing directory: $dir" >&2
+      failed=1
+    fi
+  done < <(grep -oE '(src|tests|bench|examples|tools)(/[A-Za-z0-9_-]+)*/' "$doc" \
+             | sed 's:/$::' | sort -u)
 
-# Every `bench_<name>` token must be a real bench target (a bench/ source).
-while IFS= read -r target; do
-  if [[ ! -f "$repo_root/bench/$target.cc" ]]; then
-    echo "check_docs: ARCHITECTURE.md references missing bench target: $target" >&2
-    failed=1
-  fi
-done < <(grep -oE 'bench_[a-z0-9_]+' "$doc" | sort -u)
+  # Every `path/file.ext` reference (module headers, test files).
+  while IFS= read -r file; do
+    if [[ ! -f "$repo_root/$file" ]]; then
+      echo "check_docs: $(basename "$doc") references missing file: $file" >&2
+      failed=1
+    fi
+  done < <(grep -oE '(src|tests|bench|examples|tools)/[A-Za-z0-9_/-]+\.[a-z]+' "$doc" | sort -u)
 
-# Linked sibling docs must exist (e.g. METRICS.md).
-while IFS= read -r link; do
-  if [[ ! -f "$repo_root/docs/$link" ]]; then
-    echo "check_docs: ARCHITECTURE.md links missing doc: docs/$link" >&2
-    failed=1
-  fi
-done < <(grep -oE '\]\(([A-Za-z0-9_]+\.md)\)' "$doc" | sed 's/^](//;s/)$//' | sort -u)
+  # Every `bench_<name>` token must be a real bench target (a bench/ source).
+  while IFS= read -r target; do
+    if [[ ! -f "$repo_root/bench/$target.cc" ]]; then
+      echo "check_docs: $(basename "$doc") references missing bench target: $target" >&2
+      failed=1
+    fi
+  done < <(grep -oE 'bench_[a-z0-9_]+' "$doc" | sort -u)
+
+  # Linked sibling docs must exist (e.g. METRICS.md).
+  while IFS= read -r link; do
+    if [[ ! -f "$repo_root/docs/$link" ]]; then
+      echo "check_docs: $(basename "$doc") links missing doc: docs/$link" >&2
+      failed=1
+    fi
+  done < <(grep -oE '\]\(([A-Za-z0-9_]+\.md)\)' "$doc" | sed 's/^](//;s/)$//' | sort -u)
+}
+
+check_doc "$repo_root/docs/ARCHITECTURE.md"
+check_doc "$repo_root/docs/DIAGNOSTICS.md"
 
 if [[ "$failed" -ne 0 ]]; then
   exit 1
 fi
-echo "check_docs: all ARCHITECTURE.md references resolve"
+echo "check_docs: all doc references resolve"
