@@ -35,11 +35,12 @@ inline std::string artifact_path(const std::string& file_name) {
 
 // Benches want fail-fast sweeps: a failed point means the reproduction is
 // wrong, so surface the captured per-point error and abort instead of
-// rendering a table with holes.
+// rendering a table with holes. Pruned points (a static-bound predicate
+// skipped them on purpose) are not failures.
 inline void require_all_ok(const SweepResult& sweep) {
   if (sweep.num_failed() == 0) return;
   for (const SweepPointResult& p : sweep.points) {
-    if (!p.ok) {
+    if (!p.ok && !p.pruned) {
       std::fprintf(stderr, "sweep '%s' point %d (%s) failed: %s\n",
                    sweep.name.c_str(), p.point.index, p.point.label().c_str(),
                    p.error.c_str());

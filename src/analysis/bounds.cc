@@ -1,0 +1,558 @@
+#include "analysis/bounds.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+#include "core/evaluator.h"
+#include "dataflow/cost_model.h"
+#include "util/table.h"
+
+namespace cnpu::analysis {
+namespace {
+
+std::string fmt_seconds(double s) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", s);
+  return std::string(buf) + " s";
+}
+
+std::string fmt_ms(double s) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4f", s * 1e3);
+  return std::string(buf);
+}
+
+std::string fmt_gbps(double bytes_per_s) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4g", bytes_per_s / 1e9);
+  return std::string(buf) + " GB/s";
+}
+
+std::string fmt_ratio(double r) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3g", r);
+  return std::string(buf);
+}
+
+// One admitted stream, resolved exactly like SimEngine's run_into resolves
+// SimOptions (implicit single stream vs explicit tenants) — the same
+// resolution validate.cc's collect_sim performs.
+struct StreamRef {
+  const Schedule* sched = nullptr;
+  std::string locus;
+  std::string name;
+  double deadline_s = 0.0;
+  double frame_interval_s = 0.0;
+  const ArrivalSpec* arrivals = nullptr;
+};
+
+// Bounds require a structurally sound stream (every item assigned, every
+// shard chiplet present): anything the S/T structural rules would flag is
+// skipped rather than re-diagnosed here.
+bool structurally_clean(const Schedule& s) {
+  const PackageConfig& pkg = s.package();
+  for (int i = 0; i < s.num_items(); ++i) {
+    const Placement& p = s.placement(i);
+    if (!p.assigned()) return false;
+    for (const ShardAssignment& sh : p.shards) {
+      if (!(sh.fraction > 0.0) || !std::isfinite(sh.fraction)) return false;
+      bool present = false;
+      for (const ChipletSpec& c : pkg.chiplets()) {
+        if (c.id == sh.chiplet_id) {
+          present = true;
+          break;
+        }
+      }
+      if (!present) return false;
+    }
+  }
+  return s.num_items() > 0;
+}
+
+// Everything one stream contributes, accumulated locally so a stream that
+// turns out unpriceable (analyze_layer throws on a malformed bundle layer)
+// is dropped whole instead of half-merged.
+struct StreamContribution {
+  StreamBound bound;
+  std::map<NopLink, double> link_bytes;       // per-frame bytes per link
+  std::map<int, double> chiplet_busy;         // chiplet id -> busy s/frame
+};
+
+StreamContribution price_stream(const StreamRef& v, const PackageConfig& pkg,
+                                bool nop) {
+  const Schedule& s = *v.sched;
+  const int n = s.num_items();
+  StreamContribution out;
+  out.bound.name = v.name;
+  out.bound.locus = v.locus;
+  out.bound.deadline_s = v.deadline_s;
+  out.bound.rate_known =
+      mean_arrival_rate_fps(*v.arrivals, v.frame_interval_s,
+                            out.bound.rate_fps);
+
+  // Per-item compute roofline (max over shards — exactly the simulator's
+  // per-shard task cost) and per-chiplet busy accumulation.
+  std::vector<double> lat(static_cast<std::size_t>(n), 0.0);
+  for (int i = 0; i < n; ++i) {
+    const LayerDesc* desc = s.item(i).desc;
+    double item_lat = 0.0;
+    for (const ShardAssignment& sh : s.placement(i).shards) {
+      const double shard_lat =
+          analyze_layer(shard_fraction(*desc, sh.fraction),
+                        pkg.chiplet(sh.chiplet_id).array)
+              .latency_s;
+      item_lat = std::max(item_lat, shard_lat);
+      out.chiplet_busy[sh.chiplet_id] += shard_lat;
+    }
+    lat[static_cast<std::size_t>(i)] = item_lat;
+  }
+
+  // One enumeration pass builds both the dependency DAG (analytical edge
+  // delays, matching build_program's e.delay_s) and the per-link byte
+  // injection (matching the contended simulator's one-message-per-shard
+  // fraction-scaled routing). Unroutable edges on a degraded package are
+  // skipped — R001/R002 report them; skipping only lowers the bound.
+  std::vector<std::vector<std::pair<int, double>>> preds(
+      static_cast<std::size_t>(n));
+  std::vector<double> ingress_delay(static_cast<std::size_t>(n), 0.0);
+  auto add_route = [&](const std::vector<NopLink>& route, double bytes) {
+    for (const NopLink& l : route) out.link_bytes[l] += bytes;
+  };
+  for_each_schedule_edge(
+      s,
+      [&](int item) {
+        const int dst = s.placement(item).primary_chiplet();
+        if (!nop) return;
+        ingress_delay[static_cast<std::size_t>(item)] =
+            nop_ingress_cost(pkg, dst).latency_s;
+        try {
+          add_route(pkg.route_from_io(dst), kCameraInputBytes);
+        } catch (const std::runtime_error&) {
+        }
+      },
+      [&](int producer, int consumer, double bytes) {
+        double delay = 0.0;
+        if (nop) {
+          delay = nop_gather_cost(pkg, s.placement(producer),
+                                  s.placement(consumer), bytes)
+                      .latency_s;
+          const int dst = s.placement(consumer).primary_chiplet();
+          for (const ShardAssignment& sh : s.placement(producer).shards) {
+            try {
+              const std::vector<NopLink> route =
+                  pkg.route_between(sh.chiplet_id, dst);
+              if (!route.empty()) add_route(route, sh.fraction * bytes);
+            } catch (const std::runtime_error&) {
+            }
+          }
+        }
+        preds[static_cast<std::size_t>(consumer)].emplace_back(producer,
+                                                               delay);
+      });
+
+  // Longest path over the DAG: complete(i) = ready(i) + lat(i), ready(i) =
+  // max(ingress delay, max over deps of complete(p) + edge delay).
+  // Enumeration order is NOT topological (a prefix model may be listed
+  // after its consumers), so memoize with an explicit DFS stack. The
+  // schedule DAG is acyclic by construction; a pred found mid-expansion
+  // (which only a malformed input could produce) is ignored — ignoring a
+  // dependency can only lower the bound, keeping it sound.
+  std::vector<double> complete(static_cast<std::size_t>(n), -1.0);
+  std::vector<char> expanding(static_cast<std::size_t>(n), 0);
+  std::vector<int> stack;
+  for (int root = 0; root < n; ++root) {
+    if (complete[static_cast<std::size_t>(root)] >= 0.0) continue;
+    stack.push_back(root);
+    while (!stack.empty()) {
+      const int t = stack.back();
+      const auto ti = static_cast<std::size_t>(t);
+      if (complete[ti] >= 0.0) {
+        stack.pop_back();
+        continue;
+      }
+      expanding[ti] = 1;
+      bool deps_ready = true;
+      for (const auto& [p, delay] : preds[ti]) {
+        const auto pi = static_cast<std::size_t>(p);
+        if (complete[pi] < 0.0 && expanding[pi] == 0) {
+          stack.push_back(p);
+          deps_ready = false;
+        }
+      }
+      if (!deps_ready) continue;
+      double ready = ingress_delay[ti];
+      for (const auto& [p, delay] : preds[ti]) {
+        const auto pi = static_cast<std::size_t>(p);
+        if (complete[pi] < 0.0) continue;  // malformed-input cycle guard
+        ready = std::max(ready, complete[pi] + delay);
+      }
+      complete[ti] = ready + lat[ti];
+      expanding[ti] = 0;
+      stack.pop_back();
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    out.bound.latency_bound_s =
+        std::max(out.bound.latency_bound_s,
+                 complete[static_cast<std::size_t>(i)]);
+  }
+
+  for (const auto& [link, bytes] : out.link_bytes) {
+    (void)link;
+    out.bound.bytes_per_frame += bytes;
+  }
+  out.bound.deadline_infeasible =
+      v.deadline_s > 0.0 && out.bound.latency_bound_s > v.deadline_s;
+  return out;
+}
+
+}  // namespace
+
+bool mean_arrival_rate_fps(const ArrivalSpec& arrivals,
+                           double frame_interval_s, double& rate_fps) {
+  rate_fps = 0.0;
+  if (!arrivals.active()) {
+    if (frame_interval_s > 0.0) {
+      rate_fps = 1.0 / frame_interval_s;
+      return true;
+    }
+    return false;  // t=0 burst: no steady admission rate exists
+  }
+  if (arrivals.kind == ArrivalKind::kTrace) return false;
+  if (!(arrivals.rate_fps > 0.0)) return false;
+  double scale = 1.0;
+  if (!arrivals.profile.empty()) {
+    double duration = 0.0;
+    double weighted = 0.0;
+    for (const RatePhase& ph : arrivals.profile) {
+      if (!(ph.duration_s > 0.0) || ph.scale < 0.0) return false;
+      duration += ph.duration_s;
+      weighted += ph.duration_s * ph.scale;
+    }
+    scale = weighted / duration;
+  }
+  if (arrivals.kind == ArrivalKind::kBursty) {
+    if (!(arrivals.on_mean_s > 0.0) || !(arrivals.off_mean_s > 0.0)) {
+      return false;
+    }
+    scale *= (arrivals.on_mean_s * arrivals.on_scale +
+              arrivals.off_mean_s * arrivals.off_scale) /
+             (arrivals.on_mean_s + arrivals.off_mean_s);
+  }
+  rate_fps = arrivals.rate_fps * scale;
+  if (!(rate_fps > 0.0)) {
+    rate_fps = 0.0;
+    return false;
+  }
+  return true;
+}
+
+BoundsReport compute_bounds(const Schedule& schedule,
+                            const SimOptions& options) {
+  const PackageConfig& pkg = schedule.package();
+  BoundsReport report;
+  report.nop_modeled = options.model_nop_delays;
+  report.nop_mode = options.nop_mode;
+
+  // Resolve the stream list exactly like run_into.
+  std::vector<StreamRef> streams;
+  if (options.tenants.empty()) {
+    streams.push_back(StreamRef{&schedule, "schedule", "stream",
+                                options.deadline_s, options.frame_interval_s,
+                                &options.arrivals});
+  } else {
+    for (std::size_t t = 0; t < options.tenants.size(); ++t) {
+      const TenantStream& ten = options.tenants[t];
+      const Schedule* sched = ten.schedule != nullptr ? ten.schedule
+                                                      : &schedule;
+      if (&sched->package() != &pkg) continue;  // T003's job, not ours
+      streams.push_back(StreamRef{
+          sched, "tenant " + std::to_string(t) + " \"" + ten.name + "\"",
+          ten.name, ten.deadline_s, ten.frame_interval_s, &ten.arrivals});
+    }
+  }
+
+  const bool nop = options.model_nop_delays;
+  const bool link_binding = nop && options.nop_mode == NopMode::kContended;
+  std::map<NopLink, LinkBound> links;
+  std::map<int, ChipletBound> chiplets;
+  std::vector<const Schedule*> priced_scheds;
+  for (const StreamRef& v : streams) {
+    if (!structurally_clean(*v.sched)) continue;
+    StreamContribution c;
+    try {
+      c = price_stream(v, pkg, nop);
+    } catch (const std::exception&) {
+      continue;  // unpriceable (malformed bundle layer): skip the stream
+    }
+    priced_scheds.push_back(v.sched);
+    for (const auto& [link, bytes] : c.link_bytes) {
+      LinkBound& lb = links[link];
+      lb.link = link;
+      lb.bytes_per_frame += bytes;
+      if (c.bound.rate_known) {
+        lb.demand_bytes_per_s += c.bound.rate_fps * bytes;
+      }
+    }
+    for (const auto& [id, busy] : c.chiplet_busy) {
+      ChipletBound& cb = chiplets[id];
+      cb.chiplet_id = id;
+      cb.busy_s_per_frame += busy;
+      if (c.bound.rate_known) cb.demand += c.bound.rate_fps * busy;
+    }
+    report.streams.push_back(std::move(c.bound));
+  }
+
+  const double capacity = pkg.nop().bandwidth_bytes_per_s;
+  double uniform = 0.0;
+  bool any_constraint = false;
+  report.links.reserve(links.size());
+  for (auto& [link, lb] : links) {
+    (void)link;
+    lb.capacity_bytes_per_s = capacity;
+    lb.utilization =
+        capacity > 0.0 ? lb.demand_bytes_per_s / capacity : 0.0;
+    lb.oversubscribed = link_binding && lb.demand_bytes_per_s > capacity;
+    if (link_binding && lb.bytes_per_frame > 0.0 && capacity > 0.0) {
+      const double cap_fps = capacity / lb.bytes_per_frame;
+      uniform = any_constraint ? std::min(uniform, cap_fps) : cap_fps;
+      any_constraint = true;
+    }
+    report.links.push_back(lb);
+  }
+  // Emit chiplet bounds in package order, idle chiplets included, so the
+  // vector indexes like SimResult::chiplet_busy_s.
+  report.chiplets.reserve(pkg.chiplets().size());
+  for (const ChipletSpec& spec : pkg.chiplets()) {
+    ChipletBound cb;
+    cb.chiplet_id = spec.id;
+    const auto it = chiplets.find(spec.id);
+    if (it != chiplets.end()) cb = it->second;
+    cb.oversubscribed = cb.demand > 1.0;
+    if (cb.busy_s_per_frame > 0.0) {
+      const double cap_fps = 1.0 / cb.busy_s_per_frame;
+      uniform = any_constraint ? std::min(uniform, cap_fps) : cap_fps;
+      any_constraint = true;
+    }
+    report.chiplets.push_back(cb);
+  }
+  report.uniform_rate_bound_fps = any_constraint ? uniform : 0.0;
+
+  if (pkg.memory_model_active() && !priced_scheds.empty()) {
+    report.residency = compute_residency(priced_scheds, pkg);
+    report.residency_checked = true;
+  }
+  return report;
+}
+
+BoundsReport compute_bounds(const PackageConfig& package,
+                            const std::vector<TenantWorkload>& tenants,
+                            const ServingOptions& options) {
+  // Place exactly like serve_tenants (same exceptions), then bound the
+  // placed fleet through the SimOptions shape the ServingPlan would run.
+  const TenantPlacement placement =
+      place_tenants(tenants, package, options.policy);
+  SimOptions sim;
+  sim.model_nop_delays = options.model_nop_delays;
+  sim.nop_mode = options.nop_mode;
+  sim.fault = options.fault;
+  sim.policy = options.policy;
+  sim.tenants.reserve(tenants.size());
+  for (std::size_t t = 0; t < tenants.size(); ++t) {
+    TenantStream stream;
+    stream.name = tenants[t].name.empty() ? "tenant" + std::to_string(t)
+                                          : tenants[t].name;
+    stream.schedule = &placement.schedules[t];
+    stream.frames = tenants[t].frames;
+    stream.frame_interval_s = tenants[t].frame_interval_s;
+    stream.deadline_s = tenants[t].deadline_s;
+    stream.priority = tenants[t].priority;
+    stream.arrivals = tenants[t].arrivals;
+    stream.admission = tenants[t].admission;
+    sim.tenants.push_back(std::move(stream));
+  }
+  return compute_bounds(placement.schedules.front(), sim);
+}
+
+void collect_bound_diagnostics(const BoundsReport& report, Diagnostics& out) {
+  for (const StreamBound& s : report.streams) {
+    if (!s.deadline_infeasible) continue;
+    out.add(kRuleBoundDeadline, s.locus,
+            "static critical-path lower bound " +
+                fmt_seconds(s.latency_bound_s) + " exceeds the deadline " +
+                fmt_seconds(s.deadline_s) + ": every frame must miss");
+  }
+  for (const LinkBound& l : report.links) {
+    if (!l.oversubscribed) continue;
+    out.add(kRuleBoundLinkOversubscribed, "link " + l.link.describe(),
+            fmt_gbps(l.demand_bytes_per_s) + " demanded of a " +
+                fmt_gbps(l.capacity_bytes_per_s) + " link (utilization " +
+                fmt_ratio(l.utilization) +
+                "): the FIFO queue diverges at the admitted rate");
+  }
+  for (const ChipletBound& c : report.chiplets) {
+    if (!c.oversubscribed) continue;
+    out.add(kRuleBoundComputeOversubscribed,
+            "chiplet " + std::to_string(c.chiplet_id),
+            fmt_ratio(c.demand) +
+                " chiplet-seconds demanded per second (busy " +
+                fmt_seconds(c.busy_s_per_frame) +
+                " per frame): the queue diverges at the admitted rate");
+  }
+  if (report.residency_checked && report.residency.overflow) {
+    out.add(kRuleBoundResidency, "package",
+            "co-resident streams overflow chiplet memory — " +
+                report.residency.describe_overflow());
+  }
+}
+
+Diagnostics bound_diagnostics(const BoundsReport& report) {
+  Diagnostics out;
+  collect_bound_diagnostics(report, out);
+  return out;
+}
+
+std::string BoundsReport::table() const {
+  std::string out;
+  {
+    Table t;
+    t.set_header({"stream", "bound (ms)", "rate (fps)", "deadline (ms)",
+                  "verdict"});
+    for (const StreamBound& s : streams) {
+      t.add_row({s.name, fmt_ms(s.latency_bound_s),
+                 s.rate_known ? fmt_ratio(s.rate_fps) : "?",
+                 s.deadline_s > 0.0 ? fmt_ms(s.deadline_s) : "-",
+                 s.deadline_infeasible ? "statically dead" : "feasible"});
+    }
+    out += t.to_string();
+  }
+  // Hottest links / chiplets only: a 6x6 mesh easily touches dozens.
+  constexpr std::size_t kTop = 8;
+  if (!links.empty()) {
+    std::vector<LinkBound> hot = links;
+    std::sort(hot.begin(), hot.end(),
+              [](const LinkBound& a, const LinkBound& b) {
+                if (a.demand_bytes_per_s != b.demand_bytes_per_s) {
+                  return a.demand_bytes_per_s > b.demand_bytes_per_s;
+                }
+                return a.bytes_per_frame > b.bytes_per_frame;
+              });
+    if (hot.size() > kTop) hot.resize(kTop);
+    Table t;
+    t.set_header({"link", "bytes/frame", "demand", "utilization",
+                  "verdict"});
+    for (const LinkBound& l : hot) {
+      t.add_row({l.link.describe(), fmt_ratio(l.bytes_per_frame),
+                 fmt_gbps(l.demand_bytes_per_s), fmt_ratio(l.utilization),
+                 l.oversubscribed ? "oversubscribed" : "ok"});
+    }
+    out += t.to_string();
+    if (links.size() > kTop) {
+      out += "(" + std::to_string(links.size() - kTop) +
+             " cooler link(s) elided)\n";
+    }
+  }
+  {
+    std::vector<ChipletBound> hot;
+    for (const ChipletBound& c : chiplets) {
+      if (c.busy_s_per_frame > 0.0) hot.push_back(c);
+    }
+    std::sort(hot.begin(), hot.end(),
+              [](const ChipletBound& a, const ChipletBound& b) {
+                if (a.demand != b.demand) return a.demand > b.demand;
+                return a.busy_s_per_frame > b.busy_s_per_frame;
+              });
+    const std::size_t total = hot.size();
+    if (hot.size() > kTop) hot.resize(kTop);
+    if (!hot.empty()) {
+      Table t;
+      t.set_header({"chiplet", "busy/frame (ms)", "demand", "verdict"});
+      for (const ChipletBound& c : hot) {
+        t.add_row({std::to_string(c.chiplet_id), fmt_ms(c.busy_s_per_frame),
+                   fmt_ratio(c.demand),
+                   c.oversubscribed ? "oversubscribed" : "ok"});
+      }
+      out += t.to_string();
+      if (total > kTop) {
+        out += "(" + std::to_string(total - kTop) +
+               " cooler chiplet(s) elided)\n";
+      }
+    }
+  }
+  out += "uniform-rate bound: " +
+         (uniform_rate_bound_fps > 0.0 ? fmt_ratio(uniform_rate_bound_fps) +
+                                             std::string(" fps")
+                                       : std::string("none")) +
+         "\n";
+  if (residency_checked) {
+    out += residency.overflow
+               ? "residency: OVERFLOW — " + residency.describe_overflow() +
+                     "\n"
+               : "residency: fits\n";
+  }
+  return out;
+}
+
+void BoundsReport::write_json(JsonWriter& w) const {
+  w.begin_object();
+  w.key("nop_modeled").value(nop_modeled);
+  w.key("nop_mode").value(nop_mode == NopMode::kContended ? "contended"
+                                                          : "analytical");
+  w.key("uniform_rate_bound_fps").value(uniform_rate_bound_fps);
+  w.key("streams").begin_array();
+  for (const StreamBound& s : streams) {
+    w.begin_object();
+    w.key("name").value(s.name);
+    w.key("locus").value(s.locus);
+    w.key("latency_bound_s").value_precise(s.latency_bound_s);
+    w.key("rate_known").value(s.rate_known);
+    w.key("rate_fps").value(s.rate_fps);
+    w.key("deadline_s").value(s.deadline_s);
+    w.key("deadline_infeasible").value(s.deadline_infeasible);
+    w.key("bytes_per_frame").value(s.bytes_per_frame);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("links").begin_array();
+  for (const LinkBound& l : links) {
+    w.begin_object();
+    w.key("link").value(l.link.describe());
+    w.key("bytes_per_frame").value(l.bytes_per_frame);
+    w.key("demand_bytes_per_s").value(l.demand_bytes_per_s);
+    w.key("capacity_bytes_per_s").value(l.capacity_bytes_per_s);
+    w.key("utilization").value(l.utilization);
+    w.key("oversubscribed").value(l.oversubscribed);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("chiplets").begin_array();
+  for (const ChipletBound& c : chiplets) {
+    w.begin_object();
+    w.key("chiplet").value(c.chiplet_id);
+    w.key("busy_s_per_frame").value(c.busy_s_per_frame);
+    w.key("demand").value(c.demand);
+    w.key("oversubscribed").value(c.oversubscribed);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("residency_checked").value(residency_checked);
+  if (residency_checked) {
+    w.key("residency_overflow").value(residency.overflow);
+  }
+  w.end_object();
+}
+
+std::string BoundsReport::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("bounds");
+  write_json(w);
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace cnpu::analysis

@@ -87,6 +87,22 @@ const std::vector<RuleInfo>& rule_registry() {
        "two sweep axes share a name (lookups resolve to the first)"},
       {kRuleSweepEmptyAxis, "sweep-empty-axis", Severity::kNote,
        ThrowKind::kNone, "an axis has no values: the sweep is empty"},
+      {kRuleBoundDeadline, "bound-deadline-infeasible", Severity::kWarning,
+       ThrowKind::kNone,
+       "the static critical-path latency bound exceeds the stream's "
+       "deadline: every frame must miss"},
+      {kRuleBoundLinkOversubscribed, "bound-link-oversubscribed",
+       Severity::kWarning, ThrowKind::kNone,
+       "steady-state byte demand on a NoP link exceeds its bandwidth at "
+       "the admitted rate: the open-loop queue diverges"},
+      {kRuleBoundComputeOversubscribed, "bound-compute-oversubscribed",
+       Severity::kWarning, ThrowKind::kNone,
+       "steady-state compute demand on a chiplet exceeds 100% at the "
+       "admitted rate: the open-loop queue diverges"},
+      {kRuleBoundResidency, "bound-residency-overflow", Severity::kNote,
+       ThrowKind::kNone,
+       "combined resident weights/activations overflow a chiplet's memory "
+       "(advisory restatement of M001 from the bounds pass)"},
   };
   return kRules;
 }
@@ -150,6 +166,11 @@ std::string Diagnostics::table() const {
 
 std::string Diagnostics::to_json() const {
   JsonWriter w;
+  write_json(w);
+  return w.str();
+}
+
+void Diagnostics::write_json(JsonWriter& w) const {
   w.begin_object();
   w.key("diagnostics").begin_array();
   for (const Diagnostic& d : items_) {
@@ -167,7 +188,6 @@ std::string Diagnostics::to_json() const {
   w.key("warnings").value(count(Severity::kWarning));
   w.key("notes").value(count(Severity::kNote));
   w.end_object();
-  return w.str();
 }
 
 void Diagnostics::throw_if_enforced() const {

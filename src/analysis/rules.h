@@ -26,6 +26,10 @@
 #include <string_view>
 #include <vector>
 
+namespace cnpu {
+class JsonWriter;
+}
+
 namespace cnpu::analysis {
 
 enum class Severity { kError, kWarning, kNote };
@@ -94,6 +98,12 @@ inline constexpr const char* kRuleSweepZipMismatch = "W001";
 inline constexpr const char* kRuleSweepOverflow = "W002";
 inline constexpr const char* kRuleSweepDuplicateAxis = "W003";
 inline constexpr const char* kRuleSweepEmptyAxis = "W004";
+// Static performance bounds (advisory — bounds advise, the sim decides;
+// every P rule is ThrowKind::kNone by construction and can never throw).
+inline constexpr const char* kRuleBoundDeadline = "P001";
+inline constexpr const char* kRuleBoundLinkOversubscribed = "P002";
+inline constexpr const char* kRuleBoundComputeOversubscribed = "P003";
+inline constexpr const char* kRuleBoundResidency = "P004";
 
 // One finding: a violated rule, the source object it anchors to (locus),
 // and the human-readable explanation. `enforced` marks whether THIS
@@ -138,6 +148,9 @@ class Diagnostics {
   // {"diagnostics":[{"rule","name","severity","enforced","locus",
   //  "message"},...],"errors":N,"warnings":N,"notes":N}.
   [[nodiscard]] std::string to_json() const;
+  // Same object emitted as one value into an open writer, for callers that
+  // compose it into a larger document (cnpu_lint --bounds --json).
+  void write_json(JsonWriter& w) const;
 
   // Throws the mapped exception of the FIRST enforced finding (in
   // insertion order, which validators keep aligned with the legacy

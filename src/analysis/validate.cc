@@ -106,45 +106,6 @@ bool collect_structure(const StreamView& v, Diagnostics& out) {
   return clean;
 }
 
-// The exact edge set build_program wires (and the analytical evaluator
-// prices): camera ingress into every stage-0 model, intra-model chains,
-// stage-prefix handoffs, and cross-stage gathers into the models that
-// receive stage input. Enumeration order matches build_program so route
-// findings land in the order the runtime would have tripped over them.
-template <typename IngressFn, typename EdgeFn>
-void for_each_edge(const Schedule& s, IngressFn&& ingress, EdgeFn&& edge) {
-  const PerceptionPipeline& pipe = s.pipeline();
-  for (int st = 0; st < pipe.num_stages(); ++st) {
-    const Stage& stage = pipe.stages[static_cast<std::size_t>(st)];
-    for (int mod = 0; mod < stage.num_models(); ++mod) {
-      const StageModel& sm = stage.models[static_cast<std::size_t>(mod)];
-      const std::vector<int>& items = s.items_of_model(st, mod);
-      if (items.empty()) continue;
-      if (st == 0) ingress(items.front());
-      for (std::size_t li = 1; li < items.size(); ++li) {
-        edge(items[li - 1], items[li]);
-      }
-      if (!sm.prefix) {
-        for (int pm = 0; pm < stage.num_models(); ++pm) {
-          if (!stage.models[static_cast<std::size_t>(pm)].prefix) continue;
-          const std::vector<int>& pre = s.items_of_model(st, pm);
-          if (!pre.empty()) edge(pre.back(), items.front());
-        }
-      }
-      const bool receives_stage_input =
-          sm.prefix || stage.prefix_models().empty();
-      if (st > 0 && receives_stage_input) {
-        const Stage& prev = pipe.stages[static_cast<std::size_t>(st - 1)];
-        for (int pm = 0; pm < prev.num_models(); ++pm) {
-          if (prev.models[static_cast<std::size_t>(pm)].prefix) continue;
-          const std::vector<int>& src = s.items_of_model(st - 1, pm);
-          if (!src.empty()) edge(src.back(), items.front());
-        }
-      }
-    }
-  }
-}
-
 // Route reachability of every priced edge of `sched` on `sched.package()`.
 // A healthy mesh is always fully connected, so this only runs against a
 // package with failed sites (a degraded copy, or a without_chiplet package
@@ -156,7 +117,7 @@ bool collect_routes(const StreamView& v, const Schedule& sched, bool enforced,
   const PackageConfig& pkg = sched.package();
   if (pkg.failed_sites().empty()) return true;
   bool ok = true;
-  for_each_edge(
+  for_each_schedule_edge(
       sched,
       [&](int item) {
         const int dst = sched.placement(item).primary_chiplet();
@@ -170,7 +131,7 @@ bool collect_routes(const StreamView& v, const Schedule& sched, bool enforced,
           ok = false;
         }
       },
-      [&](int producer, int consumer) {
+      [&](int producer, int consumer, double /*bytes*/) {
         const int dst = sched.placement(consumer).primary_chiplet();
         for (const ShardAssignment& sh : sched.placement(producer).shards) {
           try {

@@ -94,4 +94,59 @@ class Schedule {
 // LayerDesc for one weighted shard of `layer` (`fraction` of its rows).
 LayerDesc shard_fraction(const LayerDesc& layer, double fraction);
 
+// The exact edge set the simulator wires (build_program in
+// sim/event_sim.cc) and the analytical evaluator prices: camera ingress
+// into every stage-0 model's first item, intra-model chain edges, stage
+// prefix handoffs, and cross-stage gathers into the models that receive
+// stage input. `ingress(item)` fires for each stage-0 model's first item
+// (the payload is the camera frame — callers price kCameraInputBytes);
+// `edge(producer, consumer, bytes)` fires for every inter-item edge with
+// the payload bytes the producer emits. Enumeration order matches
+// build_program so consumers see edges in runtime order — note it is NOT
+// topological (a stage's prefix model may be enumerated after the models
+// that consume its output).
+template <typename IngressFn, typename EdgeFn>
+void for_each_schedule_edge(const Schedule& s, IngressFn&& ingress,
+                            EdgeFn&& edge) {
+  const PerceptionPipeline& pipe = s.pipeline();
+  for (int st = 0; st < pipe.num_stages(); ++st) {
+    const Stage& stage = pipe.stages[static_cast<std::size_t>(st)];
+    for (int mod = 0; mod < stage.num_models(); ++mod) {
+      const StageModel& sm = stage.models[static_cast<std::size_t>(mod)];
+      const std::vector<int>& items = s.items_of_model(st, mod);
+      if (items.empty()) continue;
+      if (st == 0) ingress(items.front());
+      for (std::size_t li = 1; li < items.size(); ++li) {
+        edge(items[li - 1], items[li],
+             sm.model.layers[li - 1].output_bytes());
+      }
+      if (!sm.prefix) {
+        for (int pm = 0; pm < stage.num_models(); ++pm) {
+          if (!stage.models[static_cast<std::size_t>(pm)].prefix) continue;
+          const std::vector<int>& pre = s.items_of_model(st, pm);
+          if (!pre.empty()) {
+            edge(pre.back(), items.front(),
+                 stage.models[static_cast<std::size_t>(pm)].model
+                     .output_bytes());
+          }
+        }
+      }
+      const bool receives_stage_input =
+          sm.prefix || stage.prefix_models().empty();
+      if (st > 0 && receives_stage_input) {
+        const Stage& prev = pipe.stages[static_cast<std::size_t>(st - 1)];
+        for (int pm = 0; pm < prev.num_models(); ++pm) {
+          if (prev.models[static_cast<std::size_t>(pm)].prefix) continue;
+          const std::vector<int>& src = s.items_of_model(st - 1, pm);
+          if (!src.empty()) {
+            edge(src.back(), items.front(),
+                 prev.models[static_cast<std::size_t>(pm)].model
+                     .output_bytes());
+          }
+        }
+      }
+    }
+  }
+}
+
 }  // namespace cnpu

@@ -33,9 +33,17 @@ double SweepRecord::get(const std::string& name) const {
 int SweepResult::num_failed() const {
   int failed = 0;
   for (const auto& p : points) {
-    if (!p.ok) ++failed;
+    if (!p.ok && !p.pruned) ++failed;
   }
   return failed;
+}
+
+int SweepResult::num_pruned() const {
+  int pruned = 0;
+  for (const auto& p : points) {
+    if (p.pruned) ++pruned;
+  }
+  return pruned;
 }
 
 namespace {
@@ -137,6 +145,7 @@ std::string SweepResult::to_json() const {
     }
     w.end_object();
     w.key("ok").value(p.ok);
+    if (p.pruned) w.key("pruned").value(true);
     if (!p.ok) w.key("error").value(p.error);
     if (!p.record.note.empty()) w.key("note").value(p.record.note);
     w.end_object();
@@ -163,6 +172,11 @@ int SweepRunner::threads() const {
 }
 
 SweepResult SweepRunner::run(const SweepSpec& spec, const SweepFn& fn) const {
+  return run(spec, fn, SweepPruneFn());
+}
+
+SweepResult SweepRunner::run(const SweepSpec& spec, const SweepFn& fn,
+                             const SweepPruneFn& prune) const {
   const auto t0 = std::chrono::steady_clock::now();
   // Static spec verification (src/analysis/validate.h): same exception
   // types num_points() raises, plus rule IDs in the message. Lint-only
@@ -177,6 +191,14 @@ SweepResult SweepRunner::run(const SweepSpec& spec, const SweepFn& fn) const {
     SweepPointResult& slot = result.points[static_cast<std::size_t>(i)];
     slot.point = spec.point(i);
     try {
+      if (prune) {
+        std::string reason = prune(slot.point);
+        if (!reason.empty()) {
+          slot.pruned = true;
+          slot.error = "pruned: " + reason;
+          return;
+        }
+      }
       slot.record = fn(slot.point);
       slot.ok = true;
     } catch (const std::exception& e) {

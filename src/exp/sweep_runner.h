@@ -49,11 +49,14 @@ struct SweepRecord {
 };
 
 // Outcome of one sweep point: the enumerated point, its record when `ok`,
-// or the captured exception message when not.
+// or the captured exception message when not. A point a prune predicate
+// rejected is `pruned` (and not `ok`): its evaluation never ran, its error
+// carries "pruned: <reason>", and num_failed() does not count it.
 struct SweepPointResult {
   SweepPoint point;
   SweepRecord record;
   bool ok = false;
+  bool pruned = false;
   std::string error;
 };
 
@@ -69,15 +72,16 @@ struct SweepResult {
   double elapsed_s = 0.0;
   double points_per_sec = 0.0;
 
-  int num_failed() const;
+  int num_failed() const;  // evaluation errors only; pruned points excluded
+  int num_pruned() const;
 
   // CSV: header "point,<axes...>,<metrics...>,error"; metric columns follow
   // the first successful point's record (sweeps emit a uniform schema).
   // Failed points leave metric cells empty and fill `error`.
   std::string to_csv() const;
   // JSON: {"sweep": name, "elapsed_s": s, "points_per_sec": r,
-  // "points": [{"point": i, "params": {...},
-  // "metrics": {...}, "ok": bool, "error"?: str, "note"?: str}, ...]}.
+  // "points": [{"point": i, "params": {...}, "metrics": {...}, "ok": bool,
+  // "pruned"?: true, "error"?: str, "note"?: str}, ...]}.
   std::string to_json() const;
   // Artifact writers; false on I/O failure.
   bool write_csv(const std::string& path) const;
@@ -86,6 +90,14 @@ struct SweepResult {
 
 // Evaluates one sweep point into its record. May throw; the runner captures.
 using SweepFn = std::function<SweepRecord(const SweepPoint&)>;
+
+// Prune predicate: a non-empty return skips the point's evaluation and
+// records the string as the prune reason (e.g. a static-bound verdict from
+// analysis::compute_bounds — see bench_bounds). Empty string = evaluate.
+// Runs on the worker thread right before the point would evaluate, so it
+// may be as cheap or expensive as the caller likes; a throwing predicate
+// fails the point like a throwing SweepFn would.
+using SweepPruneFn = std::function<std::string(const SweepPoint&)>;
 
 class SweepRunner {
  public:
@@ -106,6 +118,11 @@ class SweepRunner {
   // Evaluates every point of `spec`, capturing per-point errors. The points
   // vector of the result is always num_points() long and index-ordered.
   SweepResult run(const SweepSpec& spec, const SweepFn& fn) const;
+
+  // Same, with a prune predicate consulted before each evaluation. Points
+  // it rejects come back pruned (not failed) with the reason in `error`.
+  SweepResult run(const SweepSpec& spec, const SweepFn& fn,
+                  const SweepPruneFn& prune) const;
 
   // Typed fan-out for callers that want their own result structs: applies
   // `fn` to indices [0, n) and returns results by index. Exceptions are NOT

@@ -6,6 +6,7 @@
 #include <memory>
 #include <stdexcept>
 
+#include "analysis/bounds.h"
 #include "analysis/validate.h"
 #include "core/baselines.h"
 #include "core/partition.h"
@@ -255,6 +256,18 @@ LoadSearchResult max_sustainable_load(const PackageConfig& package,
   LoadSearchResult result;
   double lo = search.fps_lo;
   double hi = search.fps_hi;
+  if (search.use_static_bound) {
+    // Static uniform-rate cap (analysis/bounds.h): rates above it make a
+    // chiplet (or, under contended NoP, a link) provably diverge, so no
+    // probe above can be feasible. Clamp the ceiling only — the bound never
+    // declares a rate feasible, and a bound at/below the floor still leaves
+    // a valid [lo, slightly-above-lo] bracket for the probes to reject.
+    const analysis::BoundsReport bounds =
+        analysis::compute_bounds(package, tenants, options);
+    if (bounds.uniform_rate_bound_fps > 0.0) {
+      hi = std::min(hi, std::max(bounds.uniform_rate_bound_fps, lo * 1.001));
+    }
+  }
   double best_feasible = 0.0;
   double min_infeasible = 0.0;
   while (result.rounds < search.max_rounds) {
@@ -301,7 +314,10 @@ LoadSearchResult max_sustainable_load(const PackageConfig& package,
     ++result.rounds;
     if (best_feasible == 0.0) break;  // even the floor is infeasible
     if (min_infeasible == 0.0) {
-      best_feasible = search.fps_hi;  // every probe feasible: limit above hi
+      // Every probe feasible: the limit lies above the ceiling. `hi` is
+      // still the initial ceiling here (it only shrinks once a probe turns
+      // infeasible) — i.e. fps_hi, or the static-bound clamp when active.
+      best_feasible = hi;
       break;
     }
     lo = best_feasible;

@@ -163,6 +163,13 @@ struct LoadSearchOptions {
   // Inert when no tenant sheds (shed_frames is always 0 there, preserving
   // the pre-arrivals feasibility semantics bitwise).
   double max_shed_fraction = 0.0;
+  // Tighten the initial bracket with the static uniform-rate bound
+  // (analysis::compute_bounds): rates above it provably diverge, so the
+  // ceiling clamps to min(fps_hi, max(bound, fps_lo)) before the first
+  // round — fewer wasted probes deep in the infeasible region. Purely a
+  // bracket optimization: the probes themselves still decide feasibility.
+  // Default off so existing searches stay bitwise-identical.
+  bool use_static_bound = false;
 };
 
 // One evaluated offered load (per-tenant injection rate).

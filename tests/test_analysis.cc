@@ -92,7 +92,10 @@ TEST(RuleRegistryTest, IdsAndNamesAreUniqueAndStable) {
         analysis::kRuleAdmissionCapacity, analysis::kRuleAdmissionInertExpiry,
         analysis::kRuleDeadlineInfeasible, analysis::kRuleReportWidth,
         analysis::kRuleSweepZipMismatch, analysis::kRuleSweepOverflow,
-        analysis::kRuleSweepDuplicateAxis, analysis::kRuleSweepEmptyAxis}) {
+        analysis::kRuleSweepDuplicateAxis, analysis::kRuleSweepEmptyAxis,
+        analysis::kRuleBoundDeadline, analysis::kRuleBoundLinkOversubscribed,
+        analysis::kRuleBoundComputeOversubscribed,
+        analysis::kRuleBoundResidency}) {
     const analysis::RuleInfo* rule = analysis::find_rule(id);
     ASSERT_NE(rule, nullptr) << id;
     EXPECT_EQ(analysis::find_rule(rule->name), rule);

@@ -9,6 +9,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "analysis/bounds.h"
 #include "analysis/validate.h"
 #include "core/baselines.h"
 #include "core/evaluator.h"
@@ -973,6 +974,163 @@ TEST_P(FuzzSeed, ValidatorAgreesWithEngineAcceptance) {
                 static_cast<int>(expected->rule->throws_as))
           << "engine exception disagrees with enforced rule "
           << expected->rule->id << " (" << expected->message << ")";
+    }
+    if (::testing::Test::HasFailure()) return;
+  }
+}
+
+// Static-bound soundness, fuzzed (src/analysis/bounds.h): over random
+// geometry, chains, shardings, NoP modes, and tenant fleets — fault-free,
+// because a fault-remapped schedule executes a different placement that the
+// bound's contract explicitly excludes:
+//  (a) the critical-path latency bound never exceeds ANY simulated frame's
+//      admission-to-completion latency, single-stream or multi-tenant;
+//  (b) contended fault-free: each priced link's bytes_per_frame times the
+//      frame count equals LinkStats::busy_s x bandwidth — the bound's
+//      injection accounting mirrors the simulator's message-for-message —
+//      and is therefore capped by capacity x makespan (the demand-vs-
+//      capacity bound is about REAL traffic, not a model of its own).
+TEST_P(FuzzSeed, BoundSoundness) {
+  constexpr double kRelEps = 1e-9;
+  Lcg rng(static_cast<std::uint64_t>(GetParam()) * 69763u + 43u);
+
+  const auto min_finite = [](const std::vector<double>& v) {
+    double best = std::numeric_limits<double>::infinity();
+    for (const double x : v) {
+      if (std::isfinite(x)) best = std::min(best, x);
+    }
+    return best;
+  };
+
+  // Single-stream schedules: random chains, random (possibly sharded)
+  // placements, both NoP modes, NoP delays sometimes off entirely.
+  for (int trial = 0; trial < 3; ++trial) {
+    SCOPED_TRACE("schedule trial " + std::to_string(trial));
+    const PackageConfig pkg = random_package(rng);
+
+    PerceptionPipeline pipe;
+    Model m;
+    m.name = "bound_chain";
+    const int layers = static_cast<int>(rng.range(2, 5));
+    for (int l = 0; l < layers; ++l) {
+      m.layers.push_back(gemm("b" + std::to_string(l), rng.range(256, 8192),
+                              rng.range(16, 256), rng.range(16, 256)));
+    }
+    pipe.stages.push_back(Stage{"S", {{m, false}}});
+    Schedule sched(pipe, pkg);
+    for (int i = 0; i < sched.num_items(); ++i) {
+      const int n = static_cast<int>(
+          rng.range(1, std::min<std::int64_t>(3, pkg.num_chiplets())));
+      std::vector<int> chosen;
+      while (static_cast<int>(chosen.size()) < n) {
+        const int c = static_cast<int>(rng.range(0, pkg.num_chiplets() - 1));
+        const int id = pkg.chiplets()[static_cast<std::size_t>(c)].id;
+        bool dup = false;
+        for (const int existing : chosen) dup = dup || existing == id;
+        if (!dup) chosen.push_back(id);
+      }
+      sched.assign_sharded(i, chosen);
+    }
+
+    SimOptions opt;
+    opt.frames = static_cast<int>(rng.range(4, 16));
+    opt.frame_interval_s = rng.range(0, 1) == 0
+                               ? 0.0
+                               : static_cast<double>(rng.range(1, 50)) * 1e-5;
+    if (rng.range(0, 2) == 0) opt.nop_mode = NopMode::kContended;
+    if (rng.range(0, 2) == 0) opt.model_nop_delays = false;
+
+    const analysis::BoundsReport bounds = analysis::compute_bounds(sched, opt);
+    ASSERT_EQ(bounds.streams.size(), 1u);
+    const SimResult sim = simulate_schedule(sched, opt);
+
+    // (a) lower bound on every frame, so in particular on the fastest.
+    const double floor = min_finite(sim.frame_latency_s);
+    ASSERT_TRUE(std::isfinite(floor));
+    EXPECT_LE(bounds.streams[0].latency_bound_s, floor * (1.0 + kRelEps));
+
+    // (b) injection mirror: busy_s x bandwidth is the bytes the link
+    // actually serialized over the run.
+    if (opt.nop_mode == NopMode::kContended && opt.model_nop_delays) {
+      ASSERT_FALSE(bounds.links.empty());
+      for (const analysis::LinkBound& lb : bounds.links) {
+        const LinkStats* match = nullptr;
+        for (const LinkStats& ls : sim.link_stats) {
+          if (ls.link == lb.link) match = &ls;
+        }
+        ASSERT_NE(match, nullptr) << lb.link.describe();
+        const double lifetime_bytes =
+            lb.bytes_per_frame * static_cast<double>(opt.frames);
+        EXPECT_NEAR(lifetime_bytes, match->busy_s * lb.capacity_bytes_per_s,
+                    lifetime_bytes * 1e-9 + 1e-6)
+            << lb.link.describe();
+        EXPECT_LE(lifetime_bytes,
+                  lb.capacity_bytes_per_s * sim.makespan_s * (1.0 + kRelEps))
+            << lb.link.describe();
+      }
+    }
+    if (::testing::Test::HasFailure()) return;
+  }
+
+  // Multi-tenant fleets: the serving-shape bound must undercut every
+  // tenant's own fastest frame under shared/partitioned/priority placement
+  // and cross-tenant contention.
+  for (int trial = 0; trial < 2; ++trial) {
+    SCOPED_TRACE("fleet trial " + std::to_string(trial));
+    const int rows = static_cast<int>(rng.range(2, 3));
+    const int cols = static_cast<int>(rng.range(2, 4));
+    const PackageConfig pkg = make_simba_package(rows, cols);
+
+    const int n_tenants = static_cast<int>(rng.range(2, 3));
+    std::vector<PerceptionPipeline> pipes;
+    for (int t = 0; t < n_tenants; ++t) {
+      PerceptionPipeline pipe;
+      Model m;
+      m.name = "bound_tenant_" + std::to_string(t);
+      const int layers = static_cast<int>(rng.range(2, 4));
+      for (int l = 0; l < layers; ++l) {
+        m.layers.push_back(gemm("bt" + std::to_string(t) + "_g" +
+                                    std::to_string(l),
+                                rng.range(512, 8192), rng.range(16, 128),
+                                rng.range(16, 128)));
+      }
+      pipe.stages.push_back(Stage{"S", {{m, false}}});
+      pipes.push_back(std::move(pipe));
+    }
+    std::vector<TenantWorkload> fleet;
+    for (int t = 0; t < n_tenants; ++t) {
+      TenantWorkload w;
+      w.name = "t" + std::to_string(t);
+      w.pipeline = &pipes[static_cast<std::size_t>(t)];
+      w.frames = static_cast<int>(rng.range(4, 12));
+      w.frame_interval_s = rng.range(0, 1) == 0
+                               ? 0.0
+                               : static_cast<double>(rng.range(1, 50)) * 1e-5;
+      if (rng.range(0, 1) == 0) {
+        w.deadline_s = static_cast<double>(rng.range(1, 80)) * 1e-5;
+      }
+      w.priority = static_cast<int>(rng.range(0, 2));
+      fleet.push_back(w);
+    }
+
+    ServingOptions opt;
+    const std::int64_t pol = rng.range(0, 2);
+    opt.policy = pol == 0   ? PlacementPolicy::kShared
+                 : pol == 1 ? PlacementPolicy::kPartitioned
+                            : PlacementPolicy::kPriority;
+    if (rng.range(0, 2) == 0) opt.nop_mode = NopMode::kContended;
+
+    const analysis::BoundsReport bounds =
+        analysis::compute_bounds(pkg, fleet, opt);
+    const SimResult sim = serve_tenants(pkg, fleet, opt);
+    ASSERT_EQ(bounds.streams.size(), fleet.size());
+    ASSERT_EQ(sim.tenants.size(), fleet.size());
+    for (std::size_t t = 0; t < fleet.size(); ++t) {
+      SCOPED_TRACE(fleet[t].name);
+      ASSERT_EQ(bounds.streams[t].name, fleet[t].name);
+      const double floor = min_finite(sim.tenants[t].frame_latency_s);
+      ASSERT_TRUE(std::isfinite(floor));
+      EXPECT_LE(bounds.streams[t].latency_bound_s, floor * (1.0 + kRelEps));
     }
     if (::testing::Test::HasFailure()) return;
   }

@@ -20,6 +20,7 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/bounds.h"
 #include "analysis/rules.h"
 #include "analysis/validate.h"
 #include "arch/package.h"
@@ -34,6 +35,7 @@
 namespace {
 
 using cnpu::ArrivalKind;
+using cnpu::NopMode;
 using cnpu::PackageConfig;
 using cnpu::PerceptionPipeline;
 using cnpu::Schedule;
@@ -63,8 +65,20 @@ void print_usage(std::FILE* out) {
       "                   (default: no deadline)\n"
       "  --no-nop         lint as if NoP delays were unmodeled (route rules\n"
       "                   R001/R002 demote to lint-only, D001 is skipped)\n"
+      "  --bounds         additionally run the static performance-bound\n"
+      "                   analyzer (analysis/bounds.h): advisory P-rule\n"
+      "                   findings join the diagnostics, plus a bounds\n"
+      "                   table (or, with --json, a combined per-file\n"
+      "                   {\"diagnostics\",\"bounds\"} object)\n"
+      "  --rate-fps X     admitted frame rate the --bounds demand checks\n"
+      "                   assume (sets the frame interval to 1/X)\n"
+      "  --contended      lint under the contended NoP model (makes the\n"
+      "                   --bounds link-capacity check binding)\n"
       "  --rules          print the rule catalogue and exit\n"
-      "  --self-test      run the embedded fixture battery\n",
+      "  --self-test      run the embedded fixture battery\n"
+      "\n"
+      "With several bundles the exit code is the worst across files; a\n"
+      "malformed file is reported and linting continues.\n",
       out);
 }
 
@@ -92,6 +106,9 @@ struct Fixture {
   SimOptions options;
   SweepSpec sweep{"unused"};
   bool is_sweep = false;
+  // Validate through the static bounds analyzer (bound_diagnostics over
+  // compute_bounds) instead of the structural validators.
+  bool is_bounds = false;
 };
 
 PerceptionPipeline two_conv_pipeline() {
@@ -325,6 +342,63 @@ std::vector<Fixture> build_fixtures() {
     f.sweep = SweepSpec("big").axis("a", big).axis("b", big).axis("c", big);
     fixtures.push_back(std::move(f));
   }
+  // --- bounds (P-rule) fixtures: advisory analyzer, never error severity ---
+  auto bounds_fixture = [&](std::string name, std::string expect_rule,
+                            const Schedule& schedule, SimOptions options) {
+    Fixture f = schedule_fixture(std::move(name), std::move(expect_rule),
+                                 /*expect_error=*/false, schedule,
+                                 std::move(options));
+    f.is_bounds = true;
+    return f;
+  };
+  {  // Bounds-clean: no deadline, no rate, no memory model -> no P findings.
+    Schedule s(pipe, pkg);
+    s.assign(0, pkg.chiplets()[0].id);
+    s.assign(1, pkg.chiplets()[1].id);
+    fixtures.push_back(bounds_fixture("bounds-clean", "", s, {}));
+  }
+  {  // P001: a 1 ps deadline is below any critical-path bound.
+    Schedule s(pipe, pkg);
+    s.assign(0, pkg.chiplets()[0].id);
+    s.assign(1, pkg.chiplets()[1].id);
+    SimOptions opt;
+    opt.deadline_s = 1e-12;
+    fixtures.push_back(bounds_fixture(
+        "bounds-deadline-dead", cnpu::analysis::kRuleBoundDeadline, s, opt));
+  }
+  {  // P002: a 1 GHz frame rate swamps every contended link's bandwidth.
+    Schedule s(pipe, pkg);
+    s.assign(0, pkg.chiplets()[0].id);
+    s.assign(1, pkg.chiplets()[1].id);
+    SimOptions opt;
+    opt.nop_mode = NopMode::kContended;
+    opt.frame_interval_s = 1e-9;
+    fixtures.push_back(bounds_fixture(
+        "bounds-link-oversub", cnpu::analysis::kRuleBoundLinkOversubscribed,
+        s, opt));
+  }
+  {  // P003: the same rate also demands > 1 chiplet-second per second.
+    Schedule s(pipe, pkg);
+    s.assign(0, pkg.chiplets()[0].id);
+    s.assign(1, pkg.chiplets()[1].id);
+    SimOptions opt;
+    opt.frame_interval_s = 1e-9;
+    fixtures.push_back(bounds_fixture(
+        "bounds-compute-oversub",
+        cnpu::analysis::kRuleBoundComputeOversubscribed, s, opt));
+  }
+  {  // P004: resident weights overflow a 16-byte weight budget (advisory
+     // restatement of the M001 residency check from the bounds pass).
+    PackageConfig tight = pkg;
+    cnpu::MemorySpec mem;
+    mem.weight_capacity_bytes = 16.0;
+    tight.set_memory(mem);
+    Schedule s(pipe, tight);
+    s.assign(0, tight.chiplets()[0].id);
+    s.assign(1, tight.chiplets()[0].id);
+    fixtures.push_back(bounds_fixture(
+        "bounds-residency", cnpu::analysis::kRuleBoundResidency, s, {}));
+  }
   return fixtures;
 }
 
@@ -337,7 +411,10 @@ int run_self_test(const std::string& out_path) {
   for (const Fixture& f : fixtures) {
     const Diagnostics diags =
         f.is_sweep ? cnpu::analysis::validate(f.sweep)
-                   : cnpu::analysis::validate(*f.bundle.schedule, f.options);
+        : f.is_bounds
+            ? cnpu::analysis::bound_diagnostics(cnpu::analysis::compute_bounds(
+                  *f.bundle.schedule, f.options))
+            : cnpu::analysis::validate(*f.bundle.schedule, f.options);
     bool pass = true;
     std::string why;
     if (f.expect_rule.empty()) {
@@ -391,6 +468,7 @@ int main(int argc, char** argv) {
   bool werror = false;
   bool self_test = false;
   bool rules = false;
+  bool bounds = false;
   std::string out_path;
   SimOptions options;
   std::vector<std::string> files;
@@ -423,6 +501,17 @@ int main(int argc, char** argv) {
       options.deadline_s = std::atof(next("--deadline-ms")) * 1e-3;
     } else if (arg == "--no-nop") {
       options.model_nop_delays = false;
+    } else if (arg == "--bounds") {
+      bounds = true;
+    } else if (arg == "--contended") {
+      options.nop_mode = NopMode::kContended;
+    } else if (arg == "--rate-fps") {
+      const double fps = std::atof(next("--rate-fps"));
+      if (!(fps > 0.0)) {
+        std::fprintf(stderr, "cnpu_lint: --rate-fps needs a positive rate\n");
+        return 2;
+      }
+      options.frame_interval_s = 1.0 / fps;
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "cnpu_lint: unknown option %s\n", arg.c_str());
       print_usage(stderr);
@@ -442,8 +531,10 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  int errors = 0;
-  int warnings = 0;
+  // Worst-of aggregation across files: a malformed bundle (2) is reported
+  // and linting continues, error findings give 1, clean files 0.
+  int worst = 0;
+  auto raise_exit = [&](int code) { worst = code > worst ? code : worst; };
   std::string json_out;
   for (const std::string& path : files) {
     ScheduleBundle bundle;
@@ -451,18 +542,42 @@ int main(int argc, char** argv) {
       bundle = cnpu::load_schedule_bundle(path);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "cnpu_lint: %s: %s\n", path.c_str(), e.what());
-      return 2;
+      raise_exit(2);
+      continue;
     }
-    const Diagnostics diags =
-        cnpu::analysis::validate(*bundle.schedule, options);
-    errors += diags.count(cnpu::analysis::Severity::kError);
-    warnings += diags.count(cnpu::analysis::Severity::kWarning);
-    const std::string rendered = diags.to_json();
+    Diagnostics diags = cnpu::analysis::validate(*bundle.schedule, options);
+    std::string rendered;
+    std::string bounds_table;
+    if (bounds) {
+      // Advisory P rules ride in the same diagnostics rendering; the
+      // quantitative report is printed (or embedded) alongside.
+      const cnpu::analysis::BoundsReport report =
+          cnpu::analysis::compute_bounds(*bundle.schedule, options);
+      cnpu::analysis::collect_bound_diagnostics(report, diags);
+      bounds_table = report.table();
+      cnpu::JsonWriter w;
+      w.begin_object();
+      w.key("diagnostics");
+      diags.write_json(w);
+      w.key("bounds");
+      report.write_json(w);
+      w.end_object();
+      rendered = w.str();
+    } else {
+      rendered = diags.to_json();
+    }
+    if (diags.count(cnpu::analysis::Severity::kError) > 0) {
+      raise_exit(1);
+    } else if (werror &&
+               diags.count(cnpu::analysis::Severity::kWarning) > 0) {
+      raise_exit(1);
+    }
     if (json) {
       std::printf("%s\n", rendered.c_str());
     } else {
       if (files.size() > 1) std::printf("== %s ==\n", path.c_str());
       std::printf("%s\n", diags.table().c_str());
+      if (bounds) std::printf("%s\n", bounds_table.c_str());
     }
     if (!json_out.empty()) json_out += "\n";
     json_out += rendered;
@@ -471,7 +586,5 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cnpu_lint: cannot write %s\n", out_path.c_str());
     return 2;
   }
-  if (errors > 0) return 1;
-  if (werror && warnings > 0) return 1;
-  return 0;
+  return worst;
 }
